@@ -1,0 +1,105 @@
+// E15 — ablation of the broadcast layer's design choices (DESIGN.md calls
+// these out; the paper's section 3.3 motivates both):
+//
+//  * causal delivery (piggybacked dependency clocks) is what makes
+//    executions transitive — turn it off and transitivity violations
+//    appear under reordering;
+//  * flooding gives low dissemination latency; anti-entropy alone (pure
+//    gossip) still converges but with much higher staleness (k).
+#include <cstdio>
+
+#include "analysis/execution_checker.hpp"
+#include "apps/airline/airline.hpp"
+#include "harness/scenario.hpp"
+#include "harness/table.hpp"
+#include "harness/workload.hpp"
+#include "shard/cluster.hpp"
+
+namespace {
+
+namespace al = apps::airline;
+using Air = al::BasicAirline<20, 900, 300>;
+
+struct RunResult {
+  std::size_t txs = 0;
+  std::size_t transitivity_violations = 0;
+  std::size_t max_k = 0;
+  double mean_k = 0.0;
+  std::uint64_t messages = 0;
+  bool converged = false;
+};
+
+RunResult run(bool flood, bool causal, std::uint64_t seed) {
+  harness::Scenario sc = harness::wan(4);
+  sc.drop_probability = 0.15;
+  sc.causal_broadcast = causal;
+  auto cfg = sc.cluster_config<Air>(seed);
+  cfg.broadcast.flood = flood;
+  cfg.broadcast.anti_entropy_interval = 0.4;
+  shard::Cluster<Air> cluster(cfg);
+  harness::AirlineWorkload w;
+  w.duration = 20.0;
+  w.request_rate = 3.0;
+  w.mover_rate = 3.0;
+  w.max_persons = 100;
+  harness::drive_airline(cluster, w, seed ^ 0xe15);
+  cluster.run_until(w.duration);
+  cluster.settle();
+  const auto exec = cluster.execution();
+  RunResult r;
+  r.txs = exec.size();
+  r.transitivity_violations =
+      analysis::check_transitive(exec).violations().size();
+  const auto ks = analysis::missing_counts(exec);
+  for (std::size_t k : ks) {
+    r.max_k = std::max(r.max_k, k);
+    r.mean_k += static_cast<double>(k);
+  }
+  if (!ks.empty()) r.mean_k /= static_cast<double>(ks.size());
+  r.messages = cluster.network().stats().sent;
+  r.converged = cluster.converged();
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  harness::Table table(
+      "E15  Broadcast ablation (lossy WAN, 15% drop; 3 seeds aggregated)",
+      {"variant", "txs", "transitivity violations", "mean k", "max k",
+       "messages", "converged"});
+  struct Variant {
+    const char* name;
+    bool flood;
+    bool causal;
+  };
+  for (const Variant v : {Variant{"flood + causal (default)", true, true},
+                          Variant{"flood, no causal", true, false},
+                          Variant{"gossip only + causal", false, true}}) {
+    RunResult agg;
+    double mean_sum = 0.0;
+    for (std::uint64_t seed : {1u, 2u, 3u}) {
+      const RunResult r = run(v.flood, v.causal, seed);
+      agg.txs += r.txs;
+      agg.transitivity_violations += r.transitivity_violations;
+      agg.max_k = std::max(agg.max_k, r.max_k);
+      mean_sum += r.mean_k;
+      agg.messages += r.messages;
+      agg.converged = r.converged;
+    }
+    table.add_row({v.name, harness::Table::num(agg.txs),
+                   harness::Table::num(agg.transitivity_violations),
+                   harness::Table::num(mean_sum / 3.0, 2),
+                   harness::Table::num(agg.max_k),
+                   harness::Table::num(static_cast<std::size_t>(agg.messages)),
+                   agg.converged ? "yes" : "NO"});
+  }
+  table.print();
+  std::printf(
+      "\nReading: causal delivery is what buys section 3.2 transitivity —\n"
+      "without it, reordered arrivals make some prefixes non-closed (the\n"
+      "violations column). Dropping the flood keeps all guarantees (and\n"
+      "still converges via anti-entropy) but decisions run much staler:\n"
+      "mean k an order of magnitude higher for the same message budget.\n");
+  return 0;
+}

@@ -1,0 +1,124 @@
+// E17 — the Grapevine name service (paper section 6: "name servers such as
+// Grapevine have interesting but nonserializable behavior; it seems likely
+// that they can be described within our framework").
+//
+// Sweep partition length: dangling memberships (referential-integrity
+// cost) accumulate while the sides diverge; the lookups users actually see
+// degrade (resolutions listing dangling members); one SCRUB after the heal
+// restores integrity. The same k-bounded shape as every other app: damage
+// tracks how much membership/registration traffic crossed the cut blind.
+#include <cstdio>
+
+#include "analysis/execution_checker.hpp"
+#include "apps/grapevine/grapevine.hpp"
+#include "harness/scenario.hpp"
+#include "harness/table.hpp"
+#include "shard/cluster.hpp"
+#include "sim/rng.hpp"
+
+namespace {
+
+namespace gv = apps::grapevine;
+using gv::Grapevine;
+using gv::Request;
+
+struct RunResult {
+  std::size_t txs = 0;
+  std::size_t max_k = 0;
+  double worst_cost = 0.0;
+  std::size_t dangling_resolutions = 0;
+  std::size_t total_resolutions = 0;
+  double cost_after_scrub = 0.0;
+  bool converged = false;
+};
+
+RunResult run(double partition_len, std::uint64_t seed) {
+  harness::Scenario sc =
+      partition_len > 0.0
+          ? harness::partitioned_wan(4, 4.0, 4.0 + partition_len)
+          : harness::wan(4);
+  shard::Cluster<Grapevine> cluster(sc.cluster_config<Grapevine>(seed));
+  sim::Rng rng(seed ^ 0xe17);
+  const double duration = 8.0 + partition_len;
+  // Everyone registers before the trouble starts; thereafter membership
+  // edits, deregistrations, and lookups race across the cut.
+  for (gv::Name n = 1; n <= 15; ++n) {
+    cluster.submit_at(0.1, static_cast<core::NodeId>(n % 4),
+                      Request::register_individual(n, "mx"));
+  }
+  for (int i = 0; i < 200; ++i) {
+    const double t = rng.uniform(2.0, duration);
+    const auto node = static_cast<core::NodeId>(rng.uniform_int(0, 3));
+    const auto n = static_cast<gv::Name>(rng.uniform_int(1, 15));
+    const auto g = static_cast<gv::Name>(rng.uniform_int(20, 24));
+    switch (rng.uniform_int(0, 5)) {
+      case 0:
+        cluster.submit_at(t, node, Request::deregister(n));
+        break;
+      case 1:
+      case 2:
+      case 3:
+        cluster.submit_at(t, node, Request::add_member(g, n));
+        break;
+      case 4:
+        cluster.submit_at(t, node, Request::remove_member(g, n));
+        break;
+      default:
+        cluster.submit_at(t, node, Request::resolve(g));
+        break;
+    }
+  }
+  cluster.run_until(duration);
+  cluster.settle();
+  const auto exec = cluster.execution();
+
+  RunResult r;
+  r.txs = exec.size();
+  r.max_k = exec.max_missing();
+  r.converged = cluster.converged();
+  for (const auto& s : exec.actual_states()) {
+    r.worst_cost = std::max(r.worst_cost, Grapevine::cost(s, 0));
+  }
+  for (std::size_t i = 0; i < exec.size(); ++i) {
+    for (const auto& a : exec.tx(i).external_actions) {
+      if (a.kind == "resolution") {
+        ++r.total_resolutions;
+        if (a.subject.find("<dangling>") != std::string::npos) {
+          ++r.dangling_resolutions;
+        }
+      }
+    }
+  }
+  cluster.submit_now(0, Request::scrub());
+  cluster.settle();
+  r.cost_after_scrub = Grapevine::cost(cluster.node(0).state(), 0);
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  harness::Table table(
+      "E17  Grapevine name service: referential-integrity damage vs "
+      "partition length",
+      {"partition (s)", "txs", "max k", "worst dangling cost $",
+       "degraded lookups", "after SCRUB $", "converged"});
+  for (const double plen : {0.0, 6.0, 12.0, 20.0}) {
+    const RunResult r = run(plen, 44);
+    table.add_row(
+        {harness::Table::num(plen, 0), harness::Table::num(r.txs),
+         harness::Table::num(r.max_k), harness::Table::num(r.worst_cost, 0),
+         harness::Table::num(r.dangling_resolutions) + "/" +
+             harness::Table::num(r.total_resolutions),
+         harness::Table::num(r.cost_after_scrub, 0),
+         r.converged ? "yes" : "NO"});
+  }
+  table.print();
+  std::printf(
+      "\nReading: the paper's closing conjecture holds — Grapevine's lazy\n"
+      "registration database is a SHARD application. Longer partitions mean\n"
+      "staler membership edits, more dangling references, and more degraded\n"
+      "lookups; a single compensating SCRUB after the heal restores\n"
+      "referential integrity to $0 everywhere.\n");
+  return 0;
+}

@@ -1,0 +1,121 @@
+// E5 — Theorems 22/23 (section 5.4): centralizing the MOVE-UPs makes
+// overbooking impossible — at an availability price.
+//
+// Routing policies realize section 3.3's "force all the transactions in G
+// to run at the same node". The table shows, per policy: whether the
+// theorem hypotheses hold on the recorded execution, the worst overbooking
+// observed, and the availability cost — transactions that had to run at the
+// pinned node while a partition separated it from half the cluster (in a
+// real deployment those would block or fail).
+#include <cstdio>
+
+#include "analysis/airline_theorems.hpp"
+#include "analysis/execution_checker.hpp"
+#include "apps/airline/airline.hpp"
+#include "harness/scenario.hpp"
+#include "harness/table.hpp"
+#include "harness/workload.hpp"
+#include "shard/cluster.hpp"
+
+namespace {
+
+namespace al = apps::airline;
+using Air = al::BasicAirline<20, 900, 300>;
+
+struct PolicyResult {
+  std::size_t txs = 0;
+  bool movers_centralized = false;
+  bool transitive = false;
+  double worst_overbook = 0.0;
+  std::size_t pinned_during_partition = 0;
+  bool theorem23_ok = false;
+};
+
+PolicyResult run(harness::Routing routing, std::uint64_t seed) {
+  harness::Scenario sc = harness::partitioned_wan(4, 5.0, 20.0);
+  shard::Cluster<Air> cluster(sc.cluster_config<Air>(seed));
+  harness::AirlineWorkload w;
+  w.duration = 28.0;
+  w.request_rate = 3.0;
+  w.mover_rate = 4.0;
+  w.cancel_fraction = 0.0;  // unique requests (Theorem 23 hypothesis)
+  w.max_persons = 150;
+  w.routing = routing;
+  const auto schedule = harness::drive_airline(cluster, w, seed ^ 0xe5);
+  cluster.run_until(w.duration);
+  cluster.settle();
+  const auto exec = cluster.execution();
+
+  PolicyResult r;
+  r.txs = exec.size();
+  r.movers_centralized =
+      analysis::is_centralized<Air>(exec, [](const al::Request& rq) {
+        return rq.kind == al::Request::Kind::kMoveUp;
+      });
+  r.transitive = analysis::is_transitive(exec);
+  for (const auto& s : exec.actual_states()) {
+    r.worst_overbook = std::max(r.worst_overbook,
+                                Air::cost(s, Air::kOverbooking));
+  }
+  // Availability cost: submissions pinned to node 0 while the partition
+  // was active (clients on the far side could not really have reached it).
+  for (const auto& sub : schedule) {
+    if (sub.node == 0 &&
+        sc.partitions.partitioned_at(sub.time)) {
+      ++r.pinned_during_partition;
+    }
+  }
+  r.theorem23_ok = analysis::check_theorem23(exec).ok();
+  return r;
+}
+
+const char* routing_name(harness::Routing r) {
+  switch (r) {
+    case harness::Routing::kAnyNode:
+      return "any-node (max availability)";
+    case harness::Routing::kCentralizeMovers:
+      return "centralize movers";
+    case harness::Routing::kCentralizeAll:
+      return "centralize everything";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main() {
+  harness::Table table(
+      "E5  Theorems 22/23: centralization eliminates overbooking, costs "
+      "availability (15s partition)",
+      {"routing", "txs", "movers centralized", "transitive",
+       "worst overbook $", "Thm23 holds", "txs pinned during partition"});
+  for (const auto routing :
+       {harness::Routing::kAnyNode, harness::Routing::kCentralizeMovers,
+        harness::Routing::kCentralizeAll}) {
+    // Aggregate worst case over 3 seeds.
+    PolicyResult agg;
+    bool all23 = true, all_central = true, all_trans = true;
+    for (std::uint64_t seed : {11u, 12u, 13u}) {
+      const PolicyResult r = run(routing, seed);
+      agg.txs += r.txs;
+      agg.worst_overbook = std::max(agg.worst_overbook, r.worst_overbook);
+      agg.pinned_during_partition += r.pinned_during_partition;
+      all23 = all23 && r.theorem23_ok;
+      all_central = all_central && r.movers_centralized;
+      all_trans = all_trans && r.transitive;
+    }
+    table.add_row({routing_name(routing), harness::Table::num(agg.txs),
+                   all_central ? "yes" : "no", all_trans ? "yes" : "no",
+                   harness::Table::num(agg.worst_overbook, 0),
+                   all23 ? "yes" : "n/a (hypothesis fails)",
+                   harness::Table::num(agg.pinned_during_partition)});
+  }
+  table.print();
+  std::printf(
+      "\nReading: the paper's trade, quantified. Random routing overbooks\n"
+      "(nonzero worst cost) but nothing depends on one node; centralizing\n"
+      "the movers drives overbooking to exactly zero (Theorem 23), at the\n"
+      "price of every mover depending on node 0 — including through the\n"
+      "partition, when half the clients couldn't reach it.\n");
+  return 0;
+}

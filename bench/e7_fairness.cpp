@@ -1,0 +1,120 @@
+// E7 — fairness (Theorems 25/27 and the section 5.5 redesign).
+//
+// E7a: with centralized movers, Theorem 25's priority freeze and Theorem
+//      27's t-bounded-delay fairness are checked over cluster runs while
+//      the measured delay bound shrinks with network quality.
+// E7b: the basic vs timestamped airline, same workload: request-order
+//      inversions in the final state. The basic design produces them (the
+//      section 5.5 anomaly); the redesign's lists are stamp-sorted, so
+//      same-list inversions vanish.
+#include <cstdio>
+
+#include "analysis/execution_checker.hpp"
+#include "analysis/fairness.hpp"
+#include "apps/airline/airline.hpp"
+#include "apps/airline/timestamped.hpp"
+#include "harness/scenario.hpp"
+#include "harness/table.hpp"
+#include "harness/workload.hpp"
+#include "shard/cluster.hpp"
+
+namespace {
+
+namespace al = apps::airline;
+using Air = al::BasicAirline<20, 900, 300>;
+using TsAir = al::TimestampedAirlineT<20, 900, 300>;
+
+struct TsClassify {
+  std::optional<al::Person> request_of(const al::TsRequest& r) const {
+    if (r.kind == al::TsRequest::Kind::kRequest) return r.person;
+    return std::nullopt;
+  }
+  std::optional<al::Person> cancel_of(const al::TsRequest& r) const {
+    if (r.kind == al::TsRequest::Kind::kCancel) return r.person;
+    return std::nullopt;
+  }
+  bool is_mover(const al::TsRequest& r) const {
+    return r.kind == al::TsRequest::Kind::kMoveUp ||
+           r.kind == al::TsRequest::Kind::kMoveDown;
+  }
+};
+
+template <class Anyline>
+core::Execution<Anyline> run(const harness::Scenario& sc, std::uint64_t seed,
+                             harness::Routing routing) {
+  shard::Cluster<Anyline> cluster(sc.template cluster_config<Anyline>(seed));
+  harness::AirlineWorkload w;
+  w.duration = 25.0;
+  w.request_rate = 3.0;
+  w.mover_rate = 4.0;
+  w.move_down_fraction = 0.35;
+  w.cancel_fraction = 0.0;
+  w.max_persons = 120;
+  w.routing = routing;
+  harness::drive_airline(cluster, w, seed ^ 0xe7);
+  cluster.run_until(w.duration);
+  cluster.settle();
+  return cluster.execution();
+}
+
+}  // namespace
+
+int main() {
+  harness::Table t25(
+      "E7a  Theorems 25/27 with centralized movers",
+      {"scenario", "txs", "measured delay bound t (s)", "Thm25 freeze",
+       "Thm27 @ measured t"});
+  const analysis::AirlineClassify cls;
+  struct Net {
+    const char* name;
+    harness::Scenario sc;
+  };
+  for (const auto& net :
+       {Net{"lan", harness::lan(4)}, Net{"wan", harness::wan(4)},
+        Net{"wan+partition", harness::partitioned_wan(4, 5.0, 15.0)}}) {
+    const auto exec =
+        run<Air>(net.sc, 501, harness::Routing::kCentralizeMovers);
+    const double t = analysis::min_bounded_delay(exec);
+    const auto freeze = analysis::check_theorem25(exec, cls);
+    const auto fair = analysis::check_theorem27(exec, cls, t + 1e-9);
+    t25.add_row({net.name, harness::Table::num(exec.size()),
+                 harness::Table::num(t, 2),
+                 freeze.ok() ? "holds" : "VIOLATED",
+                 fair.ok() ? "holds" : "VIOLATED"});
+  }
+  t25.print();
+
+  harness::Table t55(
+      "E7b  Section 5.5 anomaly rate: basic vs timestamped redesign",
+      {"seed", "basic: final inversions", "timestamped: same-list "
+       "inversions"});
+  for (std::uint64_t seed : {21u, 22u, 23u, 24u}) {
+    const auto sc = harness::partitioned_wan(4, 4.0, 16.0);
+    const auto basic = run<Air>(sc, seed, harness::Routing::kAnyNode);
+    const std::size_t basic_inv =
+        analysis::final_order_inversions(basic, cls);
+    const auto ts = run<TsAir>(sc, seed, harness::Routing::kAnyNode);
+    // Same-list inversions for the timestamped app: by construction of the
+    // stamp-sorted lists these are zero whenever submission stamps follow
+    // request order; count them directly.
+    const auto final = ts.final_state();
+    std::size_t ts_inv = 0;
+    const auto count_list = [&ts_inv](const std::vector<al::TsEntry>& v) {
+      for (std::size_t i = 1; i < v.size(); ++i) {
+        if (v[i - 1].stamp > v[i].stamp) ++ts_inv;
+      }
+    };
+    count_list(final.waiting);
+    count_list(final.assigned);
+    t55.add_row({harness::Table::num(seed), harness::Table::num(basic_inv),
+                 harness::Table::num(ts_inv)});
+  }
+  t55.print();
+  std::printf(
+      "\nReading: (a) once the centralized agent has seen two requests,\n"
+      "their order never changes (Theorem 25), and requests separated by\n"
+      "more than the measured delay bound keep request order (Theorem 27).\n"
+      "(b) The basic design produces final-state priority inversions; the\n"
+      "timestamped redesign keeps both lists in request order always.\n");
+  return 0;
+}

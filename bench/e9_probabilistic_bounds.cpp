@@ -1,0 +1,94 @@
+// E9 — the section 1.3 probabilistic program, carried out.
+//
+// "(1) conditional results of the form 'If certain conditions hold, then
+// the cost remains at most c'; (2) probability distribution information
+// describing the probability that the conditions hold ... obtained by an
+// independent analysis, using information such as delay characteristics of
+// the message system." The simulator supplies (2): the empirical
+// distribution of k across many seeded runs per network profile. Composing
+// with Corollary 8's f(k) = 900k yields statements of exactly the paper's
+// target form: "With probability p, the cost remains at most c."
+#include <cstdio>
+
+#include "analysis/execution_checker.hpp"
+#include "apps/airline/airline.hpp"
+#include "harness/probabilistic.hpp"
+#include "harness/scenario.hpp"
+#include "harness/table.hpp"
+#include "harness/workload.hpp"
+#include "shard/cluster.hpp"
+
+namespace {
+
+namespace al = apps::airline;
+using Air = al::BasicAirline<20, 900, 300>;
+
+harness::KDistribution measure(const harness::Scenario& sc,
+                               std::size_t runs) {
+  harness::KDistribution dist;
+  for (std::uint64_t seed = 1; seed <= runs; ++seed) {
+    shard::Cluster<Air> cluster(sc.cluster_config<Air>(seed));
+    harness::AirlineWorkload w;
+    w.duration = 20.0;
+    w.request_rate = 3.0;
+    w.mover_rate = 4.0;
+    w.max_persons = 120;
+    harness::drive_airline(cluster, w, seed ^ 0xe9);
+    cluster.run_until(w.duration);
+    cluster.settle();
+    const auto exec = cluster.execution();
+    // k per MOVE-UP (the transactions Corollary 8 conditions on).
+    for (std::size_t i = 0; i < exec.size(); ++i) {
+      if (exec.tx(i).request.kind == al::Request::Kind::kMoveUp) {
+        dist.observe(exec.missing_count(i));
+      }
+    }
+  }
+  return dist;
+}
+
+}  // namespace
+
+int main() {
+  harness::Table table(
+      "E9  P(k <= K) measured over 8 seeded runs per profile, composed with "
+      "Corollary 8 (cost <= 900K)",
+      {"profile", "MOVE-UPs", "mean k", "K@p=0.50", "bound $", "K@p=0.90",
+       "bound $", "K@p=0.99", "bound $"});
+  struct Net {
+    const char* name;
+    harness::Scenario sc;
+  };
+  const auto f = [](int, std::size_t k) {
+    return 900.0 * static_cast<double>(k);
+  };
+  for (const auto& net :
+       {Net{"lan", harness::lan(4)}, Net{"wan", harness::wan(4)},
+        Net{"wan, 20% loss",
+            [] {
+              auto s = harness::wan(4);
+              s.drop_probability = 0.2;
+              return s;
+            }()},
+        Net{"wan+10s partition", harness::partitioned_wan(4, 5.0, 15.0)}}) {
+    const auto dist = measure(net.sc, 8);
+    std::vector<std::string> row = {net.name,
+                                    harness::Table::num(dist.total()),
+                                    harness::Table::num(dist.mean(), 2)};
+    for (const double p : {0.50, 0.90, 0.99}) {
+      const auto b = harness::probabilistic_cost_bound(dist, 0, f, p);
+      row.push_back(harness::Table::num(b.K));
+      row.push_back(harness::Table::num(b.cost_bound, 0));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print();
+  std::printf(
+      "\nReading: the paper's \"With probability p, the cost remains at\n"
+      "most c\" statements, instantiated. On a LAN, 99%% of MOVE-UPs run\n"
+      "with k=0 — serializable in effect, cost 0. Loss and partitions\n"
+      "shift the k distribution right and the probabilistic cost bounds\n"
+      "grow accordingly — small changes in available information, small\n"
+      "perturbations in the guarantee (the paper's \"continuous flavor\").\n");
+  return 0;
+}

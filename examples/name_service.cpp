@@ -1,0 +1,72 @@
+// A Grapevine-style replicated name service (paper section 6: "name
+// servers such as Grapevine have interesting but nonserializable behavior;
+// it seems likely that they can be described within our framework").
+//
+// Registrations and mailing-list edits keep flowing on both sides of a
+// partition; a member deregistered on one side stays on lists edited on
+// the other — dangling references, the integrity violation — until a SCRUB
+// compensates after the heal.
+//
+//   $ ./examples/name_service
+#include <cstdio>
+
+#include "apps/grapevine/grapevine.hpp"
+#include "harness/scenario.hpp"
+#include "shard/cluster.hpp"
+
+int main() {
+  namespace gv = apps::grapevine;
+  using gv::Grapevine;
+  using gv::Request;
+
+  harness::Scenario sc = harness::partitioned_wan(4, 2.0, 10.0);
+  shard::Cluster<Grapevine> registry(sc.cluster_config<Grapevine>(/*seed=*/8));
+
+  // Before the cut: individuals register, a mailing list forms.
+  registry.submit_at(0.2, 0, Request::register_individual(1, "mx-boston"));
+  registry.submit_at(0.3, 1, Request::register_individual(2, "mx-paris"));
+  registry.submit_at(0.4, 2, Request::register_individual(3, "mx-tokyo"));
+  registry.submit_at(0.8, 0, Request::add_member(100, 1));
+  registry.submit_at(0.9, 1, Request::add_member(100, 2));
+  registry.submit_at(1.0, 2, Request::add_member(100, 3));
+  registry.run_until(1.8);
+
+  // During the cut: the left side deregisters R2; the right side, unaware,
+  // adds R2 to a second list AND resolves the first one.
+  registry.submit_at(3.0, 0, Request::deregister(2));
+  registry.submit_at(4.0, 3, Request::add_member(200, 2));
+  registry.submit_at(5.0, 3, Request::resolve(100));
+  registry.submit_at(6.0, 0, Request::resolve(100));
+  registry.run_until(9.0);
+
+  std::printf("during the partition:\n");
+  for (core::NodeId n = 0; n < 4; ++n) {
+    for (const auto& rec : registry.node(n).originated()) {
+      for (const auto& a : rec.external_actions) {
+        if (a.kind == "resolution") {
+          std::printf("  node %u resolves %s\n", n, a.subject.c_str());
+        }
+      }
+    }
+  }
+  std::printf("  (the right side still lists R2; the left knows it's gone)\n");
+
+  registry.settle();
+  const auto& s = registry.node(0).state();
+  std::printf("\nafter the heal (converged=%s): %s\n",
+              registry.converged() ? "yes" : "no", s.to_string().c_str());
+  std::printf("dangling memberships: %zu  ->  cost $%.0f\n",
+              s.dangling().size(), Grapevine::cost(s, 0));
+
+  // Compensation: one SCRUB restores referential integrity everywhere.
+  const auto scrub = registry.submit_now(0, Request::scrub());
+  registry.settle();
+  std::printf("\nSCRUB %s\n",
+              scrub.external_actions.empty()
+                  ? "found nothing"
+                  : ("removed " + scrub.external_actions[0].subject).c_str());
+  std::printf("final: %s\n", registry.node(0).state().to_string().c_str());
+  std::printf("cost after compensation: $%.0f\n",
+              Grapevine::cost(registry.node(0).state(), 0));
+  return 0;
+}

@@ -1,0 +1,225 @@
+// Executable forms of the cost-bound theorems (paper sections 5.2).
+//
+// Each checker takes a concrete execution and verifies the theorem's
+// conclusion wherever its hypotheses hold, reporting every violation. The
+// hypotheses (which transactions preserve a constraint's cost, which are
+// unsafe, what f bounds the per-transaction cost increase) are supplied as
+// callables — the airline passes its Theory classification, and the other
+// apps pass theirs, matching the paper's intent that "the types of
+// conditions stated and the techniques for proving their correctness appear
+// likely to extend to the other applications".
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <sstream>
+#include <vector>
+
+#include "analysis/report.hpp"
+#include "core/execution.hpp"
+
+namespace analysis {
+
+/// Theorem 5: "Let T be a k-complete transaction instance in e ... Assume
+/// that T preserves the cost of constraint i. Then either cost(s',i) <=
+/// cost(s,i) or else cost(s',i) <= f(k)."
+///
+/// Checked for every transaction satisfying `preserves`; k is the
+/// transaction's own measured missing count (every transaction is
+/// missing_count-complete, and f is monotone in k).
+template <core::Application App, class Preserves, class FBound>
+CheckReport check_theorem5(const core::Execution<App>& exec, int constraint,
+                           Preserves&& preserves, FBound&& f) {
+  CheckReport report("theorem 5 step bound");
+  auto states = exec.actual_states();
+  for (std::size_t i = 0; i < exec.size(); ++i) {
+    if (!preserves(exec.tx(i).request, constraint)) continue;
+    const double before = App::cost(states[i], constraint);
+    const double after = App::cost(states[i + 1], constraint);
+    const std::size_t k = exec.missing_count(i);
+    if (after > before + 1e-9 && after > f(constraint, k) + 1e-9) {
+      std::ostringstream os;
+      os << "tx " << i << " (k=" << k << "): cost " << before << " -> "
+         << after << " exceeds f(k)=" << f(constraint, k);
+      report.add_violation(os.str());
+    }
+  }
+  return report;
+}
+
+/// Theorem 7: "Assume that all transactions preserve the cost of constraint
+/// i ... Assume that all occurrences of transactions that are unsafe for
+/// constraint i are k-complete. Let s be any state reachable in e. Then
+/// cost(s,i) <= f(k)."
+///
+/// `k` defaults to the measured max missing count over unsafe transactions
+/// (the tightest k for which the hypothesis holds).
+template <core::Application App, class Unsafe, class FBound>
+CheckReport check_theorem7(const core::Execution<App>& exec, int constraint,
+                           Unsafe&& unsafe, FBound&& f,
+                           std::optional<std::size_t> k_opt = std::nullopt) {
+  CheckReport report("theorem 7 invariant bound");
+  std::size_t k = 0;
+  if (k_opt.has_value()) {
+    k = *k_opt;
+    for (std::size_t i = 0; i < exec.size(); ++i) {
+      if (unsafe(exec.tx(i).request, constraint) &&
+          exec.missing_count(i) > k) {
+        std::ostringstream os;
+        os << "hypothesis fails: unsafe tx " << i << " misses "
+           << exec.missing_count(i) << " > k=" << k;
+        report.add_violation(os.str());
+      }
+    }
+  } else {
+    for (std::size_t i = 0; i < exec.size(); ++i) {
+      if (unsafe(exec.tx(i).request, constraint)) {
+        k = std::max(k, exec.missing_count(i));
+      }
+    }
+  }
+  const double bound = f(constraint, k);
+  auto states = exec.actual_states();
+  for (std::size_t si = 0; si < states.size(); ++si) {
+    const double c = App::cost(states[si], constraint);
+    if (c > bound + 1e-9) {
+      std::ostringstream os;
+      os << "reachable state " << si << " has cost " << c << " > f(" << k
+         << ")=" << bound;
+      report.add_violation(os.str());
+    }
+  }
+  return report;
+}
+
+/// Measured k for Theorem 7's hypothesis: the largest missing count over
+/// transactions unsafe for `constraint` (0 if there are none).
+template <core::Application App, class Unsafe>
+std::size_t max_missing_over_unsafe(const core::Execution<App>& exec,
+                                    int constraint, Unsafe&& unsafe) {
+  std::size_t k = 0;
+  for (std::size_t i = 0; i < exec.size(); ++i) {
+    if (unsafe(exec.tx(i).request, constraint)) {
+      k = std::max(k, exec.missing_count(i));
+    }
+  }
+  return k;
+}
+
+/// A grouping of an execution for constraint i (section 5.2): a partition
+/// of the indices into consecutive groups, each of which (a) is a singleton
+/// whose transaction preserves the constraint's cost, or (b) ends at a
+/// transaction whose *apparent* post-state has zero cost for the
+/// constraint.
+struct Grouping {
+  /// groups[g] = {first index, last index} (inclusive), consecutive and
+  /// covering 0..n-1.
+  std::vector<std::pair<std::size_t, std::size_t>> groups;
+
+  /// Indices of "normal states": the actual states reached after each
+  /// group (state index g_end + 1 in the actual_states() vector).
+  std::vector<std::size_t> normal_state_indices() const {
+    std::vector<std::size_t> out;
+    out.reserve(groups.size());
+    for (const auto& [first, last] : groups) out.push_back(last + 1);
+    return out;
+  }
+};
+
+/// Greedy grouping construction: preserving transactions become singleton
+/// groups; a run of others is closed at the first transaction whose
+/// apparent post-state has zero cost. Returns nullopt when a trailing run
+/// never closes (then no grouping of this execution exists along this
+/// greedy path, e.g. requests keep arriving without compensating moves —
+/// exactly the situation where the paper's Corollary 10 bound genuinely
+/// does not apply).
+template <core::Application App, class Preserves>
+std::optional<Grouping> find_grouping(const core::Execution<App>& exec,
+                                      int constraint, Preserves&& preserves) {
+  Grouping g;
+  std::size_t pos = 0;
+  while (pos < exec.size()) {
+    if (preserves(exec.tx(pos).request, constraint)) {
+      g.groups.emplace_back(pos, pos);
+      ++pos;
+      continue;
+    }
+    std::optional<std::size_t> close;
+    for (std::size_t end = pos; end < exec.size(); ++end) {
+      typename App::State t_after = exec.apparent_state_after(end);
+      if (App::cost(t_after, constraint) == 0.0) {
+        close = end;
+        break;
+      }
+    }
+    if (!close.has_value()) return std::nullopt;
+    g.groups.emplace_back(pos, *close);
+    pos = *close + 1;
+  }
+  return g;
+}
+
+/// Theorem 9: "Let g be a grouping of e for constraint i ... Assume that all
+/// transactions that preserve the cost of i, as well as all transactions
+/// that occur at the ends of groups, are k-complete in e. Let s be any
+/// normal state reachable in e. Then cost(s,i) <= f(k)."
+template <core::Application App, class Preserves, class FBound>
+CheckReport check_theorem9(const core::Execution<App>& exec,
+                           const Grouping& grouping, int constraint,
+                           Preserves&& preserves, FBound&& f,
+                           std::optional<std::size_t> k_opt = std::nullopt) {
+  CheckReport report("theorem 9 normal-state bound");
+  // Measure (or verify) k over the hypothesis transactions.
+  std::size_t k = k_opt.value_or(0);
+  for (std::size_t i = 0; i < exec.size(); ++i) {
+    const bool relevant = preserves(exec.tx(i).request, constraint) ||
+                          std::any_of(grouping.groups.begin(),
+                                      grouping.groups.end(),
+                                      [i](const auto& gr) {
+                                        return gr.second == i;
+                                      });
+    if (!relevant) continue;
+    if (k_opt.has_value()) {
+      if (exec.missing_count(i) > k) {
+        std::ostringstream os;
+        os << "hypothesis fails: tx " << i << " misses "
+           << exec.missing_count(i) << " > k=" << k;
+        report.add_violation(os.str());
+      }
+    } else {
+      k = std::max(k, exec.missing_count(i));
+    }
+  }
+  const double bound = f(constraint, k);
+  auto states = exec.actual_states();
+  for (std::size_t ns : grouping.normal_state_indices()) {
+    const double c = App::cost(states.at(ns), constraint);
+    if (c > bound + 1e-9) {
+      std::ostringstream os;
+      os << "normal state " << ns << " has cost " << c << " > f(" << k
+         << ")=" << bound;
+      report.add_violation(os.str());
+    }
+  }
+  return report;
+}
+
+/// The measured k used by check_theorem9 when none is supplied.
+template <core::Application App, class Preserves>
+std::size_t grouping_hypothesis_k(const core::Execution<App>& exec,
+                                  const Grouping& grouping, int constraint,
+                                  Preserves&& preserves) {
+  std::size_t k = 0;
+  std::vector<bool> is_end(exec.size(), false);
+  for (const auto& [first, last] : grouping.groups) is_end[last] = true;
+  for (std::size_t i = 0; i < exec.size(); ++i) {
+    if (preserves(exec.tx(i).request, constraint) || is_end[i]) {
+      k = std::max(k, exec.missing_count(i));
+    }
+  }
+  return k;
+}
+
+}  // namespace analysis

@@ -1,0 +1,73 @@
+// Human-readable execution dumps — the debugging view used when a checker
+// reports a violation, and by examples that want to show a trace.
+//
+// Requires the app's Request/Update to expose to_string() (all bundled
+// apps do); falls back gracefully for apps without it via the `Describable`
+// concept below.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+#include "core/execution.hpp"
+#include "core/model.hpp"
+
+namespace analysis {
+
+template <class T>
+concept Describable = requires(const T& t) {
+  { t.to_string() } -> std::convertible_to<std::string>;
+};
+
+template <class T>
+std::string describe_or_placeholder(const T& value) {
+  if constexpr (Describable<T>) {
+    return value.to_string();
+  } else {
+    (void)value;
+    return "<?>";
+  }
+}
+
+/// One line per transaction: index, timestamp, origin, request, prefix
+/// summary (size + missing count), update, external actions.
+template <core::Replicable App>
+std::string describe_execution(const core::Execution<App>& exec,
+                               std::size_t max_rows = 1000) {
+  std::ostringstream os;
+  os << "execution with " << exec.size() << " transaction(s)\n";
+  const std::size_t rows = std::min(exec.size(), max_rows);
+  for (std::size_t i = 0; i < rows; ++i) {
+    const auto& tx = exec.tx(i);
+    os << "  [" << i << "] ts=" << tx.ts.to_string() << " node=" << tx.origin
+       << " t=" << tx.real_time << " "
+       << describe_or_placeholder(tx.request) << " saw " << tx.prefix.size()
+       << "/" << i << " -> " << describe_or_placeholder(tx.update);
+    for (const core::ExternalAction& a : tx.external_actions) {
+      os << " [" << a.kind << " " << a.subject << "]";
+    }
+    os << "\n";
+  }
+  if (rows < exec.size()) {
+    os << "  ... " << (exec.size() - rows) << " more\n";
+  }
+  return os.str();
+}
+
+/// The per-transaction cost trajectory of the actual states, for apps with
+/// costs — a quick way to see where a violation crept in.
+template <core::Application App>
+std::string describe_cost_trajectory(const core::Execution<App>& exec,
+                                     int constraint) {
+  std::ostringstream os;
+  typename App::State s = App::initial();
+  os << "constraint " << constraint << " costs: " << App::cost(s, constraint);
+  for (std::size_t i = 0; i < exec.size(); ++i) {
+    App::apply(exec.tx(i).update, s);
+    os << " -> " << App::cost(s, constraint);
+  }
+  os << "\n";
+  return os.str();
+}
+
+}  // namespace analysis

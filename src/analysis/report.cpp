@@ -1,0 +1,26 @@
+#include "analysis/report.hpp"
+
+#include <sstream>
+
+namespace analysis {
+
+void CheckReport::absorb(const CheckReport& other) {
+  for (const std::string& v : other.violations()) {
+    violations_.push_back(other.title().empty() ? v
+                                                : other.title() + ": " + v);
+  }
+}
+
+std::string CheckReport::to_string() const {
+  std::ostringstream os;
+  os << (title_.empty() ? "check" : title_) << ": ";
+  if (ok()) {
+    os << "OK";
+    return os.str();
+  }
+  os << violations_.size() << " violation(s)";
+  for (const std::string& v : violations_) os << "\n  - " << v;
+  return os.str();
+}
+
+}  // namespace analysis

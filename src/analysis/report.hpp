@@ -1,0 +1,32 @@
+// Shared result type for all analysis passes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace analysis {
+
+/// Outcome of a condition/theorem check over an execution: either clean, or
+/// a list of human-readable violations (each naming the transaction index
+/// and the quantity that broke the bound).
+class CheckReport {
+ public:
+  CheckReport() = default;
+  explicit CheckReport(std::string title) : title_(std::move(title)) {}
+
+  bool ok() const { return violations_.empty(); }
+  void add_violation(std::string v) { violations_.push_back(std::move(v)); }
+  const std::vector<std::string>& violations() const { return violations_; }
+  const std::string& title() const { return title_; }
+
+  /// Merge another report's violations into this one.
+  void absorb(const CheckReport& other);
+
+  std::string to_string() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> violations_;
+};
+
+}  // namespace analysis

@@ -1,0 +1,93 @@
+// Serializability metrics over executions.
+//
+// The paper positions SHARD on a spectrum: "whereas serializability would
+// guarantee that each transaction has total information about the effects
+// of the preceding transactions, the SHARD system only guarantees that each
+// transaction has partial information" — and argues for a "continuous
+// flavor": small changes in available information, small perturbations in
+// guarantees. These metrics make the spectrum measurable: an execution is
+// serializable exactly when every transaction has a complete prefix
+// (k == 0), and its *serializability distance* quantifies how far short of
+// that it falls.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/execution.hpp"
+
+namespace analysis {
+
+/// In this model, an execution is (view-)serializable in the paper's sense
+/// iff every transaction saw the complete prefix of its predecessors —
+/// then apparent and actual states coincide throughout and the run is
+/// literally a serial one in timestamp order.
+template <core::Replicable App>
+bool is_serializable(const core::Execution<App>& exec) {
+  for (std::size_t i = 0; i < exec.size(); ++i) {
+    if (exec.missing_count(i) != 0) return false;
+  }
+  return true;
+}
+
+/// Distance measures from serializability.
+struct SerializabilityDistance {
+  std::size_t transactions = 0;
+  /// Transactions with incomplete prefixes.
+  std::size_t incomplete = 0;
+  /// Total missing (transaction, predecessor) pairs — the edit distance to
+  /// a serializable execution in "missing observations".
+  std::size_t total_missing_pairs = 0;
+  /// Max missing count (the smallest k making the run k-complete).
+  std::size_t max_k = 0;
+  /// Fraction of transactions with complete prefixes.
+  double complete_fraction = 1.0;
+};
+
+template <core::Replicable App>
+SerializabilityDistance serializability_distance(
+    const core::Execution<App>& exec) {
+  SerializabilityDistance d;
+  d.transactions = exec.size();
+  for (std::size_t i = 0; i < exec.size(); ++i) {
+    const std::size_t k = exec.missing_count(i);
+    if (k > 0) {
+      ++d.incomplete;
+      d.total_missing_pairs += k;
+      if (k > d.max_k) d.max_k = k;
+    }
+  }
+  d.complete_fraction =
+      d.transactions == 0
+          ? 1.0
+          : 1.0 - static_cast<double>(d.incomplete) /
+                      static_cast<double>(d.transactions);
+  return d;
+}
+
+/// For Application types (decisions available): transactions whose outcome
+/// actually DIFFERED from what a complete prefix would have produced — a
+/// sharper measure than raw missing counts, since most missing information
+/// is irrelevant to most decisions (the insight behind section 5.3's
+/// witnesses). Returns the indices of such divergent transactions.
+template <core::Application App>
+std::vector<std::size_t> divergent_transactions(
+    const core::Execution<App>& exec) {
+  std::vector<std::size_t> out;
+  typename App::State actual = App::initial();
+  for (std::size_t i = 0; i < exec.size(); ++i) {
+    const auto& tx = exec.tx(i);
+    if (exec.missing_count(i) > 0) {
+      const core::DecisionResult<typename App::Update> would =
+          App::decide(tx.request, actual);
+      if (!(would.update == tx.update) ||
+          would.external_actions != tx.external_actions) {
+        out.push_back(i);
+      }
+    }
+    App::apply(tx.update, actual);
+  }
+  return out;
+}
+
+}  // namespace analysis

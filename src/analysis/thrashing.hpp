@@ -1,0 +1,73 @@
+// Thrashing analysis (paper section 3.1, closing remark).
+//
+// "Notice that there is a danger of 'thrashing' in this system. If a
+// MOVE-UP transaction does not see a previous request and corresponding
+// MOVE-UP ... it may move another person Q to the assigned list. A later
+// MOVE-DOWN ... might move Q down. Another MOVE-UP might then ... reassign
+// Q ... This kind of thrashing is very undesirable, not just because of its
+// obvious inefficiency, but because of the external effects of the
+// conflicting transactions."
+//
+// Two thrashing metrics, matching the two harms the paper names:
+//  * external-action oscillations — per subject, alternations between
+//    opposing external actions (grant/rescind, promise/apologize, ...);
+//    the customer-visible damage;
+//  * engine churn — undo/redo counts from the replica engines; the
+//    inefficiency. (Collected from EngineStats by the cluster.)
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/execution.hpp"
+
+namespace analysis {
+
+struct ThrashingReport {
+  /// Total external actions emitted.
+  std::size_t external_actions = 0;
+  /// Opposing-action flips per subject summed: e.g. grant->rescind and
+  /// rescind->grant transitions.
+  std::size_t oscillations = 0;
+  /// Subjects that received at least one opposing pair.
+  std::size_t subjects_affected = 0;
+  /// Worst per-subject flip count.
+  std::size_t max_per_subject = 0;
+};
+
+/// Count oscillations between `positive_kind` and `negative_kind` external
+/// actions per subject, in serial (timestamp) order of the emitting
+/// transactions.
+template <core::Application App>
+ThrashingReport count_external_oscillations(const core::Execution<App>& exec,
+                                            const std::string& positive_kind,
+                                            const std::string& negative_kind) {
+  ThrashingReport out;
+  std::map<std::string, std::vector<bool>> per_subject;  // true = positive
+  for (std::size_t i = 0; i < exec.size(); ++i) {
+    for (const core::ExternalAction& a : exec.tx(i).external_actions) {
+      ++out.external_actions;
+      if (a.kind == positive_kind) {
+        per_subject[a.subject].push_back(true);
+      } else if (a.kind == negative_kind) {
+        per_subject[a.subject].push_back(false);
+      }
+    }
+  }
+  for (const auto& [subject, seq] : per_subject) {
+    std::size_t flips = 0;
+    for (std::size_t i = 1; i < seq.size(); ++i) {
+      if (seq[i] != seq[i - 1]) ++flips;
+    }
+    if (flips > 0) {
+      ++out.subjects_affected;
+      out.oscillations += flips;
+      if (flips > out.max_per_subject) out.max_per_subject = flips;
+    }
+  }
+  return out;
+}
+
+}  // namespace analysis

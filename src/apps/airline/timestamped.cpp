@@ -1,0 +1,43 @@
+#include "apps/airline/timestamped.hpp"
+
+#include <sstream>
+
+namespace apps::airline {
+
+const TsEntry* TsState::find_assigned(Person p) const {
+  for (const TsEntry& e : assigned) {
+    if (e.person == p) return &e;
+  }
+  return nullptr;
+}
+
+const TsEntry* TsState::find_waiting(Person p) const {
+  for (const TsEntry& e : waiting) {
+    if (e.person == p) return &e;
+  }
+  return nullptr;
+}
+
+std::string TsState::to_string() const {
+  std::ostringstream os;
+  const auto render = [&os](const std::vector<TsEntry>& v) {
+    os << "[";
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      if (i) os << ",";
+      os << person_name(v[i].person) << "@" << v[i].stamp;
+    }
+    os << "]";
+  };
+  os << "AL=";
+  render(assigned);
+  os << " WL=";
+  render(waiting);
+  return os.str();
+}
+
+void insert_sorted(std::vector<TsEntry>& list, TsEntry e) {
+  const auto it = std::lower_bound(list.begin(), list.end(), e);
+  list.insert(it, e);
+}
+
+}  // namespace apps::airline

@@ -1,0 +1,104 @@
+#include "apps/airline/witness.hpp"
+
+#include <algorithm>
+
+namespace apps::airline {
+namespace {
+
+/// -1 when there is no such index; otherwise the largest matching index.
+std::ptrdiff_t last_of(const std::vector<Update>& seq, Update::Kind kind,
+                       Person p) {
+  for (std::ptrdiff_t i = static_cast<std::ptrdiff_t>(seq.size()) - 1; i >= 0;
+       --i) {
+    const auto& u = seq[static_cast<std::size_t>(i)];
+    if (u.kind == kind && u.person == p) return i;
+  }
+  return -1;
+}
+
+/// Smallest index of a request(P) strictly greater than `lo` and strictly
+/// less than `hi`; -1 if none.
+std::ptrdiff_t first_request_between(const std::vector<Update>& seq, Person p,
+                                     std::ptrdiff_t lo, std::ptrdiff_t hi) {
+  for (std::ptrdiff_t i = lo + 1; i < hi; ++i) {
+    const auto& u = seq[static_cast<std::size_t>(i)];
+    if (u.kind == Update::Kind::kRequest && u.person == p) return i;
+  }
+  return -1;
+}
+
+}  // namespace
+
+std::optional<std::size_t> last_index_of(const std::vector<Update>& seq,
+                                         Update::Kind kind, Person p) {
+  const std::ptrdiff_t i = last_of(seq, kind, p);
+  if (i < 0) return std::nullopt;
+  return static_cast<std::size_t>(i);
+}
+
+bool known_in(const std::vector<Update>& seq, Person p) {
+  const std::ptrdiff_t last_request = last_of(seq, Update::Kind::kRequest, p);
+  if (last_request < 0) return false;
+  const std::ptrdiff_t last_cancel = last_of(seq, Update::Kind::kCancel, p);
+  // A request not followed by any cancel exists iff the LAST request is
+  // after the last cancel.
+  return last_request > last_cancel;
+}
+
+std::optional<AssignmentWitness> find_assignment_witness(
+    const std::vector<Update>& seq, Person p) {
+  // Condition (c) forces the move-up to come after every move-down(P);
+  // condition (b) forces the request to come after every cancel(P). The
+  // canonical candidate is therefore: B = last move-up(P), which must exceed
+  // the last move-down(P); A = the earliest request(P) strictly between the
+  // last cancel(P) and B.
+  const std::ptrdiff_t b = last_of(seq, Update::Kind::kMoveUp, p);
+  if (b < 0) return std::nullopt;
+  if (last_of(seq, Update::Kind::kMoveDown, p) > b) return std::nullopt;
+  const std::ptrdiff_t last_cancel = last_of(seq, Update::Kind::kCancel, p);
+  const std::ptrdiff_t a = first_request_between(seq, p, last_cancel, b);
+  if (a < 0) return std::nullopt;
+  // (b) also requires no cancel AFTER a at all, incl. after b: since
+  // last_cancel < a by construction, that holds.
+  return AssignmentWitness{static_cast<std::size_t>(a),
+                           static_cast<std::size_t>(b)};
+}
+
+std::optional<WaitingWitness> find_waiting_witness(
+    const std::vector<Update>& seq, Person p) {
+  const std::ptrdiff_t last_cancel = last_of(seq, Update::Kind::kCancel, p);
+  const std::ptrdiff_t last_move_up = last_of(seq, Update::Kind::kMoveUp, p);
+  const std::ptrdiff_t last_request = last_of(seq, Update::Kind::kRequest, p);
+
+  // Form 1: a request(P) with no cancel(P) or move-up(P) after it. The last
+  // request is the only candidate that can clear both.
+  if (last_request >= 0 && last_request > last_cancel &&
+      last_request > last_move_up) {
+    return WaitingWitness{static_cast<std::size_t>(last_request),
+                          std::nullopt};
+  }
+
+  // Form 2: (request(P), move-down(P)) with no cancel(P) after the request
+  // and no move-up(P) after the move-down. B = last move-down(P), which must
+  // exceed the last move-up(P); A = earliest request between last cancel and
+  // B.
+  const std::ptrdiff_t b = last_of(seq, Update::Kind::kMoveDown, p);
+  if (b < 0 || b < last_move_up) return std::nullopt;
+  const std::ptrdiff_t a = first_request_between(seq, p, last_cancel, b);
+  if (a < 0) return std::nullopt;
+  return WaitingWitness{static_cast<std::size_t>(a),
+                        static_cast<std::size_t>(b)};
+}
+
+std::vector<Person> persons_mentioned(const std::vector<Update>& seq) {
+  std::vector<Person> out;
+  for (const Update& u : seq) {
+    if (u.kind == Update::Kind::kNoop) continue;
+    out.push_back(u.person);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace apps::airline

@@ -1,0 +1,56 @@
+#include "apps/banking/banking.hpp"
+
+#include <sstream>
+
+namespace apps::banking {
+
+std::string account_name(AccountId a) { return "A" + std::to_string(a); }
+
+std::string Update::to_string() const {
+  switch (kind) {
+    case Kind::kNoop:
+      return "noop";
+    case Kind::kDeposit:
+      return "deposit(" + account_name(a) + "," + std::to_string(amount) + ")";
+    case Kind::kWithdraw:
+      return "withdraw(" + account_name(a) + "," + std::to_string(amount) +
+             ")";
+    case Kind::kTransfer:
+      return "transfer(" + account_name(a) + "->" + account_name(b) + "," +
+             std::to_string(amount) + ")";
+    case Kind::kCover:
+      return "cover(" + account_name(a) + ")";
+  }
+  return "?";
+}
+
+std::string Request::to_string() const {
+  switch (kind) {
+    case Kind::kDeposit:
+      return "DEPOSIT(" + account_name(a) + "," + std::to_string(amount) + ")";
+    case Kind::kWithdraw:
+      return "WITHDRAW(" + account_name(a) + "," + std::to_string(amount) +
+             ")";
+    case Kind::kTransfer:
+      return "TRANSFER(" + account_name(a) + "->" + account_name(b) + "," +
+             std::to_string(amount) + ")";
+    case Kind::kAudit:
+      return "AUDIT";
+    case Kind::kCover:
+      return "COVER";
+  }
+  return "?";
+}
+
+std::string State::to_string() const {
+  std::ostringstream os;
+  os << "{";
+  for (std::size_t i = 0; i < balances.size(); ++i) {
+    if (i) os << ",";
+    os << account_name(static_cast<AccountId>(i)) << "=" << balances[i];
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace apps::banking

@@ -1,0 +1,239 @@
+// A high-availability banking application in the SHARD framework.
+//
+// The paper repeatedly reaches for banking ("it might be desirable for
+// audits to see the effects of all the preceding deposit, withdrawal and
+// transfer transactions", section 3.2; "additional resource allocation
+// examples should be examined, such as examples from banking", section 6).
+// This module is that example, built to the same decision/update discipline:
+//
+//  * DEPOSIT(a, amt)   — decision TRUE; update adds amt.
+//  * WITHDRAW(a, amt)  — decision checks the *observed* balance; if
+//    sufficient it dispenses cash (external action — irreversible!) and
+//    issues an unconditional debit update. Run against a staler/other state
+//    the debit can drive the account negative: the integrity violation.
+//  * TRANSFER(a→b,amt) — decision checks observed source balance; update
+//    moves the funds unconditionally.
+//  * AUDIT             — pure decision: reports the observed bank total as
+//    an external action; no-op update. The natural "run with a complete
+//    prefix" candidate of section 3.2.
+//  * COVER(a)          — compensating transaction: the decision picks an
+//    overdrawn account, notifies it, and the update forgives the overdraft
+//    (clamps the balance at zero), reducing the constraint cost.
+//
+// Integrity constraint 0: no overdrafts. cost(s,0) = total overdraft across
+// accounts (in currency units). As in the airline app, the cost increase a
+// single transaction can cause is bounded — here by the maximum withdrawal
+// amount the workload permits, which is what Theory::f_bound encodes.
+#pragma once
+
+#include <algorithm>
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/model.hpp"
+#include "core/monus.hpp"
+
+namespace apps::banking {
+
+using AccountId = std::uint32_t;
+using Amount = std::int64_t;  ///< currency minor units (cents)
+
+std::string account_name(AccountId a);
+
+struct Update {
+  enum class Kind : std::uint8_t {
+    kNoop = 0,
+    kDeposit,   ///< balance[a] += amount
+    kWithdraw,  ///< balance[a] -= amount (unconditional: cash already left)
+    kTransfer,  ///< balance[a] -= amount; balance[b] += amount
+    kCover,     ///< balance[a] = max(balance[a], 0)
+  };
+  Kind kind = Kind::kNoop;
+  AccountId a = 0;
+  AccountId b = 0;
+  Amount amount = 0;
+
+  friend auto operator<=>(const Update&, const Update&) = default;
+  std::string to_string() const;
+};
+
+struct Request {
+  enum class Kind : std::uint8_t {
+    kDeposit,
+    kWithdraw,
+    kTransfer,
+    kAudit,
+    kCover,
+  };
+  Kind kind = Kind::kDeposit;
+  AccountId a = 0;
+  AccountId b = 0;
+  Amount amount = 0;
+
+  static Request deposit(AccountId a, Amount amt) {
+    return {Kind::kDeposit, a, 0, amt};
+  }
+  static Request withdraw(AccountId a, Amount amt) {
+    return {Kind::kWithdraw, a, 0, amt};
+  }
+  static Request transfer(AccountId from, AccountId to, Amount amt) {
+    return {Kind::kTransfer, from, to, amt};
+  }
+  static Request audit() { return {Kind::kAudit, 0, 0, 0}; }
+  static Request cover() { return {Kind::kCover, 0, 0, 0}; }
+
+  friend auto operator<=>(const Request&, const Request&) = default;
+  std::string to_string() const;
+};
+
+/// Balances for a fixed universe of accounts (ids 0..n-1).
+struct State {
+  std::vector<Amount> balances;
+
+  friend bool operator==(const State&, const State&) = default;
+
+  Amount balance(AccountId a) const {
+    return a < balances.size() ? balances[a] : 0;
+  }
+  Amount& slot(AccountId a) {
+    if (a >= balances.size()) balances.resize(a + 1, 0);
+    return balances[a];
+  }
+  Amount total() const {
+    Amount t = 0;
+    for (Amount b : balances) t += b;
+    return t;
+  }
+  /// Sum of overdraft magnitudes.
+  Amount total_overdraft() const {
+    Amount t = 0;
+    for (Amount b : balances) t += core::monus<Amount>(0, b);
+    return t;
+  }
+  std::string to_string() const;
+};
+
+struct Banking {
+  using State = banking::State;
+  using Update = banking::Update;
+  using Request = banking::Request;
+
+  static constexpr int kNumConstraints = 1;
+  static constexpr int kNoOverdraft = 0;
+
+  static std::string name() { return "banking"; }
+  static State initial() { return State{}; }
+
+  /// All balance vectors are well-formed; the model has no fundamental
+  /// consistency condition beyond the representation itself.
+  static bool well_formed(const State&) { return true; }
+
+  static void apply(const Update& u, State& s) {
+    switch (u.kind) {
+      case Update::Kind::kNoop:
+        break;
+      case Update::Kind::kDeposit:
+        s.slot(u.a) += u.amount;
+        break;
+      case Update::Kind::kWithdraw:
+        s.slot(u.a) -= u.amount;
+        break;
+      case Update::Kind::kTransfer:
+        s.slot(u.a) -= u.amount;
+        s.slot(u.b) += u.amount;
+        break;
+      case Update::Kind::kCover: {
+        Amount& bal = s.slot(u.a);
+        bal = std::max<Amount>(bal, 0);
+        break;
+      }
+    }
+  }
+
+  static core::DecisionResult<Update> decide(const Request& req,
+                                             const State& s) {
+    core::DecisionResult<Update> out;
+    switch (req.kind) {
+      case Request::Kind::kDeposit:
+        out.update = Update{Update::Kind::kDeposit, req.a, 0, req.amount};
+        break;
+      case Request::Kind::kWithdraw:
+        if (s.balance(req.a) >= req.amount) {
+          out.update = Update{Update::Kind::kWithdraw, req.a, 0, req.amount};
+          out.external_actions.push_back(
+              {"dispense-cash",
+               account_name(req.a) + ":" + std::to_string(req.amount)});
+        } else {
+          out.external_actions.push_back({"decline", account_name(req.a)});
+        }
+        break;
+      case Request::Kind::kTransfer:
+        if (s.balance(req.a) >= req.amount) {
+          out.update =
+              Update{Update::Kind::kTransfer, req.a, req.b, req.amount};
+          out.external_actions.push_back(
+              {"transfer-confirm", account_name(req.a) + "->" +
+                                       account_name(req.b) + ":" +
+                                       std::to_string(req.amount)});
+        } else {
+          out.external_actions.push_back({"decline", account_name(req.a)});
+        }
+        break;
+      case Request::Kind::kAudit:
+        out.external_actions.push_back(
+            {"audit-report", std::to_string(s.total())});
+        break;
+      case Request::Kind::kCover: {
+        // Pick the most overdrawn account (lowest id on ties).
+        AccountId worst = 0;
+        Amount worst_bal = 0;
+        for (AccountId a = 0; a < s.balances.size(); ++a) {
+          if (s.balances[a] < worst_bal) {
+            worst_bal = s.balances[a];
+            worst = a;
+          }
+        }
+        if (worst_bal < 0) {
+          out.update = Update{Update::Kind::kCover, worst, 0, 0};
+          out.external_actions.push_back(
+              {"overdraft-forgiven", account_name(worst)});
+        }
+        break;
+      }
+    }
+    return out;
+  }
+
+  static double cost(const State& s, int constraint) {
+    if (constraint == kNoOverdraft)
+      return static_cast<double>(s.total_overdraft());
+    return 0.0;
+  }
+
+  /// Workload-level classification (paper section 4.1 shape). `f_bound` is
+  /// parameterized by the max withdrawal/transfer amount the workload uses.
+  struct Theory {
+    static bool safe_for(const Request& r, int /*constraint*/) {
+      // Only debits can create overdrafts.
+      return r.kind != Request::Kind::kWithdraw &&
+             r.kind != Request::Kind::kTransfer;
+    }
+    static bool preserves_cost(const Request& r, int /*constraint*/) {
+      // A debit's decision only checks ITS account; another account may
+      // already be overdrawn, so the strong section 4.1 property fails for
+      // debits against the bank-wide cost. (Contrast with the airline,
+      // where the single flight makes the property global.)
+      return safe_for(r, 0);
+    }
+    /// With every debit bounded by `max_amount`, k missed transactions can
+    /// add at most k * max_amount of overdraft.
+    static double f_bound_amount(Amount max_amount, std::size_t k) {
+      return static_cast<double>(max_amount) * static_cast<double>(k);
+    }
+    static Request compensator(int /*constraint*/) { return Request::cover(); }
+  };
+};
+
+}  // namespace apps::banking

@@ -1,0 +1,147 @@
+// Partially replicated banking: one group per account.
+//
+// The exercise of the paper's section 6 extension on the application whose
+// transactions genuinely span groups: DEPOSIT/WITHDRAW/COVER touch one
+// account-group; TRANSFER touches two, so the router must find a node
+// hosting BOTH — with small replication factors, some transfers are
+// unroutable (the availability price partial replication introduces, which
+// bench/e13 measures).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "apps/banking/banking.hpp"
+#include "core/model.hpp"
+#include "core/monus.hpp"
+#include "shard/partial.hpp"
+
+namespace apps::banking {
+
+/// One account's replicated state.
+struct AccountState {
+  Amount balance = 0;
+  friend bool operator==(const AccountState&, const AccountState&) = default;
+};
+
+/// Group-scoped update (the account is implied by the group it is merged
+/// into).
+struct ShardedUpdate {
+  enum class Kind : std::uint8_t { kNoop = 0, kCredit, kDebit, kForgive };
+  Kind kind = Kind::kNoop;
+  Amount amount = 0;
+
+  friend auto operator<=>(const ShardedUpdate&, const ShardedUpdate&) = default;
+};
+
+struct ShardedRequest {
+  enum class Kind : std::uint8_t { kDeposit, kWithdraw, kTransfer, kCover };
+  Kind kind = Kind::kDeposit;
+  AccountId a = 0;
+  AccountId b = 0;
+  Amount amount = 0;
+
+  static ShardedRequest deposit(AccountId a, Amount amt) {
+    return {Kind::kDeposit, a, 0, amt};
+  }
+  static ShardedRequest withdraw(AccountId a, Amount amt) {
+    return {Kind::kWithdraw, a, 0, amt};
+  }
+  static ShardedRequest transfer(AccountId from, AccountId to, Amount amt) {
+    return {Kind::kTransfer, from, to, amt};
+  }
+  static ShardedRequest cover(AccountId a) { return {Kind::kCover, a, 0, 0}; }
+
+  friend auto operator<=>(const ShardedRequest&,
+                          const ShardedRequest&) = default;
+};
+
+/// PartialApplication: account a <-> group a.
+struct ShardedBanking {
+  using GroupState = AccountState;
+  using Update = ShardedUpdate;
+  using Request = ShardedRequest;
+
+  static constexpr int kNumConstraints = 1;
+  static constexpr int kNoOverdraft = 0;
+
+  static std::string name() { return "sharded-banking"; }
+  static GroupState group_initial() { return {}; }
+  static bool group_well_formed(const GroupState&) { return true; }
+
+  static void apply(const Update& u, GroupState& s) {
+    switch (u.kind) {
+      case Update::Kind::kNoop:
+        break;
+      case Update::Kind::kCredit:
+        s.balance += u.amount;
+        break;
+      case Update::Kind::kDebit:
+        s.balance -= u.amount;
+        break;
+      case Update::Kind::kForgive:
+        s.balance = std::max<Amount>(s.balance, 0);
+        break;
+    }
+  }
+
+  static std::vector<shard::GroupId> groups_of(const Request& r) {
+    switch (r.kind) {
+      case Request::Kind::kTransfer:
+        return {r.a, r.b};
+      default:
+        return {r.a};
+    }
+  }
+
+  static shard::PartialDecision<ShardedBanking> decide(
+      const Request& r, const shard::GroupView<ShardedBanking>& view) {
+    shard::PartialDecision<ShardedBanking> out;
+    switch (r.kind) {
+      case Request::Kind::kDeposit:
+        out.writes.push_back({r.a, {Update::Kind::kCredit, r.amount}});
+        break;
+      case Request::Kind::kWithdraw:
+        if (view(r.a).balance >= r.amount) {
+          out.writes.push_back({r.a, {Update::Kind::kDebit, r.amount}});
+          out.external_actions.push_back(
+              {"dispense-cash",
+               account_name(r.a) + ":" + std::to_string(r.amount)});
+        } else {
+          out.external_actions.push_back({"decline", account_name(r.a)});
+        }
+        break;
+      case Request::Kind::kTransfer:
+        // The decision reads BOTH groups at the co-hosting node — exactly
+        // the data-locality the paper's "judicious assignment" provides.
+        if (view(r.a).balance >= r.amount) {
+          out.writes.push_back({r.a, {Update::Kind::kDebit, r.amount}});
+          out.writes.push_back({r.b, {Update::Kind::kCredit, r.amount}});
+          out.external_actions.push_back(
+              {"transfer-confirm", account_name(r.a) + "->" +
+                                       account_name(r.b) + ":" +
+                                       std::to_string(r.amount)});
+        } else {
+          out.external_actions.push_back({"decline", account_name(r.a)});
+        }
+        break;
+      case Request::Kind::kCover:
+        if (view(r.a).balance < 0) {
+          out.writes.push_back({r.a, {Update::Kind::kForgive, 0}});
+          out.external_actions.push_back(
+              {"overdraft-forgiven", account_name(r.a)});
+        }
+        break;
+    }
+    return out;
+  }
+
+  static double cost(const GroupState& s, int constraint) {
+    if (constraint == kNoOverdraft) {
+      return static_cast<double>(core::monus<Amount>(0, s.balance));
+    }
+    return 0.0;
+  }
+};
+
+}  // namespace apps::banking

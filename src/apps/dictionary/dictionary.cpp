@@ -1,0 +1,30 @@
+#include "apps/dictionary/dictionary.hpp"
+
+#include <sstream>
+
+namespace apps::dictionary {
+
+std::string Update::to_string() const {
+  switch (kind) {
+    case Kind::kNoop:
+      return "noop";
+    case Kind::kInsert:
+      return "insert(" + std::to_string(key) + "=" + value + ")";
+    case Kind::kErase:
+      return "erase(" + std::to_string(key) + ")";
+  }
+  return "?";
+}
+
+std::string State::to_string() const {
+  std::ostringstream os;
+  os << "{";
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    if (i) os << ",";
+    os << entries[i].key << "=" << entries[i].value;
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace apps::dictionary

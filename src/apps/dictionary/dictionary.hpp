@@ -1,0 +1,141 @@
+// The Fischer–Michael highly available replicated dictionary, recast in the
+// SHARD framework.
+//
+// Paper section 6: "The highly-available distributed dictionary studied in
+// [FM] is one example that fits the SHARD framework, and there should be
+// others." [FM] = Fischer & Michael, "Sacrificing Serializability to Attain
+// High Availability of Data in an Unreliable Network" (PODS 1982): a
+// replicated set of (key, value) entries where inserts and deletes commute
+// well enough that replicas converge without global synchronization.
+//
+// In SHARD terms: INSERT and DELETE have trivial decision parts (always the
+// same update), LOOKUP is a pure decision that reports the locally observed
+// value as an external action. Because updates are merged in the global
+// timestamp order at every node, the last-writer-wins resolution of
+// concurrent inserts is automatic, and mutual consistency is exactly the
+// cluster convergence property. The app declares zero integrity
+// constraints — its interesting properties are convergence and the
+// prefix-subsequence semantics of LOOKUP results, both covered by tests.
+#pragma once
+
+#include <algorithm>
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/model.hpp"
+
+namespace apps::dictionary {
+
+using Key = std::uint32_t;
+
+struct Entry {
+  Key key = 0;
+  std::string value;
+
+  friend auto operator<=>(const Entry&, const Entry&) = default;
+};
+
+struct Update {
+  enum class Kind : std::uint8_t { kNoop = 0, kInsert, kErase };
+  Kind kind = Kind::kNoop;
+  Key key = 0;
+  std::string value;
+
+  friend auto operator<=>(const Update&, const Update&) = default;
+  std::string to_string() const;
+};
+
+struct Request {
+  enum class Kind : std::uint8_t { kInsert, kErase, kLookup };
+  Kind kind = Kind::kInsert;
+  Key key = 0;
+  std::string value;
+
+  static Request insert(Key k, std::string v) {
+    return {Kind::kInsert, k, std::move(v)};
+  }
+  static Request erase(Key k) { return {Kind::kErase, k, {}}; }
+  static Request lookup(Key k) { return {Kind::kLookup, k, {}}; }
+
+  friend auto operator<=>(const Request&, const Request&) = default;
+};
+
+/// Key-sorted entry vector: deterministic representation, cheap equality.
+struct State {
+  std::vector<Entry> entries;
+
+  friend bool operator==(const State&, const State&) = default;
+
+  const Entry* find(Key k) const {
+    const auto it = std::lower_bound(
+        entries.begin(), entries.end(), k,
+        [](const Entry& e, Key key) { return e.key < key; });
+    return (it != entries.end() && it->key == k) ? &*it : nullptr;
+  }
+  std::string to_string() const;
+};
+
+struct Dictionary {
+  using State = dictionary::State;
+  using Update = dictionary::Update;
+  using Request = dictionary::Request;
+
+  static constexpr int kNumConstraints = 0;
+
+  static std::string name() { return "fm-dictionary"; }
+  static State initial() { return State{}; }
+  static bool well_formed(const State& s) {
+    return std::is_sorted(
+        s.entries.begin(), s.entries.end(),
+        [](const Entry& a, const Entry& b) { return a.key < b.key; });
+  }
+
+  static void apply(const Update& u, State& s) {
+    switch (u.kind) {
+      case Update::Kind::kNoop:
+        break;
+      case Update::Kind::kInsert: {
+        const auto it = std::lower_bound(
+            s.entries.begin(), s.entries.end(), u.key,
+            [](const Entry& e, Key k) { return e.key < k; });
+        if (it != s.entries.end() && it->key == u.key) {
+          it->value = u.value;  // later timestamp wins by merge order
+        } else {
+          s.entries.insert(it, Entry{u.key, u.value});
+        }
+        break;
+      }
+      case Update::Kind::kErase:
+        std::erase_if(s.entries,
+                      [&](const Entry& e) { return e.key == u.key; });
+        break;
+    }
+  }
+
+  static core::DecisionResult<Update> decide(const Request& req,
+                                             const State& s) {
+    core::DecisionResult<Update> out;
+    switch (req.kind) {
+      case Request::Kind::kInsert:
+        out.update = Update{Update::Kind::kInsert, req.key, req.value};
+        break;
+      case Request::Kind::kErase:
+        out.update = Update{Update::Kind::kErase, req.key, {}};
+        break;
+      case Request::Kind::kLookup: {
+        const Entry* e = s.find(req.key);
+        out.external_actions.push_back(
+            {"lookup-result", std::to_string(req.key) + "=" +
+                                  (e != nullptr ? e->value : "<absent>")});
+        break;
+      }
+    }
+    return out;
+  }
+
+  static double cost(const State&, int) { return 0.0; }
+};
+
+}  // namespace apps::dictionary

@@ -1,0 +1,59 @@
+// Partially replicated FM dictionary: keys hashed into groups.
+//
+// The single-group case of the section 6 partial-replication extension:
+// every request touches exactly one group (key % num_groups), so routing
+// never fails while any replica of that group is addressable, and each
+// group independently enjoys the full-replication guarantees.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "apps/dictionary/dictionary.hpp"
+#include "shard/partial.hpp"
+
+namespace apps::dictionary {
+
+/// PartialApplication wrapper; NumGroups is a compile-time shard count.
+template <std::uint32_t NumGroups = 8>
+struct ShardedDictionary {
+  using GroupState = dictionary::State;
+  using Update = dictionary::Update;
+  using Request = dictionary::Request;
+
+  static constexpr int kNumConstraints = 0;
+  static constexpr std::uint32_t kNumGroups = NumGroups;
+
+  static std::string name() {
+    return "sharded-fm-dictionary(" + std::to_string(NumGroups) + ")";
+  }
+  static GroupState group_initial() { return {}; }
+  static bool group_well_formed(const GroupState& s) {
+    return Dictionary::well_formed(s);
+  }
+  static void apply(const Update& u, GroupState& s) {
+    Dictionary::apply(u, s);
+  }
+
+  static shard::GroupId group_of_key(Key k) { return k % NumGroups; }
+
+  static std::vector<shard::GroupId> groups_of(const Request& r) {
+    return {group_of_key(r.key)};
+  }
+
+  static shard::PartialDecision<ShardedDictionary> decide(
+      const Request& r, const shard::GroupView<ShardedDictionary>& view) {
+    shard::PartialDecision<ShardedDictionary> out;
+    const core::DecisionResult<Update> base =
+        Dictionary::decide(r, view(group_of_key(r.key)));
+    out.external_actions = base.external_actions;
+    if (base.update.kind != Update::Kind::kNoop) {
+      out.writes.push_back({group_of_key(r.key), base.update});
+    }
+    return out;
+  }
+
+  static double cost(const GroupState&, int) { return 0.0; }
+};
+
+}  // namespace apps::dictionary

@@ -1,0 +1,181 @@
+#include "apps/grapevine/grapevine.hpp"
+
+#include <sstream>
+
+namespace apps::grapevine {
+
+std::string display_name(Name n) { return "R" + std::to_string(n); }
+
+void Grapevine::apply(const Update& u, State& s) {
+  switch (u.kind) {
+    case Update::Kind::kNoop:
+      break;
+    case Update::Kind::kRegister:
+      s.individuals[u.name] = u.site;
+      break;
+    case Update::Kind::kDeregister:
+      // Memberships deliberately left behind: Grapevine removed entries
+      // lazily, and this is exactly what makes referential integrity an
+      // integrity CONSTRAINT rather than an invariant.
+      s.individuals.erase(u.name);
+      break;
+    case Update::Kind::kAddMember: {
+      auto& members = s.groups[u.name];
+      const auto it =
+          std::lower_bound(members.begin(), members.end(), u.member);
+      if (it == members.end() || *it != u.member) members.insert(it, u.member);
+      break;
+    }
+    case Update::Kind::kRemoveMember: {
+      const auto git = s.groups.find(u.name);
+      if (git == s.groups.end()) break;
+      auto& members = git->second;
+      const auto it =
+          std::lower_bound(members.begin(), members.end(), u.member);
+      if (it != members.end() && *it == u.member) members.erase(it);
+      if (members.empty()) s.groups.erase(git);
+      break;
+    }
+    case Update::Kind::kScrub:
+      for (const Membership& mship : u.scrub) {
+        // Remove only if STILL dangling at apply time: a re-registered
+        // member keeps its membership (the scrub's belief was stale).
+        if (s.is_registered(mship.member)) continue;
+        const auto git = s.groups.find(mship.group);
+        if (git == s.groups.end()) continue;
+        auto& members = git->second;
+        const auto it =
+            std::lower_bound(members.begin(), members.end(), mship.member);
+        if (it != members.end() && *it == mship.member) members.erase(it);
+        if (members.empty()) s.groups.erase(git);
+      }
+      break;
+  }
+}
+
+core::DecisionResult<Update> Grapevine::decide(const Request& req,
+                                               const State& s) {
+  core::DecisionResult<Update> out;
+  switch (req.kind) {
+    case Request::Kind::kRegister:
+      out.update = Update{Update::Kind::kRegister, req.name, 0, req.site, {}};
+      break;
+    case Request::Kind::kDeregister:
+      out.update = Update{Update::Kind::kDeregister, req.name, 0, {}, {}};
+      break;
+    case Request::Kind::kAddMember:
+      // The decision checks the OBSERVED registry: visibly unknown members
+      // are refused (external warning, no update). Dangling references can
+      // therefore only arise from STALE views — an add whose member was
+      // deregistered elsewhere, or a deregister blind to a concurrent add
+      // — which is exactly the k-bounded damage shape of the framework.
+      if (!s.is_registered(req.member)) {
+        out.external_actions.push_back(
+            {"membership-refused", display_name(req.member)});
+      } else {
+        out.update =
+            Update{Update::Kind::kAddMember, req.name, req.member, {}, {}};
+      }
+      break;
+    case Request::Kind::kRemoveMember:
+      out.update =
+          Update{Update::Kind::kRemoveMember, req.name, req.member, {}, {}};
+      break;
+    case Request::Kind::kResolve: {
+      // Pure decision: expand the group against the observed state.
+      std::ostringstream os;
+      os << display_name(req.name) << "={";
+      const auto git = s.groups.find(req.name);
+      bool first = true;
+      if (git != s.groups.end()) {
+        for (Name m : git->second) {
+          if (!first) os << ",";
+          first = false;
+          const auto iit = s.individuals.find(m);
+          os << display_name(m) << ":"
+             << (iit != s.individuals.end() ? iit->second : "<dangling>");
+        }
+      }
+      os << "}";
+      out.external_actions.push_back({"resolution", os.str()});
+      break;
+    }
+    case Request::Kind::kScrub: {
+      const std::vector<Membership> dangling = s.dangling();
+      if (!dangling.empty()) {
+        out.update = Update{Update::Kind::kScrub, 0, 0, {}, dangling};
+        out.external_actions.push_back(
+            {"scrubbed", std::to_string(dangling.size()) + " memberships"});
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+std::string Update::to_string() const {
+  switch (kind) {
+    case Kind::kNoop:
+      return "noop";
+    case Kind::kRegister:
+      return "register(" + display_name(name) + "@" + site + ")";
+    case Kind::kDeregister:
+      return "deregister(" + display_name(name) + ")";
+    case Kind::kAddMember:
+      return "add-member(" + display_name(name) + "," + display_name(member) +
+             ")";
+    case Kind::kRemoveMember:
+      return "remove-member(" + display_name(name) + "," +
+             display_name(member) + ")";
+    case Kind::kScrub:
+      return "scrub(" + std::to_string(scrub.size()) + ")";
+  }
+  return "?";
+}
+
+std::string Request::to_string() const {
+  switch (kind) {
+    case Kind::kRegister:
+      return "REGISTER(" + display_name(name) + "@" + site + ")";
+    case Kind::kDeregister:
+      return "DEREGISTER(" + display_name(name) + ")";
+    case Kind::kAddMember:
+      return "ADD-MEMBER(" + display_name(name) + "," + display_name(member) +
+             ")";
+    case Kind::kRemoveMember:
+      return "REMOVE-MEMBER(" + display_name(name) + "," +
+             display_name(member) + ")";
+    case Kind::kResolve:
+      return "RESOLVE(" + display_name(name) + ")";
+    case Kind::kScrub:
+      return "SCRUB";
+  }
+  return "?";
+}
+
+std::string State::to_string() const {
+  std::ostringstream os;
+  os << "individuals={";
+  bool first = true;
+  for (const auto& [n, site] : individuals) {
+    if (!first) os << ",";
+    first = false;
+    os << display_name(n) << "@" << site;
+  }
+  os << "} groups={";
+  first = true;
+  for (const auto& [g, members] : groups) {
+    if (!first) os << ",";
+    first = false;
+    os << display_name(g) << ":[";
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      if (i) os << ",";
+      os << display_name(members[i]);
+    }
+    os << "]";
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace apps::grapevine

@@ -1,0 +1,174 @@
+// A Grapevine-style registration service in the SHARD framework.
+//
+// Paper section 6: "it has been claimed that name servers such as Grapevine
+// [B] have interesting but nonserializable behavior; it seems likely that
+// they can be described within our framework." Grapevine (Birrell, Levin,
+// Needham, Schroeder 1982) kept a replicated registration database of
+// *individuals* (with a mailbox site) and *groups* (member name lists),
+// updated at any replica and propagated lazily — exactly SHARD's shape.
+//
+// Transactions (decision/update split, as always):
+//  * REGISTER(name, site)    — decision TRUE; adds/updates an individual.
+//  * DEREGISTER(name)        — decision TRUE; removes the individual.
+//    Group memberships naming it now DANGLE — the integrity violation.
+//  * ADD-MEMBER(g, m)        — decision checks m is registered in the
+//    OBSERVED state and refuses (external warning, no update) if not; run
+//    against other states its update can still add a member that was
+//    deregistered meanwhile — staleness, not policy, creates dangling.
+//  * REMOVE-MEMBER(g, m)     — decision TRUE.
+//  * RESOLVE(g)              — pure decision: reports the member->site
+//    expansion the local replica can see (an external action).
+//  * SCRUB                   — compensating transaction: the decision
+//    collects the dangling (group, member) pairs it observes and the
+//    update removes exactly those memberships.
+//
+// Integrity constraint 0 (referential integrity): every group member is a
+// registered individual. cost(s, 0) = kDanglingCost per dangling pair.
+#pragma once
+
+#include <algorithm>
+#include <compare>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/model.hpp"
+
+namespace apps::grapevine {
+
+using Name = std::uint32_t;  ///< registry names, dense ids ("R<n>")
+
+std::string display_name(Name n);
+
+/// One dangling membership, as carried by a SCRUB update.
+struct Membership {
+  Name group = 0;
+  Name member = 0;
+  friend auto operator<=>(const Membership&, const Membership&) = default;
+};
+
+struct Update {
+  enum class Kind : std::uint8_t {
+    kNoop = 0,
+    kRegister,      ///< individuals[name] = site
+    kDeregister,    ///< erase individual (memberships untouched!)
+    kAddMember,     ///< groups[group] += member (idempotent)
+    kRemoveMember,  ///< groups[group] -= member
+    kScrub,         ///< remove the listed memberships
+  };
+  Kind kind = Kind::kNoop;
+  Name name = 0;    ///< individual, or group for member ops
+  Name member = 0;  ///< member for member ops
+  std::string site;
+  std::vector<Membership> scrub;  ///< kScrub only
+
+  friend auto operator<=>(const Update&, const Update&) = default;
+  std::string to_string() const;
+};
+
+struct Request {
+  enum class Kind : std::uint8_t {
+    kRegister,
+    kDeregister,
+    kAddMember,
+    kRemoveMember,
+    kResolve,
+    kScrub,
+  };
+  Kind kind = Kind::kRegister;
+  Name name = 0;
+  Name member = 0;
+  std::string site;
+
+  static Request register_individual(Name n, std::string site) {
+    return {Kind::kRegister, n, 0, std::move(site)};
+  }
+  static Request deregister(Name n) { return {Kind::kDeregister, n, 0, {}}; }
+  static Request add_member(Name group, Name member) {
+    return {Kind::kAddMember, group, member, {}};
+  }
+  static Request remove_member(Name group, Name member) {
+    return {Kind::kRemoveMember, group, member, {}};
+  }
+  static Request resolve(Name group) { return {Kind::kResolve, group, 0, {}}; }
+  static Request scrub() { return {Kind::kScrub, 0, 0, {}}; }
+
+  friend auto operator<=>(const Request&, const Request&) = default;
+  std::string to_string() const;
+};
+
+struct State {
+  /// Registered individuals: name -> mailbox site.
+  std::map<Name, std::string> individuals;
+  /// Groups: name -> sorted, duplicate-free member list.
+  std::map<Name, std::vector<Name>> groups;
+
+  friend bool operator==(const State&, const State&) = default;
+
+  bool is_registered(Name n) const { return individuals.contains(n); }
+  bool is_member(Name group, Name member) const {
+    const auto it = groups.find(group);
+    if (it == groups.end()) return false;
+    return std::binary_search(it->second.begin(), it->second.end(), member);
+  }
+  /// All (group, member) pairs whose member is not registered.
+  std::vector<Membership> dangling() const {
+    std::vector<Membership> out;
+    for (const auto& [g, members] : groups) {
+      for (Name m : members) {
+        if (!individuals.contains(m)) out.push_back({g, m});
+      }
+    }
+    return out;
+  }
+  std::string to_string() const;
+};
+
+struct Grapevine {
+  using State = grapevine::State;
+  using Update = grapevine::Update;
+  using Request = grapevine::Request;
+
+  static constexpr int kNumConstraints = 1;
+  static constexpr int kReferentialIntegrity = 0;
+  static constexpr double kDanglingCost = 10.0;
+
+  static std::string name() { return "grapevine"; }
+  static State initial() { return State{}; }
+
+  /// Representation invariants: member lists sorted and duplicate-free.
+  static bool well_formed(const State& s) {
+    for (const auto& [g, members] : s.groups) {
+      for (std::size_t i = 1; i < members.size(); ++i) {
+        if (!(members[i - 1] < members[i])) return false;
+      }
+    }
+    return true;
+  }
+
+  static void apply(const Update& u, State& s);
+
+  static core::DecisionResult<Update> decide(const Request& req,
+                                             const State& s);
+
+  static double cost(const State& s, int constraint) {
+    if (constraint == kReferentialIntegrity) {
+      return kDanglingCost * static_cast<double>(s.dangling().size());
+    }
+    return 0.0;
+  }
+
+  /// Classification in the section 4.1 style. Dangling pairs are created by
+  /// DEREGISTER (leaving members behind) and ADD-MEMBER (adding a member
+  /// that is gone); everything else is safe; SCRUB compensates.
+  struct Theory {
+    static bool safe_for(const Request& r, int /*constraint*/) {
+      return r.kind != Request::Kind::kDeregister &&
+             r.kind != Request::Kind::kAddMember;
+    }
+    static Request compensator(int /*constraint*/) { return Request::scrub(); }
+  };
+};
+
+}  // namespace apps::grapevine

@@ -1,0 +1,48 @@
+#include "apps/inventory/inventory.hpp"
+
+#include <sstream>
+
+namespace apps::inventory {
+
+std::string Update::to_string() const {
+  switch (kind) {
+    case Kind::kNoop:
+      return "noop";
+    case Kind::kOrder:
+      return "order(" + std::to_string(n) + ")";
+    case Kind::kCancel:
+      return "cancel(" + std::to_string(n) + ")";
+    case Kind::kRestock:
+      return "restock(" + std::to_string(n) + ")";
+    case Kind::kCommit:
+      return "commit(" + std::to_string(n) + ")";
+    case Kind::kRelease:
+      return "release(" + std::to_string(n) + ")";
+  }
+  return "?";
+}
+
+std::string Request::to_string() const {
+  switch (kind) {
+    case Kind::kOrder:
+      return "ORDER(" + std::to_string(n) + ")";
+    case Kind::kCancel:
+      return "CANCEL(" + std::to_string(n) + ")";
+    case Kind::kRestock:
+      return "RESTOCK(" + std::to_string(n) + ")";
+    case Kind::kFulfill:
+      return "FULFILL(cap=" + std::to_string(n) + ")";
+    case Kind::kRelease:
+      return "RELEASE";
+  }
+  return "?";
+}
+
+std::string State::to_string() const {
+  std::ostringstream os;
+  os << "{stock=" << stock << ",committed=" << committed
+     << ",demand=" << demand << "}";
+  return os.str();
+}
+
+}  // namespace apps::inventory

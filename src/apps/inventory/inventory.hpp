@@ -1,0 +1,219 @@
+// An inventory-control application in the SHARD framework.
+//
+// The paper names inventory control as one of the motivating application
+// classes ("airline reservation systems, banking systems and inventory
+// control systems", section 1.1) and conjectures in section 6 that its cost
+// bound and fairness results carry over. This module is a counts-based
+// resource allocator with the same two-constraint shape as the airline:
+//
+//   State: stock (units on hand), committed (units promised), demand
+//          (outstanding requested units).
+//   ORDER(n)   — demand += n (decision TRUE).
+//   CANCEL(n)  — demand -= min(n, demand) (decision TRUE).
+//   RESTOCK(n) — stock += n (decision TRUE).
+//   FULFILL    — decision: if the observed state has free stock and demand,
+//                promise m = min(free, demand, batch cap) units (external
+//                action: the customer is told "shipped") and commit them.
+//                Racing FULFILLs overcommit — constraint 0.
+//   RELEASE    — compensator: if the observed state is overcommitted,
+//                un-promise the excess (external action: apology).
+//
+// Constraint 0 (overcommit):  committed <= stock,
+//     cost(s,0) = kOvercommitPenalty * (committed -. stock).
+// Constraint 1 (idle stock):  stock <= committed or demand == 0,
+//     cost(s,1) = kHoldingCost * min(stock -. committed, demand).
+#pragma once
+
+#include <algorithm>
+#include <compare>
+#include <cstdint>
+#include <string>
+
+#include "core/model.hpp"
+#include "core/monus.hpp"
+
+namespace apps::inventory {
+
+using Units = std::int64_t;
+
+struct Update {
+  enum class Kind : std::uint8_t {
+    kNoop = 0,
+    kOrder,    ///< demand += n
+    kCancel,   ///< demand -= min(n, demand)
+    kRestock,  ///< stock += n
+    kCommit,   ///< committed += n; demand -= min(n, demand)
+    kRelease,  ///< committed -= min(n, committed); demand += released
+  };
+  Kind kind = Kind::kNoop;
+  Units n = 0;
+
+  friend auto operator<=>(const Update&, const Update&) = default;
+  std::string to_string() const;
+};
+
+struct Request {
+  enum class Kind : std::uint8_t {
+    kOrder,
+    kCancel,
+    kRestock,
+    kFulfill,
+    kRelease,
+  };
+  Kind kind = Kind::kOrder;
+  Units n = 0;  ///< order/cancel/restock size; fulfill batch cap
+
+  static Request order(Units n) { return {Kind::kOrder, n}; }
+  static Request cancel(Units n) { return {Kind::kCancel, n}; }
+  static Request restock(Units n) { return {Kind::kRestock, n}; }
+  /// Promise at most `batch_cap` units per FULFILL decision.
+  static Request fulfill(Units batch_cap) { return {Kind::kFulfill, batch_cap}; }
+  static Request release() { return {Kind::kRelease, 0}; }
+
+  friend auto operator<=>(const Request&, const Request&) = default;
+  std::string to_string() const;
+};
+
+struct State {
+  Units stock = 0;
+  Units committed = 0;
+  Units demand = 0;
+
+  friend bool operator==(const State&, const State&) = default;
+  std::string to_string() const;
+};
+
+template <int OvercommitPenalty = 50, int HoldingCost = 5>
+struct InventoryT {
+  using State = inventory::State;
+  using Update = inventory::Update;
+  using Request = inventory::Request;
+
+  static constexpr int kNumConstraints = 2;
+  static constexpr int kOvercommit = 0;
+  static constexpr int kIdleStock = 1;
+  static constexpr int kOvercommitPenalty = OvercommitPenalty;
+  static constexpr int kHoldingCost = HoldingCost;
+
+  static std::string name() { return "inventory"; }
+  static State initial() { return State{}; }
+
+  static bool well_formed(const State& s) {
+    return s.stock >= 0 && s.committed >= 0 && s.demand >= 0;
+  }
+
+  static void apply(const Update& u, State& s) {
+    switch (u.kind) {
+      case Update::Kind::kNoop:
+        break;
+      case Update::Kind::kOrder:
+        s.demand += u.n;
+        break;
+      case Update::Kind::kCancel:
+        s.demand -= std::min(u.n, s.demand);
+        break;
+      case Update::Kind::kRestock:
+        s.stock += u.n;
+        break;
+      case Update::Kind::kCommit: {
+        s.committed += u.n;
+        s.demand -= std::min(u.n, s.demand);
+        break;
+      }
+      case Update::Kind::kRelease: {
+        const Units released = std::min(u.n, s.committed);
+        s.committed -= released;
+        s.demand += released;
+        break;
+      }
+    }
+  }
+
+  static core::DecisionResult<Update> decide(const Request& req,
+                                             const State& s) {
+    core::DecisionResult<Update> out;
+    switch (req.kind) {
+      case Request::Kind::kOrder:
+        out.update = Update{Update::Kind::kOrder, req.n};
+        break;
+      case Request::Kind::kCancel:
+        out.update = Update{Update::Kind::kCancel, req.n};
+        break;
+      case Request::Kind::kRestock:
+        out.update = Update{Update::Kind::kRestock, req.n};
+        break;
+      case Request::Kind::kFulfill: {
+        const Units free = core::monus<Units>(s.stock, s.committed);
+        const Units m = std::min({free, s.demand, req.n});
+        if (m > 0) {
+          out.update = Update{Update::Kind::kCommit, m};
+          out.external_actions.push_back({"promise-shipment",
+                                          std::to_string(m) + " units"});
+        }
+        break;
+      }
+      case Request::Kind::kRelease: {
+        const Units excess = core::monus<Units>(s.committed, s.stock);
+        if (excess > 0) {
+          out.update = Update{Update::Kind::kRelease, excess};
+          out.external_actions.push_back(
+              {"apologize", std::to_string(excess) + " units"});
+        }
+        break;
+      }
+    }
+    return out;
+  }
+
+  static double cost(const State& s, int constraint) {
+    switch (constraint) {
+      case kOvercommit:
+        return static_cast<double>(OvercommitPenalty) *
+               static_cast<double>(core::monus<Units>(s.committed, s.stock));
+      case kIdleStock:
+        return static_cast<double>(HoldingCost) *
+               static_cast<double>(
+                   std::min(core::monus<Units>(s.stock, s.committed),
+                            s.demand));
+      default:
+        return 0.0;
+    }
+  }
+
+  /// Same classification shape as the airline's (section 5.2 analogue):
+  /// FULFILL is the only transaction unsafe for overcommit, and it is safe
+  /// for idle-stock; the bound scales with the FULFILL batch cap.
+  struct Theory {
+    static bool safe_for(const Request& r, int constraint) {
+      if (constraint == kOvercommit)
+        return r.kind != Request::Kind::kFulfill;
+      return r.kind == Request::Kind::kFulfill;
+    }
+    static bool preserves_cost(const Request& r, int constraint) {
+      if (constraint == kOvercommit) {
+        // FULFILL only commits what it believes is free, so the believed
+        // post-state has zero overcommit cost; everything else is safe.
+        return true;
+      }
+      return r.kind == Request::Kind::kFulfill ||
+             r.kind == Request::Kind::kRelease;
+    }
+    /// k missed transactions, each moving at most `max_chunk` units, cost
+    /// at most penalty * max_chunk * k.
+    static double f_bound_units(int constraint, Units max_chunk,
+                                std::size_t k) {
+      const double unit = constraint == kOvercommit
+                              ? static_cast<double>(OvercommitPenalty)
+                              : static_cast<double>(HoldingCost);
+      return unit * static_cast<double>(max_chunk) * static_cast<double>(k);
+    }
+    static Request compensator(int constraint) {
+      return constraint == kOvercommit ? Request::release()
+                                       : Request::fulfill(1'000'000);
+    }
+  };
+};
+
+using Inventory = InventoryT<50, 5>;
+
+}  // namespace apps::inventory

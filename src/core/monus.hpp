@@ -1,0 +1,25 @@
+// Truncated subtraction.
+//
+// Paper section 2.2: "We use the notation X -. Y to denote max(X-Y, 0)."
+// Both airline cost functions are built from this operator, as are the
+// banking and inventory analogues.
+#pragma once
+
+#include <algorithm>
+#include <concepts>
+
+namespace core {
+
+/// max(x - y, 0) for signed integral types.
+template <std::signed_integral T>
+constexpr T monus(T x, T y) {
+  return x > y ? x - y : T{0};
+}
+
+/// max(x - y, 0) for floating-point types.
+template <std::floating_point T>
+constexpr T monus(T x, T y) {
+  return x > y ? x - y : T{0};
+}
+
+}  // namespace core

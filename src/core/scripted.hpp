@@ -1,0 +1,80 @@
+// Scripted (hand-built) executions.
+//
+// The paper's worked examples (the 206-transaction overbooking run of
+// section 3.1, the section 5.4 duplicate-request counterexample, the
+// section 5.5 fairness anomaly) specify, transaction by transaction,
+// exactly which prefix subsequence each decision sees. ScriptedExecution
+// lets tests and examples build such executions directly — no cluster, no
+// nondeterminism: you give the request and the prefix; it computes the
+// apparent state, runs the decision part (so condition (3) of section 3.1
+// holds by construction), and appends the resulting transaction instance.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <numeric>
+#include <vector>
+
+#include "core/execution.hpp"
+#include "core/model.hpp"
+
+namespace core {
+
+template <Application App>
+class ScriptedExecution {
+ public:
+  using Request = typename App::Request;
+
+  /// Run `request` seeing exactly the transactions at `prefix` (ascending
+  /// indices into the execution so far). Returns the new index.
+  std::size_t run(const Request& request, std::vector<std::size_t> prefix,
+                  NodeId origin = 0, double real_time = -1.0) {
+    // Prefix updates apply in serial (index) order regardless of how the
+    // caller listed them — condition (2) of section 3.1.
+    std::sort(prefix.begin(), prefix.end());
+    prefix.erase(std::unique(prefix.begin(), prefix.end()), prefix.end());
+    TxInstance<App> tx;
+    tx.ts = Timestamp{static_cast<std::uint64_t>(exec_.size()) + 1, origin};
+    tx.origin = origin;
+    tx.real_time = real_time >= 0.0
+                       ? real_time
+                       : static_cast<double>(exec_.size());
+    tx.request = request;
+    tx.prefix = std::move(prefix);
+    const typename App::State apparent =
+        exec_.state_of_subsequence(tx.prefix);
+    DecisionResult<typename App::Update> decision =
+        App::decide(request, apparent);
+    tx.update = std::move(decision.update);
+    tx.external_actions = std::move(decision.external_actions);
+    exec_.append(std::move(tx));
+    return exec_.size() - 1;
+  }
+
+  /// Run with the complete prefix {0, ..., size-1} — the serializable case.
+  std::size_t run_complete(const Request& request, NodeId origin = 0,
+                           double real_time = -1.0) {
+    std::vector<std::size_t> prefix(exec_.size());
+    std::iota(prefix.begin(), prefix.end(), 0);
+    return run(request, std::move(prefix), origin, real_time);
+  }
+
+  /// Re-assign the prefix subsequence of an existing transaction (used by
+  /// the section 3.2 example that repairs transitivity: REQUEST/CANCEL
+  /// decisions don't depend on their prefix, so shrinking their prefixes
+  /// leaves all updates unchanged). The caller must preserve condition (3);
+  /// the execution checker will verify.
+  void reassign_prefix(std::size_t index, std::vector<std::size_t> prefix) {
+    std::vector<TxInstance<App>> txs = exec_.transactions();
+    txs.at(index).prefix = std::move(prefix);
+    exec_ = Execution<App>(std::move(txs));
+  }
+
+  const Execution<App>& execution() const { return exec_; }
+  std::size_t size() const { return exec_.size(); }
+
+ private:
+  Execution<App> exec_;
+};
+
+}  // namespace core

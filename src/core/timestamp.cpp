@@ -1,0 +1,13 @@
+#include "core/timestamp.hpp"
+
+#include <sstream>
+
+namespace core {
+
+std::string Timestamp::to_string() const {
+  std::ostringstream os;
+  os << logical << "@n" << node;
+  return os.str();
+}
+
+}  // namespace core

@@ -1,0 +1,101 @@
+// The section 1.3 probabilistic layer.
+//
+// "We believe that results of this form are most conveniently proved in two
+// parts: (1) conditional results of the form 'If certain conditions hold,
+// then the cost remains at most c.', and (2) probability distribution
+// information describing the probability that the conditions hold ... It
+// should be relatively easy to combine the information in (1) and (2) to
+// get probabilistic statements of the kind we want. In this paper, we do
+// not carry out the probabilistic analysis required in (2)."
+//
+// We do carry it out: the simulator measures the empirical distribution of
+// k (missing-prefix sizes) induced by given delay/partition parameters, and
+// `probabilistic_cost_bound` composes it with a conditional bound f to
+// produce statements "with probability >= p, every relevant transaction was
+// K-complete, hence cost <= f(K)" (experiment E9).
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <map>
+#include <vector>
+
+namespace harness {
+
+/// Empirical distribution of missing-prefix sizes.
+class KDistribution {
+ public:
+  void observe(std::size_t k) {
+    ++counts_[k];
+    ++total_;
+  }
+  void observe_all(const std::vector<std::size_t>& ks) {
+    for (std::size_t k : ks) observe(k);
+  }
+
+  std::size_t total() const { return total_; }
+  std::size_t max_k() const {
+    return counts_.empty() ? 0 : counts_.rbegin()->first;
+  }
+  double mean() const {
+    if (total_ == 0) return 0.0;
+    double sum = 0.0;
+    for (const auto& [k, c] : counts_) {
+      sum += static_cast<double>(k) * static_cast<double>(c);
+    }
+    return sum / static_cast<double>(total_);
+  }
+
+  /// P(k <= K): fraction of observations at or below K.
+  double cdf(std::size_t K) const {
+    if (total_ == 0) return 1.0;
+    std::size_t at_or_below = 0;
+    for (const auto& [k, c] : counts_) {
+      if (k <= K) at_or_below += c;
+    }
+    return static_cast<double>(at_or_below) / static_cast<double>(total_);
+  }
+
+  /// Smallest K with P(k <= K) >= q.
+  std::size_t quantile(double q) const {
+    if (total_ == 0) return 0;
+    std::size_t cum = 0;
+    for (const auto& [k, c] : counts_) {
+      cum += c;
+      if (static_cast<double>(cum) >=
+          q * static_cast<double>(total_) - 1e-12) {
+        return k;
+      }
+    }
+    return max_k();
+  }
+
+  const std::map<std::size_t, std::size_t>& counts() const { return counts_; }
+
+ private:
+  std::map<std::size_t, std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+/// A probabilistic statement composed from (1) a conditional bound and (2)
+/// the measured distribution: with probability `probability` (per
+/// transaction, empirically), k <= K, so the conditional theorem yields
+/// cost <= `cost_bound`.
+struct ProbabilisticBound {
+  std::size_t K = 0;
+  double probability = 0.0;
+  double cost_bound = 0.0;
+};
+
+template <class FBound>
+ProbabilisticBound probabilistic_cost_bound(const KDistribution& dist,
+                                            int constraint, FBound&& f,
+                                            double target_probability) {
+  ProbabilisticBound out;
+  out.K = dist.quantile(target_probability);
+  out.probability = dist.cdf(out.K);
+  out.cost_bound = f(constraint, out.K);
+  return out;
+}
+
+}  // namespace harness

@@ -1,0 +1,41 @@
+#include "harness/scenario.hpp"
+
+namespace harness {
+
+Scenario lan(std::size_t num_nodes) {
+  Scenario s;
+  s.name = "lan";
+  s.num_nodes = num_nodes;
+  s.delay = sim::Delay::uniform(0.001, 0.005);
+  s.drop_probability = 0.0;
+  s.anti_entropy_interval = 0.25;
+  return s;
+}
+
+Scenario wan(std::size_t num_nodes) {
+  Scenario s;
+  s.name = "wan";
+  s.num_nodes = num_nodes;
+  s.delay = sim::Delay::exponential(0.05, 0.15, 5.0);
+  s.drop_probability = 0.05;
+  s.anti_entropy_interval = 0.5;
+  return s;
+}
+
+Scenario partitioned_wan(std::size_t num_nodes, double t0, double t1) {
+  Scenario s = wan(num_nodes);
+  s.name = "partitioned-wan";
+  s.partitions.split_halves(static_cast<sim::NodeId>(num_nodes),
+                            static_cast<sim::NodeId>(num_nodes / 2), t0, t1);
+  return s;
+}
+
+Scenario flaky_node(std::size_t num_nodes, double t0, double t1) {
+  Scenario s = wan(num_nodes);
+  s.name = "flaky-node";
+  s.partitions.isolate(static_cast<sim::NodeId>(num_nodes - 1),
+                       static_cast<sim::NodeId>(num_nodes), t0, t1);
+  return s;
+}
+
+}  // namespace harness

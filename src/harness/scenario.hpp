@@ -1,0 +1,60 @@
+// Canned cluster scenarios: network conditions used across tests, examples
+// and bench experiments, so "a 5-node WAN with a 20-second partition" means
+// the same thing everywhere.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "net/broadcast.hpp"
+#include "shard/cluster.hpp"
+#include "sim/delay.hpp"
+#include "sim/partition.hpp"
+
+namespace harness {
+
+/// Named network/cluster profiles.
+struct Scenario {
+  std::string name;
+  std::size_t num_nodes = 3;
+  sim::Delay delay = sim::Delay::constant(0.01);
+  double drop_probability = 0.0;
+  sim::PartitionSchedule partitions;
+  bool causal_broadcast = true;
+  double anti_entropy_interval = 0.5;
+  std::size_t checkpoint_interval = 32;
+
+  /// Materialize as a cluster config with the given seed.
+  template <class App>
+  typename shard::Cluster<App>::Config cluster_config(
+      std::uint64_t seed) const {
+    typename shard::Cluster<App>::Config cfg;
+    cfg.num_nodes = num_nodes;
+    cfg.network.delay = delay;
+    cfg.network.drop_probability = drop_probability;
+    cfg.network.partitions = partitions;
+    cfg.broadcast.causal = causal_broadcast;
+    cfg.broadcast.anti_entropy_interval = anti_entropy_interval;
+    cfg.checkpoint_interval = checkpoint_interval;
+    cfg.seed = seed;
+    return cfg;
+  }
+};
+
+/// A well-connected LAN: low constant delay, no loss. Transactions are
+/// near-complete (k ~ 0) — the serializable-looking end of the spectrum.
+Scenario lan(std::size_t num_nodes = 3);
+
+/// A lossy WAN: long-tailed delays and random drops — moderate k.
+Scenario wan(std::size_t num_nodes = 5);
+
+/// WAN plus a hard partition of [t0, t1) splitting the cluster in half —
+/// the paper's headline failure mode; k grows with the partition length.
+Scenario partitioned_wan(std::size_t num_nodes = 4, double t0 = 10.0,
+                         double t1 = 30.0);
+
+/// A flaky node: node `num_nodes - 1` is isolated during [t0, t1).
+Scenario flaky_node(std::size_t num_nodes = 4, double t0 = 5.0,
+                    double t1 = 25.0);
+
+}  // namespace harness

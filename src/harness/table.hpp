@@ -1,0 +1,40 @@
+// Fixed-width experiment tables.
+//
+// Every bench binary prints its results through this, so EXPERIMENTS.md can
+// quote outputs verbatim and the tables stay visually consistent.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace harness {
+
+/// A simple right-padded text table with a title, a header row, and data
+/// rows. Numeric formatting is the caller's business (pass strings).
+class Table {
+ public:
+  Table(std::string title, std::vector<std::string> header)
+      : title_(std::move(title)), header_(std::move(header)) {}
+
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: format a double with fixed precision.
+  static std::string num(double v, int precision = 2);
+  static std::string num(std::size_t v);
+  static std::string num(long long v);
+  static std::string pct(double fraction, int precision = 1);
+
+  /// Render with box-drawing-free ASCII (pipes and dashes).
+  std::string render() const;
+
+  /// Render and write to stdout.
+  void print() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace harness

@@ -1,0 +1,100 @@
+#include "harness/workload.hpp"
+
+namespace harness {
+
+std::vector<Submission<apps::banking::Request>> drive_banking(
+    shard::Cluster<apps::banking::Banking>& cluster, const BankingWorkload& w,
+    std::uint64_t seed) {
+  namespace bk = apps::banking;
+  sim::Rng rng(seed);
+  const std::size_t n = cluster.num_nodes();
+  std::vector<Submission<bk::Request>> schedule;
+  const auto pick_node = [&](bool audit_like) -> core::NodeId {
+    if (w.routing == Routing::kCentralizeAll) return 0;
+    if (w.routing == Routing::kCentralizeMovers && audit_like) return 0;
+    return static_cast<core::NodeId>(
+        rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+  };
+  const auto rand_account = [&]() -> bk::AccountId {
+    return static_cast<bk::AccountId>(
+        rng.uniform_int(0, static_cast<std::int64_t>(w.num_accounts) - 1));
+  };
+  const auto rand_amount = [&]() -> bk::Amount {
+    return rng.uniform_int(1, w.max_amount);
+  };
+  double t = 0.0;
+  while (true) {
+    t += rng.exponential(1.0 / w.tx_rate);
+    if (t >= w.duration) break;
+    const double roll = rng.uniform01();
+    bk::Request req = bk::Request::audit();
+    bool audit_like = false;
+    if (roll < w.deposit_fraction) {
+      req = bk::Request::deposit(rand_account(), rand_amount());
+    } else if (roll < w.deposit_fraction + w.withdraw_fraction) {
+      req = bk::Request::withdraw(rand_account(), rand_amount());
+    } else if (roll <
+               w.deposit_fraction + w.withdraw_fraction + w.transfer_fraction) {
+      bk::AccountId from = rand_account();
+      bk::AccountId to = rand_account();
+      if (to == from) to = (to + 1) % w.num_accounts;
+      req = bk::Request::transfer(from, to, rand_amount());
+    } else if (roll < w.deposit_fraction + w.withdraw_fraction +
+                          w.transfer_fraction + w.cover_fraction) {
+      req = bk::Request::cover();
+      audit_like = true;
+    } else {
+      req = bk::Request::audit();
+      audit_like = true;
+    }
+    const core::NodeId node = pick_node(audit_like);
+    cluster.submit_at(t, node, req);
+    schedule.push_back({t, node, req});
+  }
+  return schedule;
+}
+
+std::vector<Submission<apps::inventory::Request>> drive_inventory(
+    shard::Cluster<apps::inventory::Inventory>& cluster,
+    const InventoryWorkload& w, std::uint64_t seed) {
+  namespace inv = apps::inventory;
+  sim::Rng rng(seed);
+  const std::size_t n = cluster.num_nodes();
+  std::vector<Submission<inv::Request>> schedule;
+  const auto pick_node = [&](bool is_mover) -> core::NodeId {
+    if (w.routing == Routing::kCentralizeAll) return 0;
+    if (w.routing == Routing::kCentralizeMovers && is_mover) return 0;
+    return static_cast<core::NodeId>(
+        rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+  };
+  const auto emit = [&](double time, bool is_mover, inv::Request req) {
+    const core::NodeId node = pick_node(is_mover);
+    cluster.submit_at(time, node, req);
+    schedule.push_back({time, node, req});
+  };
+  double t = 0.0;
+  while (true) {
+    t += rng.exponential(1.0 / w.order_rate);
+    if (t >= w.duration) break;
+    emit(t, false, inv::Request::order(rng.uniform_int(1, w.max_order)));
+  }
+  t = 0.0;
+  while (true) {
+    t += rng.exponential(1.0 / w.fulfill_rate);
+    if (t >= w.duration) break;
+    if (rng.bernoulli(w.release_fraction)) {
+      emit(t, true, inv::Request::release());
+    } else {
+      emit(t, true, inv::Request::fulfill(w.fulfill_cap));
+    }
+  }
+  t = 0.0;
+  while (true) {
+    t += rng.exponential(1.0 / w.restock_rate);
+    if (t >= w.duration) break;
+    emit(t, false, inv::Request::restock(w.restock_size));
+  }
+  return schedule;
+}
+
+}  // namespace harness

@@ -1,0 +1,204 @@
+// Workload generators.
+//
+// Produce stochastic request schedules for the apps, with configurable
+// rates and *routing policies*. Routing is how the section 3.2/3.3
+// restrictions are realized: "It is possible to force all the transactions
+// in G to run at the same node of a distributed system" — centralizing a
+// group means pinning its requests to one node, at an availability cost the
+// experiments measure.
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+#include <vector>
+
+#include "apps/airline/airline.hpp"
+#include "apps/airline/timestamped.hpp"
+#include "apps/banking/banking.hpp"
+#include "apps/inventory/inventory.hpp"
+#include "shard/cluster.hpp"
+#include "sim/rng.hpp"
+
+namespace harness {
+
+/// Where a request class runs.
+enum class Routing {
+  kAnyNode,           ///< uniformly random origin (max availability)
+  kCentralizeMovers,  ///< movers pinned to node 0; rest random
+  kCentralizeAll,     ///< everything at node 0 (fully serial agent)
+};
+
+/// Parameters of the standard airline workload.
+struct AirlineWorkload {
+  double duration = 60.0;          ///< seconds of request generation
+  double request_rate = 4.0;       ///< REQUESTs per second (Poisson)
+  double cancel_fraction = 0.15;   ///< fraction of requesters who cancel
+  double mover_rate = 4.0;         ///< MOVE-UP/DOWN attempts per second
+  double move_down_fraction = 0.3; ///< share of mover slots that MOVE-DOWN
+  std::uint32_t max_persons = 400; ///< distinct persons
+  double duplicate_request_fraction = 0.0;  ///< re-REQUEST probability
+  Routing routing = Routing::kAnyNode;
+};
+
+/// One scheduled submission (kept for analysis / replay).
+template <class Req>
+struct Submission {
+  double time = 0.0;
+  core::NodeId node = 0;
+  Req request;
+};
+
+// Request construction customization points: the same generator drives both
+// the basic and the timestamped airline; the timestamped variant stamps
+// REQUESTs with the submission's microsecond tick (section 5.5).
+template <class Air>
+  requires std::same_as<typename Air::Request, apps::airline::Request>
+typename Air::Request make_request(apps::airline::Person p, double) {
+  return apps::airline::Request::request(p);
+}
+template <class Air>
+  requires std::same_as<typename Air::Request, apps::airline::Request>
+typename Air::Request make_cancel(apps::airline::Person p) {
+  return apps::airline::Request::cancel(p);
+}
+template <class Air>
+  requires std::same_as<typename Air::Request, apps::airline::Request>
+typename Air::Request make_move_up() {
+  return apps::airline::Request::move_up();
+}
+template <class Air>
+  requires std::same_as<typename Air::Request, apps::airline::Request>
+typename Air::Request make_move_down() {
+  return apps::airline::Request::move_down();
+}
+
+template <class Air>
+  requires std::same_as<typename Air::Request, apps::airline::TsRequest>
+typename Air::Request make_request(apps::airline::Person p, double t) {
+  return apps::airline::TsRequest::request(
+      p, static_cast<std::uint64_t>(t * 1e6));
+}
+template <class Air>
+  requires std::same_as<typename Air::Request, apps::airline::TsRequest>
+typename Air::Request make_cancel(apps::airline::Person p) {
+  return apps::airline::TsRequest::cancel(p);
+}
+template <class Air>
+  requires std::same_as<typename Air::Request, apps::airline::TsRequest>
+typename Air::Request make_move_up() {
+  return apps::airline::TsRequest::move_up();
+}
+template <class Air>
+  requires std::same_as<typename Air::Request, apps::airline::TsRequest>
+typename Air::Request make_move_down() {
+  return apps::airline::TsRequest::move_down();
+}
+
+/// Generate the airline schedule and feed it into the cluster. Returns the
+/// schedule for inspection/replay.
+template <class Air>
+std::vector<Submission<typename Air::Request>> drive_airline(
+    shard::Cluster<Air>& cluster, const AirlineWorkload& w,
+    std::uint64_t seed) {
+  namespace al = apps::airline;
+  sim::Rng rng(seed);
+  const std::size_t n = cluster.num_nodes();
+  std::vector<Submission<typename Air::Request>> schedule;
+
+  const auto pick_node = [&](bool is_mover) -> core::NodeId {
+    switch (w.routing) {
+      case Routing::kCentralizeAll:
+        return 0;
+      case Routing::kCentralizeMovers:
+        if (is_mover) return 0;
+        [[fallthrough]];
+      case Routing::kAnyNode:
+      default:
+        return static_cast<core::NodeId>(
+            rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+    }
+  };
+
+  // REQUEST / CANCEL stream (Poisson arrivals).
+  std::uint32_t next_person = 1;
+  double t = 0.0;
+  std::vector<al::Person> active;
+  while (true) {
+    t += rng.exponential(1.0 / w.request_rate);
+    if (t >= w.duration) break;
+    al::Person p;
+    if (!active.empty() && rng.bernoulli(w.duplicate_request_fraction)) {
+      p = active[static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(active.size()) - 1))];
+    } else {
+      if (next_person > w.max_persons) break;
+      p = next_person++;
+      active.push_back(p);
+    }
+    typename Air::Request req = make_request<Air>(p, t);
+    const core::NodeId node = pick_node(false);
+    cluster.submit_at(t, node, req);
+    schedule.push_back({t, node, req});
+    if (rng.bernoulli(w.cancel_fraction)) {
+      const double tc = t + rng.exponential(2.0);
+      if (tc < w.duration) {
+        typename Air::Request creq = make_cancel<Air>(p);
+        const core::NodeId cnode = pick_node(false);
+        cluster.submit_at(tc, cnode, creq);
+        schedule.push_back({tc, cnode, creq});
+      }
+    }
+  }
+
+  // Mover stream: periodic MOVE-UP / MOVE-DOWN attempts — the paper's
+  // conceptual seating "agent", possibly distributed across nodes.
+  t = 0.0;
+  while (true) {
+    t += rng.exponential(1.0 / w.mover_rate);
+    if (t >= w.duration) break;
+    const bool down = rng.bernoulli(w.move_down_fraction);
+    typename Air::Request req =
+        down ? make_move_down<Air>() : make_move_up<Air>();
+    const core::NodeId node = pick_node(true);
+    cluster.submit_at(t, node, req);
+    schedule.push_back({t, node, req});
+  }
+  return schedule;
+}
+
+/// Parameters of the banking workload (experiment E11).
+struct BankingWorkload {
+  double duration = 60.0;
+  double tx_rate = 8.0;              ///< operations per second
+  std::uint32_t num_accounts = 20;
+  apps::banking::Amount max_amount = 100;
+  double deposit_fraction = 0.45;
+  double withdraw_fraction = 0.35;
+  double transfer_fraction = 0.10;
+  double cover_fraction = 0.07;      ///< compensating sweeps
+  /// remainder = audits
+  Routing routing = Routing::kAnyNode;
+};
+
+std::vector<Submission<apps::banking::Request>> drive_banking(
+    shard::Cluster<apps::banking::Banking>& cluster, const BankingWorkload& w,
+    std::uint64_t seed);
+
+/// Parameters of the inventory workload (experiment E11).
+struct InventoryWorkload {
+  double duration = 60.0;
+  double order_rate = 6.0;
+  double fulfill_rate = 5.0;
+  double restock_rate = 0.5;
+  apps::inventory::Units restock_size = 50;
+  apps::inventory::Units max_order = 8;
+  apps::inventory::Units fulfill_cap = 10;
+  double release_fraction = 0.2;  ///< share of fulfill slots that RELEASE
+  Routing routing = Routing::kAnyNode;
+};
+
+std::vector<Submission<apps::inventory::Request>> drive_inventory(
+    shard::Cluster<apps::inventory::Inventory>& cluster,
+    const InventoryWorkload& w, std::uint64_t seed);
+
+}  // namespace harness

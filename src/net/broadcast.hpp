@@ -1,0 +1,331 @@
+// Reliable broadcast with optional causal delivery and anti-entropy repair.
+//
+// Paper section 1.2: "information about the transaction is broadcast
+// reliably to all the other nodes ... The broadcast algorithm [GLBKSS]
+// ensures that, barring permanent communication failures, every node will
+// eventually receive information about every transaction." [GLBKSS] is an
+// unpublished CCA technical report; we build the natural protocol with the
+// same guarantee (see DESIGN.md substitutions):
+//
+//   * flooding — the origin sends each payload to every peer immediately;
+//   * anti-entropy — each node periodically sends a digest of what it holds
+//     to a peer, which responds with everything the digest lacks. This is
+//     what recovers messages lost to partitions and random drops.
+//
+// Causal mode implements the paper's section 3.3 remark that "an appropriate
+// distributed communication protocol could guarantee transitivity, perhaps
+// by piggybacking information about known transactions on messages": every
+// payload carries the origin's delivery vector clock, and delivery is held
+// until those dependencies are satisfied. With causal delivery, the set of
+// transactions a node has merged is causally closed, so the induced
+// execution is transitive (checked by analysis::is_transitive and the
+// protocol tests).
+#pragma once
+
+#include <any>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "net/broadcast_stats.hpp"
+#include "sim/network.hpp"
+
+namespace net {
+
+struct BroadcastOptions {
+  /// Send to all peers at origination. Disabling leaves anti-entropy as the
+  /// only propagation path (pure gossip mode).
+  bool flood = true;
+  /// Hold deliveries until causal dependencies are satisfied. This is what
+  /// gives transitive executions. Non-causal mode delivers in arrival order
+  /// (still at-most-once), producing possibly non-transitive executions —
+  /// useful for the paper's section 3.2 counterexample discussions.
+  bool causal = true;
+  /// Period of anti-entropy digests; 0 disables anti-entropy.
+  sim::Time anti_entropy_interval = 0.5;
+  /// Uniform jitter added to each period so nodes don't gossip in lockstep.
+  sim::Time anti_entropy_jitter = 0.1;
+};
+
+/// One endpoint of the cluster-wide broadcast. `Payload` is the application
+/// update envelope; it must be copyable.
+template <class Payload>
+class ReliableBroadcast {
+ public:
+  /// What travels on the wire and is handed to the delivery callback.
+  struct Wire {
+    sim::NodeId origin = 0;
+    /// 1-based sequence number among `origin`'s own broadcasts.
+    std::uint64_t origin_seq = 0;
+    /// Origin's delivery vector clock at broadcast time: deps[n] payloads
+    /// from node n had been delivered at the origin. Causal mode delays
+    /// delivery until the local clock dominates this.
+    std::vector<std::uint64_t> deps;
+    Payload payload;
+  };
+
+  using DeliverFn = std::function<void(const Wire&)>;
+  /// Mixed-mode hook (paper section 3.3 / 6): announcements carry the
+  /// sender's *promise timestamp* T and issued-count, promising "every
+  /// future transaction of mine has timestamp >= T" — where T accounts for
+  /// timestamps the sender has already RESERVED for pending serializable
+  /// transactions (otherwise a reservation made before the announcement
+  /// would break the promise). PromiseFn supplies (T.logical, T.node);
+  /// AnnounceFn receives peers' announcements.
+  using PromiseFn = std::function<std::pair<std::uint64_t, sim::NodeId>()>;
+  using AnnounceFn = std::function<void(sim::NodeId src,
+                                        std::uint64_t promise_logical,
+                                        sim::NodeId promise_node,
+                                        std::uint64_t issued)>;
+
+  ReliableBroadcast(sim::Network& network, sim::NodeId self,
+                    std::size_t cluster_size, BroadcastOptions options,
+                    std::uint64_t seed, DeliverFn deliver)
+      : net_(network),
+        self_(self),
+        options_(options),
+        rng_(seed),
+        deliver_(std::move(deliver)),
+        delivered_count_(cluster_size, 0),
+        store_(cluster_size),
+        seen_extra_(cluster_size) {
+    net_.register_node(self_, [this](const sim::Message& m) { on_message(m); });
+  }
+
+  ReliableBroadcast(const ReliableBroadcast&) = delete;
+  ReliableBroadcast& operator=(const ReliableBroadcast&) = delete;
+
+  /// Arm the periodic anti-entropy timer (if enabled).
+  void start() {
+    if (options_.anti_entropy_interval > 0.0) schedule_anti_entropy();
+  }
+
+  /// Broadcast `payload`; delivers it locally (synchronously) first so the
+  /// origin's own state always reflects its own transactions. Returns the
+  /// origin sequence number.
+  std::uint64_t broadcast(Payload payload) {
+    Wire w;
+    w.origin = self_;
+    w.origin_seq = ++own_seq_;
+    w.deps = delivered_count_;
+    w.payload = std::move(payload);
+    ++stats_.originated;
+    accept(w);  // local delivery; also places it in the store for repair
+    if (options_.flood) net_.send_to_all(self_, make_packet(w));
+    return w.origin_seq;
+  }
+
+  /// Delivery vector clock: how many payloads from each origin have been
+  /// delivered here. In causal mode these are contiguous prefixes.
+  const std::vector<std::uint64_t>& delivered_vector() const {
+    return delivered_count_;
+  }
+
+  /// Total payloads delivered to the application at this node.
+  std::uint64_t total_delivered() const {
+    std::uint64_t n = 0;
+    for (auto c : delivered_count_) n += c;
+    return n;
+  }
+
+  const BroadcastStats& stats() const { return stats_; }
+  sim::NodeId self() const { return self_; }
+  std::uint64_t own_issued() const { return own_seq_; }
+
+  /// Arm the announcement protocol: each anti-entropy round also sends
+  /// (promise, issued) to every peer. Announcements drive the section 3.3
+  /// waiting protocol for serializable transactions.
+  void set_announce_hooks(PromiseFn promise, AnnounceFn on_announce) {
+    promise_fn_ = std::move(promise);
+    announce_fn_ = std::move(on_announce);
+  }
+
+ private:
+  enum class PacketType { kWire, kDigest, kRepair, kAnnounce };
+  struct Packet {
+    PacketType type = PacketType::kWire;
+    Wire wire;                 // kWire
+    std::vector<std::uint64_t> digest;  // kDigest: sender's contiguous counts
+    std::vector<Wire> repairs;          // kRepair
+    std::uint64_t announce_clock = 0;   // kAnnounce: promise logical
+    sim::NodeId announce_node = 0;      // kAnnounce: promise tiebreak
+    std::uint64_t announce_issued = 0;  // kAnnounce
+  };
+
+  static std::any make_packet(Wire w) {
+    Packet p;
+    p.type = PacketType::kWire;
+    p.wire = std::move(w);
+    return std::any(std::move(p));
+  }
+
+  void on_message(const sim::Message& m) {
+    const auto& p = std::any_cast<const Packet&>(m.payload);
+    switch (p.type) {
+      case PacketType::kWire:
+        accept(p.wire);
+        break;
+      case PacketType::kDigest:
+        answer_digest(m.src, p.digest);
+        break;
+      case PacketType::kRepair:
+        for (const Wire& w : p.repairs) accept(w);
+        break;
+      case PacketType::kAnnounce:
+        if (announce_fn_) {
+          announce_fn_(m.src, p.announce_clock, p.announce_node,
+                       p.announce_issued);
+        }
+        break;
+    }
+  }
+
+  /// Idempotent ingestion of a wire message; routes through causal buffering
+  /// when enabled.
+  void accept(const Wire& w) {
+    if (already_have(w.origin, w.origin_seq)) {
+      ++stats_.duplicates_dropped;
+      return;
+    }
+    remember(w);
+    if (!options_.causal) {
+      deliver_now(w);
+      return;
+    }
+    pending_.push_back(w);
+    ++stats_.causally_buffered;
+    drain_pending();
+  }
+
+  bool already_have(sim::NodeId origin, std::uint64_t seq) const {
+    const auto& extras = seen_extra_[origin];
+    return seq <= contiguous_have_[origin] || extras.contains(seq);
+  }
+
+  /// Record the wire message in the repair store and advance the contiguous
+  /// "have" summary (which is what digests exchange).
+  void remember(const Wire& w) {
+    auto& store = store_[w.origin];
+    if (w.origin_seq > store.size()) store.resize(w.origin_seq);
+    store[w.origin_seq - 1] = w;
+    auto& extras = seen_extra_[w.origin];
+    extras.insert(w.origin_seq);
+    while (extras.contains(contiguous_have_[w.origin] + 1)) {
+      ++contiguous_have_[w.origin];
+      extras.erase(contiguous_have_[w.origin]);
+    }
+  }
+
+  void deliver_now(const Wire& w) {
+    ++delivered_count_[w.origin];
+    ++stats_.delivered;
+    deliver_(w);
+  }
+
+  /// Causal drain: deliver any buffered message whose dependencies are met,
+  /// repeating until a fixed point. Delivery order among concurrently ready
+  /// messages follows buffer order (deterministic).
+  void drain_pending() {
+    bool progressed = true;
+    while (progressed) {
+      progressed = false;
+      for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+        if (!deliverable(*it)) continue;
+        Wire w = std::move(*it);
+        pending_.erase(it);
+        deliver_now(w);
+        progressed = true;
+        break;  // iterator invalidated; rescan
+      }
+    }
+  }
+
+  bool deliverable(const Wire& w) const {
+    if (w.origin_seq != delivered_count_[w.origin] + 1) return false;
+    for (sim::NodeId n = 0; n < delivered_count_.size(); ++n) {
+      if (n == w.origin) continue;
+      if (w.deps[n] > delivered_count_[n]) return false;
+    }
+    return true;
+  }
+
+  void schedule_anti_entropy() {
+    const sim::Time dt = options_.anti_entropy_interval +
+                         rng_.uniform(0.0, options_.anti_entropy_jitter);
+    net_.scheduler().schedule_after(dt, [this] {
+      run_anti_entropy_round();
+      schedule_anti_entropy();
+    });
+  }
+
+  void run_anti_entropy_round() {
+    const std::size_t n = net_.node_count();
+    if (n < 2) return;
+    if (promise_fn_) {
+      Packet a;
+      a.type = PacketType::kAnnounce;
+      const auto [logical, node] = promise_fn_();
+      a.announce_clock = logical;
+      a.announce_node = node;
+      a.announce_issued = own_seq_;
+      net_.send_to_all(self_, std::any(std::move(a)));
+    }
+    // Random peer each round; randomness is seeded, so runs stay
+    // reproducible.
+    sim::NodeId peer =
+        static_cast<sim::NodeId>(rng_.uniform_int(0, static_cast<std::int64_t>(n) - 2));
+    if (peer >= self_) ++peer;
+    Packet p;
+    p.type = PacketType::kDigest;
+    p.digest = contiguous_have_;
+    ++stats_.anti_entropy_rounds;
+    net_.send(self_, peer, std::any(std::move(p)));
+  }
+
+  void answer_digest(sim::NodeId requester,
+                     const std::vector<std::uint64_t>& have) {
+    Packet reply;
+    reply.type = PacketType::kRepair;
+    for (sim::NodeId origin = 0; origin < store_.size(); ++origin) {
+      const std::uint64_t their = origin < have.size() ? have[origin] : 0;
+      // Send everything we hold above the requester's contiguous prefix.
+      // (They may hold some of it as extras; duplicates are dropped.)
+      for (std::uint64_t seq = their + 1; seq <= contiguous_have_[origin];
+           ++seq) {
+        reply.repairs.push_back(store_[origin][seq - 1]);
+      }
+    }
+    if (reply.repairs.empty()) return;
+    stats_.anti_entropy_repairs += reply.repairs.size();
+    net_.send(self_, requester, std::any(std::move(reply)));
+  }
+
+  sim::Network& net_;
+  sim::NodeId self_;
+  BroadcastOptions options_;
+  sim::Rng rng_;
+  DeliverFn deliver_;
+  PromiseFn promise_fn_;
+  AnnounceFn announce_fn_;
+
+  std::uint64_t own_seq_ = 0;
+  /// Delivered-to-application counts per origin (vector clock).
+  std::vector<std::uint64_t> delivered_count_;
+  /// Contiguous received prefix per origin (>= delivered in causal mode
+  /// where they coincide; in non-causal mode delivery may outrun it).
+  std::vector<std::uint64_t> contiguous_have_ =
+      std::vector<std::uint64_t>(delivered_count_.size(), 0);
+  /// Repair store: every wire message received, per origin, by seq.
+  std::vector<std::vector<Wire>> store_;
+  /// Received-but-not-contiguous sequence numbers per origin.
+  std::vector<std::unordered_set<std::uint64_t>> seen_extra_;
+  /// Causal-mode holding buffer.
+  std::deque<Wire> pending_;
+
+  BroadcastStats stats_;
+};
+
+}  // namespace net

@@ -1,0 +1,16 @@
+#include "net/broadcast_stats.hpp"
+
+#include <sstream>
+
+namespace net {
+
+std::string BroadcastStats::summary() const {
+  std::ostringstream os;
+  os << "broadcast: originated=" << originated << " delivered=" << delivered
+     << " dup=" << duplicates_dropped << " buffered=" << causally_buffered
+     << " ae_rounds=" << anti_entropy_rounds
+     << " ae_repairs=" << anti_entropy_repairs;
+  return os.str();
+}
+
+}  // namespace net

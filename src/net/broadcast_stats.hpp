@@ -1,0 +1,22 @@
+// Counters for the reliable-broadcast layer (non-template part).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace net {
+
+/// Observability for the [GLBKSS]-style broadcast. Used by the availability
+/// and thrashing experiments (E8, E12) and by the protocol tests.
+struct BroadcastStats {
+  std::uint64_t originated = 0;        ///< Payloads broadcast by this node.
+  std::uint64_t delivered = 0;         ///< Payloads delivered upward.
+  std::uint64_t duplicates_dropped = 0;///< Re-received payloads ignored.
+  std::uint64_t causally_buffered = 0; ///< Arrivals parked awaiting deps.
+  std::uint64_t anti_entropy_rounds = 0;   ///< Digests sent.
+  std::uint64_t anti_entropy_repairs = 0;  ///< Payloads resent to peers.
+
+  std::string summary() const;
+};
+
+}  // namespace net

@@ -1,0 +1,193 @@
+// A simulated SHARD cluster: nodes + network + workload injection + trace
+// assembly.
+//
+// The cluster is the "system" of paper section 3: it runs transactions and
+// guarantees the prefix subsequence condition by construction. After a run,
+// `execution()` assembles the formal Execution object (serial order = global
+// timestamp order; per-transaction prefix subsequence = what the origin had
+// merged at decision time), which the analysis passes then check against
+// the paper's conditions and theorems.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "core/execution.hpp"
+#include "net/broadcast.hpp"
+#include "shard/node.hpp"
+#include "sim/network.hpp"
+#include "sim/scheduler.hpp"
+
+namespace shard {
+
+template <core::Application App>
+class Cluster {
+ public:
+  using NodeT = Node<App>;
+  using Request = typename App::Request;
+
+  struct Config {
+    std::size_t num_nodes = 3;
+    sim::Network::Config network;
+    net::BroadcastOptions broadcast;
+    std::size_t checkpoint_interval = 32;
+    /// Discard obsolete information ([SL]): fold cluster-stable log
+    /// prefixes into the base state.
+    bool compaction = false;
+    std::uint64_t seed = 1;
+  };
+
+  explicit Cluster(Config config) : config_(config), master_rng_(config.seed) {
+    network_ = std::make_unique<sim::Network>(
+        scheduler_, config.network, master_rng_.fork_seed());
+    for (std::size_t i = 0; i < config.num_nodes; ++i) {
+      nodes_.push_back(std::make_unique<NodeT>(
+          static_cast<core::NodeId>(i), *network_, config.num_nodes,
+          config.broadcast, config.checkpoint_interval,
+          master_rng_.fork_seed(), config.compaction));
+    }
+    for (auto& n : nodes_) n->start();
+  }
+
+  /// Schedule a request to be submitted at `node` at simulated time `t`.
+  void submit_at(sim::Time t, core::NodeId node, Request request) {
+    if (node >= nodes_.size()) throw std::out_of_range("no such node");
+    ++scheduled_submissions_;
+    scheduler_.schedule_at(t, [this, node, request = std::move(request)] {
+      nodes_[node]->submit(request, scheduler_.now());
+    });
+  }
+
+  /// Submit immediately (at current simulated time) — for step-by-step
+  /// scripted scenarios and unit tests.
+  typename NodeT::Record submit_now(core::NodeId node, Request request) {
+    return nodes_.at(node)->submit(request, scheduler_.now());
+  }
+
+  /// Mixed-mode extension: schedule a SERIALIZABLE submission — the node
+  /// reserves a timestamp position and defers the decision until peer
+  /// promises guarantee a complete prefix (paper sections 3.3 / 6).
+  void submit_serializable_at(sim::Time t, core::NodeId node,
+                              Request request) {
+    if (node >= nodes_.size()) throw std::out_of_range("no such node");
+    scheduler_.schedule_at(t, [this, node, request = std::move(request)] {
+      nodes_[node]->submit_serializable(request, scheduler_.now());
+    });
+  }
+
+  /// Serializable submissions still waiting, cluster-wide.
+  std::size_t pending_serializable() const {
+    std::size_t n = 0;
+    for (const auto& node : nodes_) n += node->pending_serializable();
+    return n;
+  }
+
+  /// Advance simulated time, executing all events up to `t`.
+  void run_until(sim::Time t) { scheduler_.run_until(t); }
+
+  /// Run past the end of the partition schedule plus enough anti-entropy
+  /// rounds for every node to learn every update. Throws if convergence is
+  /// not reached within `max_time` (which would indicate a protocol bug or
+  /// a permanent partition).
+  void settle(sim::Time max_time = 1e6) {
+    const sim::Time heal = config_.network.partitions.last_heal_time();
+    if (scheduler_.now() < heal) run_until(heal);
+    const sim::Time step =
+        config_.broadcast.anti_entropy_interval > 0.0
+            ? 4.0 * config_.broadcast.anti_entropy_interval
+            : 1.0;
+    while (!converged() || pending_serializable() > 0) {
+      if (scheduler_.now() > max_time) {
+        throw std::runtime_error("cluster failed to converge by max_time");
+      }
+      run_until(scheduler_.now() + step);
+    }
+  }
+
+  /// Every node knows every update (and therefore, by the merge invariant,
+  /// every replica state is identical) — the paper's mutual consistency.
+  bool converged() const {
+    const std::uint64_t total = total_originated();
+    for (const auto& n : nodes_) {
+      if (n->updates_known() != total) return false;
+    }
+    for (std::size_t i = 1; i < nodes_.size(); ++i) {
+      if (!(nodes_[i]->state() == nodes_[0]->state())) return false;
+    }
+    return true;
+  }
+
+  std::uint64_t total_originated() const {
+    std::uint64_t total = 0;
+    for (const auto& n : nodes_) total += n->originated().size();
+    return total;
+  }
+
+  /// Assemble the formal execution: all transactions from all origins in
+  /// global timestamp order, prefixes mapped from timestamps to indices.
+  core::Execution<App> execution() const {
+    // Collect (timestamp -> record) across nodes; std::map orders by ts.
+    std::map<core::Timestamp, const typename NodeT::Record*> by_ts;
+    for (const auto& n : nodes_) {
+      for (const auto& rec : n->originated()) {
+        by_ts.emplace(rec.ts, &rec);
+      }
+    }
+    std::map<core::Timestamp, std::size_t> index_of;
+    std::size_t next = 0;
+    for (const auto& [ts, rec] : by_ts) index_of.emplace(ts, next++);
+
+    core::Execution<App> exec;
+    for (const auto& [ts, rec] : by_ts) {
+      core::TxInstance<App> tx;
+      tx.ts = rec->ts;
+      tx.origin = rec->origin;
+      tx.real_time = rec->real_time;
+      tx.request = rec->request;
+      tx.update = rec->update;
+      tx.external_actions = rec->external_actions;
+      tx.prefix.reserve(rec->prefix.size());
+      for (const core::Timestamp& pts : rec->prefix) {
+        tx.prefix.push_back(index_of.at(pts));
+      }
+      exec.append(std::move(tx));
+    }
+    return exec;
+  }
+
+  sim::Scheduler& scheduler() { return scheduler_; }
+  sim::Network& network() { return *network_; }
+  NodeT& node(core::NodeId i) { return *nodes_.at(i); }
+  const NodeT& node(core::NodeId i) const { return *nodes_.at(i); }
+  std::size_t num_nodes() const { return nodes_.size(); }
+  const Config& config() const { return config_; }
+
+  /// Aggregated engine stats across nodes (thrashing / E10 tables).
+  EngineStats aggregate_engine_stats() const {
+    EngineStats agg;
+    for (const auto& n : nodes_) {
+      const EngineStats& s = n->engine_stats();
+      agg.decisions_run += s.decisions_run;
+      agg.tail_appends += s.tail_appends;
+      agg.mid_inserts += s.mid_inserts;
+      agg.undone_updates += s.undone_updates;
+      agg.redone_updates += s.redone_updates;
+      agg.checkpoints_taken += s.checkpoints_taken;
+      agg.checkpoints_invalidated += s.checkpoints_invalidated;
+    }
+    return agg;
+  }
+
+ private:
+  Config config_;
+  sim::Rng master_rng_;
+  sim::Scheduler scheduler_;
+  std::unique_ptr<sim::Network> network_;
+  std::vector<std::unique_ptr<NodeT>> nodes_;
+  std::uint64_t scheduled_submissions_ = 0;
+};
+
+}  // namespace shard

@@ -1,0 +1,17 @@
+#include "shard/engine_stats.hpp"
+
+#include <sstream>
+
+namespace shard {
+
+std::string EngineStats::summary() const {
+  std::ostringstream os;
+  os << "engine: decisions=" << decisions_run << " tail=" << tail_appends
+     << " mid=" << mid_inserts << " undone=" << undone_updates
+     << " redone=" << redone_updates << " ckpt=" << checkpoints_taken
+     << " ckpt_inval=" << checkpoints_invalidated
+     << " folded=" << entries_folded;
+  return os.str();
+}
+
+}  // namespace shard

@@ -1,0 +1,25 @@
+// Counters for the replica engine's undo/redo machinery (non-template part).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace shard {
+
+/// Observability for one node's merge engine. The thrashing experiment (E8)
+/// and the checkpoint-optimization microbench (E10) read these.
+struct EngineStats {
+  std::uint64_t decisions_run = 0;   ///< Decision parts executed locally.
+  std::uint64_t tail_appends = 0;    ///< Updates merged at the log tail.
+  std::uint64_t mid_inserts = 0;     ///< Updates merged out of order.
+  std::uint64_t undone_updates = 0;  ///< Updates rolled back by mid-inserts.
+  std::uint64_t redone_updates = 0;  ///< Updates re-applied (incl. replays
+                                     ///< from checkpoints).
+  std::uint64_t checkpoints_taken = 0;
+  std::uint64_t checkpoints_invalidated = 0;
+  std::uint64_t entries_folded = 0;  ///< Compaction ([SL]): discarded entries.
+
+  std::string summary() const;
+};
+
+}  // namespace shard

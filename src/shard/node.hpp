@@ -1,0 +1,285 @@
+// A SHARD node: full replica + decision execution + update broadcast.
+//
+// Paper section 1.2 flow, implemented verbatim:
+//   1. A transaction is submitted at its origin node. The *decision part*
+//      runs once, against the node's current merged state (the apparent
+//      state — the effects of the prefix subsequence of transactions this
+//      node has so far received).
+//   2. The decision's external actions fire immediately and are never
+//      redone.
+//   3. The decision's *update* gets a globally unique timestamp and is
+//      broadcast reliably to all nodes (including merged locally).
+//   4. Every node merges every update into its timestamp-ordered log,
+//      undoing/redoing as needed (UpdateLog), so replicas converge to the
+//      same state once they know the same updates — mutual consistency
+//      without any inter-node concurrency control.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "core/execution.hpp"
+#include "core/model.hpp"
+#include "core/timestamp.hpp"
+#include "net/broadcast.hpp"
+#include "shard/update_log.hpp"
+
+namespace shard {
+
+template <core::Application App>
+class Node {
+ public:
+  using State = typename App::State;
+  using Update = typename App::Update;
+  using Request = typename App::Request;
+
+  /// The update envelope that travels through the broadcast layer.
+  struct Envelope {
+    core::Timestamp ts;
+    Update update;
+  };
+
+  /// Everything the origin records about a transaction it initiated; the
+  /// cluster assembles the formal Execution from these.
+  struct Record {
+    core::Timestamp ts;
+    core::NodeId origin = 0;
+    sim::Time real_time = 0.0;
+    Request request;
+    /// Timestamps of every transaction merged here at decision time — the
+    /// prefix subsequence (paper section 3.1).
+    std::vector<core::Timestamp> prefix;
+    Update update;
+    std::vector<core::ExternalAction> external_actions;
+    /// Mixed-mode: true if this ran with the serializable (complete-prefix)
+    /// protocol; decided_time - real_time is then the waiting latency.
+    bool serializable = false;
+    sim::Time decided_time = 0.0;
+  };
+
+  Node(core::NodeId id, sim::Network& network, std::size_t cluster_size,
+       net::BroadcastOptions broadcast_options, std::size_t checkpoint_interval,
+       std::uint64_t seed, bool enable_compaction = false)
+      : id_(id),
+        clock_(id),
+        log_(checkpoint_interval),
+        peer_announcements_(cluster_size),
+        enable_compaction_(enable_compaction),
+        sched_(&network.scheduler()),
+        broadcast_(network, id, cluster_size, broadcast_options, seed,
+                   [this](const typename net::ReliableBroadcast<Envelope>::Wire&
+                              wire) { on_deliver(wire); }) {
+    broadcast_.set_announce_hooks(
+        [this] { return promise(); },
+        [this](core::NodeId src, std::uint64_t logical, core::NodeId node,
+               std::uint64_t issued) {
+          on_announce(src, core::Timestamp{logical, node}, issued);
+        });
+  }
+
+  /// Arm protocol timers.
+  void start() { broadcast_.start(); }
+
+  /// Run one transaction originated here, now. Returns a copy of the
+  /// record (also retained internally; a reference would dangle when the
+  /// next submit grows the record vector).
+  Record submit(const Request& request, sim::Time now) {
+    ++log_.mutable_stats().decisions_run;
+    Record rec;
+    rec.origin = id_;
+    rec.real_time = now;
+    rec.request = request;
+    // The decision part observes the current merged state; its prefix
+    // subsequence is exactly the set of updates merged so far (including
+    // any compacted-away prefix — folding changes storage, not knowledge).
+    rec.prefix = folded_ts_;
+    const auto retained = log_.known_timestamps();
+    rec.prefix.insert(rec.prefix.end(), retained.begin(), retained.end());
+    core::DecisionResult<Update> decision = App::decide(request, log_.state());
+    rec.update = std::move(decision.update);
+    rec.external_actions = std::move(decision.external_actions);
+    // Timestamp strictly above everything merged here (LamportClock
+    // invariant), so the prefix really is a subsequence of the predecessors.
+    rec.ts = clock_.tick();
+    rec.decided_time = now;
+    originated_.push_back(rec);
+    // Broadcast (delivers locally first, merging into our own log).
+    broadcast_.broadcast(Envelope{rec.ts, originated_.back().update});
+    return originated_.back();
+  }
+
+  /// Mixed-mode extension (paper sections 3.3 and 6): run this transaction
+  /// SERIALIZABLY — with a provably complete prefix. A timestamp position
+  /// ts_p is reserved now; the decision is deferred until every peer has
+  /// announced a Lamport counter >= ts_p.logical ("I will issue no more
+  /// transactions with timestamp earlier than ts_p") AND all their
+  /// transactions issued up to that announcement have been merged here.
+  /// The decision then runs against the state of exactly the entries with
+  /// timestamp < ts_p: the complete prefix. Blocks (logically) through
+  /// partitions — the availability price of serializability.
+  void submit_serializable(const Request& request, sim::Time now) {
+    PendingSerial p;
+    p.request = request;
+    p.reserved_ts = clock_.tick();
+    p.enqueue_time = now;
+    pending_.push_back(std::move(p));
+    try_run_pending(now);
+  }
+
+  /// Serializable submissions still waiting for peer promises.
+  std::size_t pending_serializable() const { return pending_.size(); }
+
+  const State& state() const { return log_.state(); }
+  const UpdateLog<App>& log() const { return log_; }
+  core::NodeId id() const { return id_; }
+  const std::vector<Record>& originated() const { return originated_; }
+  const EngineStats& engine_stats() const { return log_.stats(); }
+  const net::BroadcastStats& broadcast_stats() const {
+    return broadcast_.stats();
+  }
+  /// Updates merged here, including any compacted into the base.
+  std::uint64_t updates_known() const { return log_.total_merged(); }
+  /// Log entries currently retained (the storage compaction saves).
+  std::size_t entries_retained() const { return log_.size(); }
+
+ private:
+  struct PendingSerial {
+    Request request;
+    core::Timestamp reserved_ts;
+    sim::Time enqueue_time = 0.0;
+  };
+  struct Announcement {
+    core::Timestamp promise;  ///< sender issues nothing with ts < promise
+    std::uint64_t issued = 0;
+    bool seen = false;
+  };
+
+  void on_deliver(const typename net::ReliableBroadcast<Envelope>::Wire& wire) {
+    // Fold the remote timestamp into our clock BEFORE any future local
+    // transaction, preserving "local timestamps exceed all merged ones".
+    clock_.observe(wire.payload.ts);
+    log_.insert({wire.payload.ts, wire.payload.update});
+    try_run_pending(sched_->now());
+  }
+
+  /// Our promise: we will issue nothing with a timestamp below this. With
+  /// reservations pending, that is the earliest reserved timestamp; else
+  /// the next tick's lower bound (counter+1, self).
+  std::pair<std::uint64_t, core::NodeId> promise() const {
+    if (!pending_.empty()) {
+      const core::Timestamp& t = pending_.front().reserved_ts;
+      return {t.logical, t.node};
+    }
+    return {clock_.counter() + 1, id_};
+  }
+
+  void on_announce(core::NodeId src, const core::Timestamp& promise_ts,
+                   std::uint64_t issued) {
+    auto& a = peer_announcements_[src];
+    // Announcements can arrive out of order; keep the strongest promise,
+    // paired with the largest issued-count seen (both are monotone in the
+    // sender's send order).
+    if (!a.seen || promise_ts >= a.promise) {
+      a.promise = promise_ts;
+      a.issued = std::max(a.issued, issued);
+      a.seen = true;
+    }
+    // A peer's promise also advances our clock, so counters propagate even
+    // across quiescent nodes and every reservation is eventually covered
+    // (liveness of the waiting protocol). (logical-1: a promise of
+    // (L, node) only says future timestamps are >= that; observing L-1
+    // keeps our next tick possibly equal to L, which the node tiebreak
+    // disambiguates.)
+    clock_.observe(core::Timestamp{promise_ts.logical - 1, src});
+    try_run_pending(sched_->now());
+    if (enable_compaction_) maybe_compact();
+  }
+
+  /// The [SL] discard rule: everything below the cluster-wide stability
+  /// point — min over all nodes (self included) of their promise, taken
+  /// only from peers whose issued updates have all been merged here — can
+  /// never be preceded by a new arrival, so it folds into the base state.
+  void maybe_compact() {
+    const auto [own_logical, own_node] = promise();
+    core::Timestamp stable{own_logical, own_node};
+    const auto& delivered = broadcast_.delivered_vector();
+    for (core::NodeId m = 0; m < peer_announcements_.size(); ++m) {
+      if (m == id_) continue;
+      const Announcement& a = peer_announcements_[m];
+      if (!a.seen || delivered[m] < a.issued) return;  // not stable yet
+      stable = std::min(stable, a.promise);
+    }
+    if (!(log_.base_cut() < stable)) return;
+    // Remember the folded timestamps: knowledge (prefix recording) must
+    // survive even though the updates' storage is discarded.
+    for (const core::Timestamp& ts : log_.known_timestamps_before(stable)) {
+      folded_ts_.push_back(ts);
+    }
+    log_.compact_before(stable);
+  }
+
+  /// Promise check for the front pending transaction: every peer m
+  /// promised to issue nothing with timestamp < promise_m, with
+  /// promise_m >= ts_p (so every future m-transaction has a timestamp
+  /// strictly above ts_p — node ids differ), and everything m had issued
+  /// by that announcement has been merged here. Then the entries with
+  /// ts < ts_p form the complete prefix of position ts_p, now and forever.
+  bool promises_cover(const core::Timestamp& ts_p) const {
+    const auto& delivered = broadcast_.delivered_vector();
+    for (core::NodeId m = 0; m < peer_announcements_.size(); ++m) {
+      if (m == id_) continue;
+      const Announcement& a = peer_announcements_[m];
+      if (!a.seen || a.promise < ts_p) return false;
+      if (delivered[m] < a.issued) return false;
+    }
+    return true;
+  }
+
+  void try_run_pending(sim::Time now) {
+    while (!pending_.empty() && promises_cover(pending_.front().reserved_ts)) {
+      PendingSerial p = std::move(pending_.front());
+      pending_.pop_front();
+      run_reserved(p, now);
+    }
+  }
+
+  void run_reserved(const PendingSerial& p, sim::Time now) {
+    ++log_.mutable_stats().decisions_run;
+    Record rec;
+    rec.origin = id_;
+    rec.real_time = p.enqueue_time;  // initiation time (timed executions)
+    rec.request = p.request;
+    rec.ts = p.reserved_ts;
+    // The complete prefix: exactly the merged entries with ts < ts_p
+    // (compacted entries are all below any live reservation: our own
+    // promise pins the stability point at or below ts_p).
+    rec.prefix = folded_ts_;
+    const auto retained = log_.known_timestamps_before(p.reserved_ts);
+    rec.prefix.insert(rec.prefix.end(), retained.begin(), retained.end());
+    const State view = log_.state_before(p.reserved_ts);
+    core::DecisionResult<Update> decision = App::decide(p.request, view);
+    rec.update = std::move(decision.update);
+    rec.external_actions = std::move(decision.external_actions);
+    rec.serializable = true;
+    rec.decided_time = now;
+    originated_.push_back(rec);
+    broadcast_.broadcast(Envelope{rec.ts, originated_.back().update});
+  }
+
+  core::NodeId id_;
+  core::LamportClock clock_;
+  UpdateLog<App> log_;
+  std::vector<Record> originated_;
+  std::vector<Announcement> peer_announcements_;
+  std::deque<PendingSerial> pending_;
+  bool enable_compaction_ = false;
+  /// Timestamps of compacted-away entries, in order (prefix bookkeeping).
+  std::vector<core::Timestamp> folded_ts_;
+  sim::Scheduler* sched_;
+  net::ReliableBroadcast<Envelope> broadcast_;
+};
+
+}  // namespace shard

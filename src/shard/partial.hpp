@@ -1,0 +1,513 @@
+// Partial replication (the paper's first section 6 extension).
+//
+// "The inessential full replication assumption needs to be removed. Even
+// with only partial replication, it should be possible to continue to
+// maintain the correctness conditions we describe in this paper, by
+// judicious assignment of data and transactions to nodes (i.e. in such a
+// way that each transaction will have copies of all the data it requires)."
+//
+// Model: the database is partitioned into *groups* of objects (accounts,
+// key shards, flights); each group is replicated on `replication_factor`
+// of the nodes. A request names the group(s) it reads and writes; the
+// router sends it to a node hosting ALL of them — the paper's "judicious
+// assignment". The decision part reads the local replicas of those groups
+// and emits one update per written group; each group's updates are
+// broadcast only to that group's replica set and merged in global
+// timestamp order per group. Every per-group projection of the run is a
+// SHARD execution in the full paper sense, so all the correctness
+// conditions apply group-wise (checked in tests/test_partial.cpp).
+//
+// What partial replication costs, and what the experiments measure
+// (bench/e13_partial_replication): a request whose group set no single
+// node hosts is *unroutable* (a new failure mode full replication never
+// has), and smaller replica sets mean less storage and fewer messages but
+// fewer places any given transaction can run.
+#pragma once
+
+#include <algorithm>
+#include <any>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <unordered_set>
+#include <vector>
+
+#include "core/execution.hpp"
+#include "core/model.hpp"
+#include "core/timestamp.hpp"
+#include "shard/engine_stats.hpp"
+#include "shard/update_log.hpp"
+#include "sim/network.hpp"
+#include "sim/scheduler.hpp"
+
+namespace shard {
+
+using GroupId = std::uint32_t;
+
+/// One group-scoped write produced by a decision.
+template <class A>
+struct GroupWrite {
+  GroupId group = 0;
+  typename A::Update update;
+};
+
+/// What a partial-application decision returns.
+template <class A>
+struct PartialDecision {
+  std::vector<GroupWrite<A>> writes;
+  std::vector<core::ExternalAction> external_actions;
+};
+
+/// Read access to the local replicas of the groups a request declared.
+template <class A>
+using GroupView =
+    std::function<const typename A::GroupState&(GroupId)>;
+
+/// Contract for partially replicated applications.
+///
+/// Requirements beyond the syntactic ones:
+///  - `groups_of(request)` must list every group the decision reads or the
+///    updates write (the router relies on it);
+///  - `decide` must only call the view on those groups;
+///  - each write's group must be in `groups_of(request)`;
+///  - `apply` must preserve group well-formedness.
+template <class A>
+concept PartialApplication =
+    requires(const typename A::GroupState& gs,
+             typename A::GroupState& mutable_gs,
+             const typename A::Update& u, const typename A::Request& req,
+             const GroupView<A>& view) {
+      typename A::GroupState;
+      typename A::Update;
+      typename A::Request;
+      { A::name() } -> std::convertible_to<std::string>;
+      { A::group_initial() } -> std::same_as<typename A::GroupState>;
+      { A::group_well_formed(gs) } -> std::convertible_to<bool>;
+      { A::apply(u, mutable_gs) } -> std::same_as<void>;
+      { A::groups_of(req) } -> std::convertible_to<std::vector<GroupId>>;
+      { A::decide(req, view) } -> std::same_as<PartialDecision<A>>;
+      { A::kNumConstraints } -> std::convertible_to<int>;
+      { A::cost(gs, int{}) } -> std::convertible_to<double>;
+      requires std::equality_comparable<typename A::GroupState>;
+      requires std::default_initializable<typename A::Update>;
+    };
+
+/// Adapter exposing one group of a PartialApplication as a Replicable
+/// state machine, so UpdateLog and Execution can be reused verbatim.
+template <PartialApplication A>
+struct GroupStateMachine {
+  using State = typename A::GroupState;
+  using Update = typename A::Update;
+  using Request = typename A::Request;
+  static State initial() { return A::group_initial(); }
+  static bool well_formed(const State& s) { return A::group_well_formed(s); }
+  static void apply(const Update& u, State& s) { A::apply(u, s); }
+};
+
+/// A partially replicated SHARD cluster.
+template <PartialApplication A>
+class PartialCluster {
+ public:
+  using GroupLog = UpdateLog<GroupStateMachine<A>>;
+  using Request = typename A::Request;
+  using Update = typename A::Update;
+
+  struct Config {
+    std::size_t num_nodes = 4;
+    std::size_t num_groups = 8;
+    std::size_t replication_factor = 2;
+    sim::Network::Config network;
+    sim::Time anti_entropy_interval = 0.5;
+    std::size_t checkpoint_interval = 32;
+    std::uint64_t seed = 1;
+  };
+
+  /// What the origin records about one transaction (for per-group
+  /// execution assembly).
+  struct Record {
+    core::Timestamp ts;
+    core::NodeId origin = 0;
+    sim::Time real_time = 0.0;
+    Request request;
+    std::vector<GroupWrite<A>> writes;
+    std::vector<core::ExternalAction> external_actions;
+    /// Per written group: the timestamps merged in that group's local log
+    /// at decision time — the group-wise prefix subsequence.
+    std::map<GroupId, std::vector<core::Timestamp>> group_prefixes;
+  };
+
+  struct Stats {
+    std::uint64_t routed = 0;
+    std::uint64_t unroutable = 0;  ///< no node hosts all required groups
+    std::uint64_t wires_sent = 0;
+    std::uint64_t repairs_sent = 0;
+  };
+
+  explicit PartialCluster(Config config)
+      : config_(config), rng_(config.seed) {
+    if (config_.replication_factor == 0 ||
+        config_.replication_factor > config_.num_nodes) {
+      throw std::invalid_argument("replication factor out of range");
+    }
+    network_ = std::make_unique<sim::Network>(scheduler_, config_.network,
+                                              rng_.fork_seed());
+    // Placement: group g lives on r consecutive nodes starting at g mod n.
+    replicas_.resize(config_.num_groups);
+    for (GroupId g = 0; g < config_.num_groups; ++g) {
+      for (std::size_t j = 0; j < config_.replication_factor; ++j) {
+        replicas_[g].push_back(static_cast<core::NodeId>(
+            (g + j) % config_.num_nodes));
+      }
+    }
+    nodes_.resize(config_.num_nodes);
+    for (core::NodeId n = 0; n < config_.num_nodes; ++n) {
+      nodes_[n] = std::make_unique<NodeState>(n, config_.checkpoint_interval);
+      network_->register_node(
+          n, [this, n](const sim::Message& m) { on_message(n, m); });
+    }
+    for (GroupId g = 0; g < config_.num_groups; ++g) {
+      for (core::NodeId n : replicas_[g]) {
+        nodes_[n]->logs.emplace(g, GroupLog(config_.checkpoint_interval));
+      }
+    }
+    if (config_.anti_entropy_interval > 0.0) {
+      for (core::NodeId n = 0; n < config_.num_nodes; ++n) {
+        schedule_anti_entropy(n);
+      }
+    }
+  }
+
+  /// Nodes hosting group g.
+  const std::vector<core::NodeId>& replicas_of(GroupId g) const {
+    return replicas_.at(g);
+  }
+
+  bool hosts(core::NodeId n, GroupId g) const {
+    return nodes_.at(n)->logs.contains(g);
+  }
+
+  /// A node hosting every group in `groups`, or nullopt — the "judicious
+  /// assignment" requirement that each transaction has copies of all the
+  /// data it requires.
+  std::optional<core::NodeId> route(const std::vector<GroupId>& groups) {
+    std::vector<core::NodeId> candidates;
+    for (core::NodeId n = 0; n < config_.num_nodes; ++n) {
+      bool all = true;
+      for (GroupId g : groups) {
+        if (!hosts(n, g)) {
+          all = false;
+          break;
+        }
+      }
+      if (all) candidates.push_back(n);
+    }
+    if (candidates.empty()) return std::nullopt;
+    return candidates[static_cast<std::size_t>(rng_.uniform_int(
+        0, static_cast<std::int64_t>(candidates.size()) - 1))];
+  }
+
+  /// Schedule a submission; routing happens at fire time. Returns nothing —
+  /// unroutable requests are counted in stats().
+  void submit_at(sim::Time t, Request request) {
+    scheduler_.schedule_at(t, [this, request = std::move(request)] {
+      const std::vector<GroupId> groups = A::groups_of(request);
+      const auto node = route(groups);
+      if (!node.has_value()) {
+        ++stats_.unroutable;
+        return;
+      }
+      run_at(*node, request, scheduler_.now());
+    });
+  }
+
+  /// Run a request at a specific hosting node, now (tests / scripting).
+  Record submit_now_at(core::NodeId node, const Request& request) {
+    return run_at(node, request, scheduler_.now());
+  }
+
+  void run_until(sim::Time t) { scheduler_.run_until(t); }
+
+  /// Drive anti-entropy past the last partition heal until every group's
+  /// replicas agree.
+  void settle(sim::Time max_time = 1e6) {
+    const sim::Time heal = config_.network.partitions.last_heal_time();
+    if (scheduler_.now() < heal) run_until(heal);
+    const sim::Time step = config_.anti_entropy_interval > 0.0
+                               ? 4.0 * config_.anti_entropy_interval
+                               : 1.0;
+    while (!converged()) {
+      if (scheduler_.now() > max_time) {
+        throw std::runtime_error("partial cluster failed to converge");
+      }
+      run_until(scheduler_.now() + step);
+    }
+  }
+
+  /// Mutual consistency per group: every replica holds EVERY update ever
+  /// written to the group (size compared against the global write count —
+  /// two replicas can transiently have equal sizes and states with
+  /// different contents) and the states agree.
+  bool converged() const {
+    std::vector<std::size_t> expected(config_.num_groups, 0);
+    for (const auto& node : nodes_) {
+      for (const auto& rec : node->originated) {
+        for (const auto& w : rec.writes) ++expected[w.group];
+      }
+    }
+    for (GroupId g = 0; g < config_.num_groups; ++g) {
+      const auto& reps = replicas_[g];
+      const GroupLog& first = nodes_[reps.front()]->logs.at(g);
+      if (first.size() != expected[g]) return false;
+      for (std::size_t i = 1; i < reps.size(); ++i) {
+        const GroupLog& other = nodes_[reps[i]]->logs.at(g);
+        if (other.size() != expected[g] ||
+            !(other.state() == first.state())) {
+          return false;
+        }
+      }
+    }
+    return true;
+  }
+
+  /// The state of group g (at its first replica).
+  const typename A::GroupState& group_state(GroupId g) const {
+    return nodes_[replicas_.at(g).front()]->logs.at(g).state();
+  }
+
+  /// Assemble the formal execution of one group: all transactions that
+  /// wrote it, in timestamp order, with group-wise prefix subsequences.
+  core::Execution<GroupStateMachine<A>> group_execution(GroupId g) const {
+    struct Item {
+      const Record* rec;
+      const GroupWrite<A>* write;
+    };
+    std::map<core::Timestamp, Item> by_ts;
+    for (const auto& node : nodes_) {
+      for (const auto& rec : node->originated) {
+        for (const auto& w : rec.writes) {
+          if (w.group == g) by_ts.emplace(rec.ts, Item{&rec, &w});
+        }
+      }
+    }
+    std::map<core::Timestamp, std::size_t> index_of;
+    std::size_t next = 0;
+    for (const auto& [ts, item] : by_ts) index_of.emplace(ts, next++);
+    core::Execution<GroupStateMachine<A>> exec;
+    for (const auto& [ts, item] : by_ts) {
+      core::TxInstance<GroupStateMachine<A>> tx;
+      tx.ts = ts;
+      tx.origin = item.rec->origin;
+      tx.real_time = item.rec->real_time;
+      tx.request = item.rec->request;
+      tx.update = item.write->update;
+      tx.external_actions = item.rec->external_actions;
+      for (const core::Timestamp& pts :
+           item.rec->group_prefixes.at(g)) {
+        tx.prefix.push_back(index_of.at(pts));
+      }
+      exec.append(std::move(tx));
+    }
+    return exec;
+  }
+
+  /// Total log entries stored at a node — the storage saving vs full
+  /// replication.
+  std::size_t storage_at(core::NodeId n) const {
+    std::size_t total = 0;
+    for (const auto& [g, log] : nodes_.at(n)->logs) total += log.size();
+    return total;
+  }
+
+  std::size_t groups_hosted_at(core::NodeId n) const {
+    return nodes_.at(n)->logs.size();
+  }
+
+  const Stats& stats() const { return stats_; }
+  sim::Scheduler& scheduler() { return scheduler_; }
+  const Config& config() const { return config_; }
+  const std::vector<Record>& originated_at(core::NodeId n) const {
+    return nodes_.at(n)->originated;
+  }
+
+ private:
+  enum class PacketType { kWire, kDigest, kRepair };
+  struct Wire {
+    GroupId group = 0;
+    core::NodeId origin = 0;
+    std::uint64_t origin_seq = 0;  // per (origin, group)
+    core::Timestamp ts;
+    Update update;
+  };
+  struct Packet {
+    PacketType type = PacketType::kWire;
+    Wire wire;
+    GroupId digest_group = 0;
+    std::vector<std::uint64_t> digest_have;  // per origin node
+    std::vector<Wire> repairs;
+  };
+
+  struct NodeState {
+    core::NodeId id;
+    core::LamportClock clock;
+    std::map<GroupId, GroupLog> logs;
+    std::vector<Record> originated;
+    /// Per (group, origin): contiguous received prefix + out-of-order
+    /// extras, for dedup and anti-entropy digests. Wire sequence numbers
+    /// are per (origin, group).
+    std::map<GroupId, std::vector<std::uint64_t>> contiguous_have;
+    std::map<GroupId, std::vector<std::unordered_set<std::uint64_t>>> extras;
+    /// Repair store: every wire received, per group/origin/seq.
+    std::map<GroupId, std::map<core::NodeId, std::map<std::uint64_t, Wire>>>
+        store_;
+    std::map<GroupId, std::uint64_t> own_seq;
+
+    NodeState(core::NodeId n, std::size_t) : id(n), clock(n) {}
+  };
+
+  Record run_at(core::NodeId node_id, const Request& request, sim::Time now) {
+    NodeState& node = *nodes_[node_id];
+    const std::vector<GroupId> groups = A::groups_of(request);
+    for (GroupId g : groups) {
+      if (!node.logs.contains(g)) {
+        throw std::logic_error("routed to a node not hosting a group");
+      }
+    }
+    ++stats_.routed;
+    Record rec;
+    rec.origin = node_id;
+    rec.real_time = now;
+    rec.request = request;
+    const GroupView<A> view =
+        [&node](GroupId g) -> const typename A::GroupState& {
+      return node.logs.at(g).state();
+    };
+    PartialDecision<A> decision = A::decide(request, view);
+    rec.external_actions = std::move(decision.external_actions);
+    rec.writes = std::move(decision.writes);
+    // One timestamp for the whole transaction; per-group logs never see
+    // duplicates because a transaction writes each group at most once.
+    rec.ts = node.clock.tick();
+    for (const auto& w : rec.writes) {
+      rec.group_prefixes.emplace(w.group,
+                                 node.logs.at(w.group).known_timestamps());
+    }
+    node.originated.push_back(rec);
+    for (const auto& w : rec.writes) {
+      Wire wire;
+      wire.group = w.group;
+      wire.origin = node_id;
+      wire.origin_seq = ++node.own_seq[w.group];
+      wire.ts = rec.ts;
+      wire.update = w.update;
+      ingest(node, wire);  // local merge first
+      for (core::NodeId peer : replicas_[w.group]) {
+        if (peer == node_id) continue;
+        Packet p;
+        p.type = PacketType::kWire;
+        p.wire = wire;
+        ++stats_.wires_sent;
+        network_->send(node_id, peer, std::any(std::move(p)));
+      }
+    }
+    return rec;
+  }
+
+  void on_message(core::NodeId self, const sim::Message& m) {
+    NodeState& node = *nodes_[self];
+    const auto& p = std::any_cast<const Packet&>(m.payload);
+    switch (p.type) {
+      case PacketType::kWire:
+        ingest(node, p.wire);
+        break;
+      case PacketType::kDigest:
+        answer_digest(self, m.src, p);
+        break;
+      case PacketType::kRepair:
+        for (const Wire& w : p.repairs) ingest(node, w);
+        break;
+    }
+  }
+
+  void ingest(NodeState& node, const Wire& w) {
+    auto& have = node.contiguous_have[w.group];
+    auto& extra = node.extras[w.group];
+    if (have.size() < config_.num_nodes) have.resize(config_.num_nodes, 0);
+    if (extra.size() < config_.num_nodes) extra.resize(config_.num_nodes);
+    if (w.origin_seq <= have[w.origin] ||
+        extra[w.origin].contains(w.origin_seq)) {
+      return;  // duplicate
+    }
+    extra[w.origin].insert(w.origin_seq);
+    while (extra[w.origin].contains(have[w.origin] + 1)) {
+      ++have[w.origin];
+      extra[w.origin].erase(have[w.origin]);
+    }
+    node.store_[w.group][w.origin][w.origin_seq] = w;
+    node.clock.observe(w.ts);
+    node.logs.at(w.group).insert({w.ts, w.update});
+  }
+
+  void schedule_anti_entropy(core::NodeId n) {
+    const sim::Time dt =
+        config_.anti_entropy_interval + rng_.uniform(0.0, 0.1);
+    scheduler_.schedule_after(dt, [this, n] {
+      run_anti_entropy_round(n);
+      schedule_anti_entropy(n);
+    });
+  }
+
+  void run_anti_entropy_round(core::NodeId self) {
+    NodeState& node = *nodes_[self];
+    // One digest per hosted group, to a random co-replica.
+    for (const auto& [g, log] : node.logs) {
+      const auto& reps = replicas_[g];
+      if (reps.size() < 2) continue;
+      core::NodeId peer;
+      do {
+        peer = reps[static_cast<std::size_t>(rng_.uniform_int(
+            0, static_cast<std::int64_t>(reps.size()) - 1))];
+      } while (peer == self);
+      Packet p;
+      p.type = PacketType::kDigest;
+      p.digest_group = g;
+      auto& have = node.contiguous_have[g];
+      if (have.size() < config_.num_nodes) have.resize(config_.num_nodes, 0);
+      p.digest_have = have;
+      network_->send(self, peer, std::any(std::move(p)));
+    }
+  }
+
+  void answer_digest(core::NodeId self, core::NodeId requester,
+                     const Packet& digest) {
+    NodeState& node = *nodes_[self];
+    const GroupId g = digest.digest_group;
+    Packet reply;
+    reply.type = PacketType::kRepair;
+    auto& have = node.contiguous_have[g];
+    if (have.size() < config_.num_nodes) have.resize(config_.num_nodes, 0);
+    for (core::NodeId origin = 0; origin < config_.num_nodes; ++origin) {
+      const std::uint64_t theirs = origin < digest.digest_have.size()
+                                       ? digest.digest_have[origin]
+                                       : 0;
+      for (std::uint64_t seq = theirs + 1; seq <= have[origin]; ++seq) {
+        reply.repairs.push_back(node.store_[g][origin][seq]);
+      }
+    }
+    if (reply.repairs.empty()) return;
+    stats_.repairs_sent += reply.repairs.size();
+    network_->send(self, requester, std::any(std::move(reply)));
+  }
+
+  Config config_;
+  sim::Rng rng_;
+  sim::Scheduler scheduler_;
+  std::unique_ptr<sim::Network> network_;
+  std::vector<std::vector<core::NodeId>> replicas_;
+  std::vector<std::unique_ptr<NodeState>> nodes_;
+  Stats stats_;
+};
+
+}  // namespace shard

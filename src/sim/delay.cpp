@@ -1,0 +1,124 @@
+#include "sim/delay.hpp"
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+namespace sim {
+namespace {
+
+class ConstantDelay final : public DelayModel {
+ public:
+  explicit ConstantDelay(Time d) : d_(d) {}
+  Time sample(Rng&) const override { return d_; }
+  Time upper_bound() const override { return d_; }
+  std::string describe() const override {
+    std::ostringstream os;
+    os << "constant(" << d_ << "s)";
+    return os.str();
+  }
+
+ private:
+  Time d_;
+};
+
+class UniformDelay final : public DelayModel {
+ public:
+  UniformDelay(Time lo, Time hi) : lo_(lo), hi_(hi) {}
+  Time sample(Rng& rng) const override { return rng.uniform(lo_, hi_); }
+  Time upper_bound() const override { return hi_; }
+  std::string describe() const override {
+    std::ostringstream os;
+    os << "uniform(" << lo_ << "s," << hi_ << "s)";
+    return os.str();
+  }
+
+ private:
+  Time lo_, hi_;
+};
+
+class ExponentialDelay final : public DelayModel {
+ public:
+  ExponentialDelay(Time base, Time tail_mean, Time cap)
+      : base_(base), tail_mean_(tail_mean), cap_(cap) {}
+  Time sample(Rng& rng) const override {
+    Time d = base_ + rng.exponential(tail_mean_);
+    if (cap_ > 0.0) d = std::min(d, cap_);
+    return d;
+  }
+  Time upper_bound() const override {
+    return cap_ > 0.0 ? cap_ : std::numeric_limits<Time>::infinity();
+  }
+  std::string describe() const override {
+    std::ostringstream os;
+    os << "exp(base=" << base_ << "s,mean=" << tail_mean_ << "s";
+    if (cap_ > 0.0) os << ",cap=" << cap_ << "s";
+    os << ")";
+    return os.str();
+  }
+
+ private:
+  Time base_, tail_mean_, cap_;
+};
+
+class LognormalDelay final : public DelayModel {
+ public:
+  LognormalDelay(Time median, double sigma)
+      : mu_(std::log(median)), sigma_(sigma), median_(median) {}
+  Time sample(Rng& rng) const override { return rng.lognormal(mu_, sigma_); }
+  Time upper_bound() const override {
+    return std::numeric_limits<Time>::infinity();
+  }
+  std::string describe() const override {
+    std::ostringstream os;
+    os << "lognormal(median=" << median_ << "s,sigma=" << sigma_ << ")";
+    return os.str();
+  }
+
+ private:
+  double mu_, sigma_;
+  Time median_;
+};
+
+class BimodalDelay final : public DelayModel {
+ public:
+  BimodalDelay(Delay fast, Delay slow, double p_slow)
+      : fast_(std::move(fast)), slow_(std::move(slow)), p_slow_(p_slow) {}
+  Time sample(Rng& rng) const override {
+    return rng.bernoulli(p_slow_) ? slow_.sample(rng) : fast_.sample(rng);
+  }
+  Time upper_bound() const override {
+    return std::max(fast_.upper_bound(), slow_.upper_bound());
+  }
+  std::string describe() const override {
+    std::ostringstream os;
+    os << "bimodal(fast=" << fast_.describe() << ",slow=" << slow_.describe()
+       << ",p_slow=" << p_slow_ << ")";
+    return os.str();
+  }
+
+ private:
+  Delay fast_, slow_;
+  double p_slow_;
+};
+
+}  // namespace
+
+Delay Delay::constant(Time d) {
+  return Delay(std::make_shared<ConstantDelay>(d));
+}
+Delay Delay::uniform(Time lo, Time hi) {
+  return Delay(std::make_shared<UniformDelay>(lo, hi));
+}
+Delay Delay::exponential(Time base, Time tail_mean, Time cap) {
+  return Delay(std::make_shared<ExponentialDelay>(base, tail_mean, cap));
+}
+Delay Delay::lognormal(Time median, double sigma) {
+  return Delay(std::make_shared<LognormalDelay>(median, sigma));
+}
+Delay Delay::bimodal(Delay fast, Delay slow, double p_slow) {
+  return Delay(
+      std::make_shared<BimodalDelay>(std::move(fast), std::move(slow), p_slow));
+}
+
+}  // namespace sim

@@ -1,0 +1,50 @@
+#include "sim/network.hpp"
+
+#include <cassert>
+
+namespace sim {
+
+void Network::register_node(NodeId node, Handler handler) {
+  if (node >= handlers_.size()) handlers_.resize(node + 1);
+  handlers_[node] = std::move(handler);
+}
+
+std::uint64_t Network::send(NodeId src, NodeId dst, std::any payload) {
+  assert(dst < handlers_.size() && handlers_[dst]);
+  ++stats_.sent;
+  // A cut active at send time swallows the message. The paper's broadcast
+  // layer is responsible for eventual delivery via retransmission, so loss
+  // here is exactly the failure the correctness conditions must tolerate.
+  if (!config_.partitions.connected(src, dst, sched_.now())) {
+    ++stats_.dropped_partition;
+    return 0;
+  }
+  if (config_.drop_probability > 0.0 &&
+      rng_.bernoulli(config_.drop_probability)) {
+    ++stats_.dropped_random;
+    return 0;
+  }
+  const std::uint64_t id = next_msg_id_++;
+  Message msg{src, dst, id, std::move(payload)};
+  const Time latency = config_.delay.sample(rng_);
+  sched_.schedule_after(latency, [this, msg = std::move(msg)]() {
+    // Deliver even if a partition started after the send: the datagram was
+    // already in flight. (Cut-at-send-time is the standard simplification;
+    // the broadcast layer tolerates either convention.)
+    ++stats_.delivered;
+    handlers_[msg.dst](msg);
+  });
+  return id;
+}
+
+std::size_t Network::send_to_all(NodeId src, const std::any& payload) {
+  std::size_t n = 0;
+  for (NodeId dst = 0; dst < handlers_.size(); ++dst) {
+    if (dst == src || !handlers_[dst]) continue;
+    send(src, dst, payload);
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace sim

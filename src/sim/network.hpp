@@ -1,0 +1,91 @@
+// Point-to-point message layer over the discrete-event scheduler.
+//
+// Models the unreliable datagram substrate underneath the [GLBKSS] reliable
+// broadcast: per-message sampled latency, optional random loss, and loss of
+// every message whose send time falls inside an active partition cut.
+// Payloads are type-erased (std::any) so the non-template network can carry
+// any application's update envelopes.
+#pragma once
+
+#include <any>
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "sim/delay.hpp"
+#include "sim/partition.hpp"
+#include "sim/rng.hpp"
+#include "sim/scheduler.hpp"
+
+namespace sim {
+
+/// A delivered datagram.
+struct Message {
+  NodeId src = 0;
+  NodeId dst = 0;
+  std::uint64_t id = 0;  // unique per send, for tracing
+  std::any payload;
+};
+
+/// Counters exposed for the availability experiments (E8, E12).
+struct NetworkStats {
+  std::uint64_t sent = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t dropped_partition = 0;
+  std::uint64_t dropped_random = 0;
+};
+
+/// Simulated unreliable network.
+///
+/// One instance serves the whole cluster. Each node registers a receive
+/// handler; `send` samples a latency from the delay model and schedules
+/// delivery, unless the message is lost to a partition cut or random drop.
+class Network {
+ public:
+  using Handler = std::function<void(const Message&)>;
+
+  struct Config {
+    Delay delay = Delay::constant(0.01);
+    double drop_probability = 0.0;
+    PartitionSchedule partitions;
+  };
+
+  Network(Scheduler& sched, Config config, std::uint64_t seed)
+      : sched_(sched), config_(std::move(config)), rng_(seed) {}
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Register the receive handler for `node`. Grows the node table as needed.
+  void register_node(NodeId node, Handler handler);
+
+  /// Number of registered nodes.
+  std::size_t node_count() const { return handlers_.size(); }
+
+  /// Send `payload` from src to dst. Returns the message id (0 if the
+  /// message was dropped immediately).
+  std::uint64_t send(NodeId src, NodeId dst, std::any payload);
+
+  /// Broadcast to every registered node except src. Returns messages sent.
+  std::size_t send_to_all(NodeId src, const std::any& payload);
+
+  /// Connectivity query, forwarded to the partition schedule at current time.
+  bool connected_now(NodeId a, NodeId b) const {
+    return config_.partitions.connected(a, b, sched_.now());
+  }
+
+  const NetworkStats& stats() const { return stats_; }
+  const Config& config() const { return config_; }
+  Scheduler& scheduler() { return sched_; }
+
+ private:
+  Scheduler& sched_;
+  Config config_;
+  Rng rng_;
+  std::vector<Handler> handlers_;
+  NetworkStats stats_;
+  std::uint64_t next_msg_id_ = 1;
+};
+
+}  // namespace sim

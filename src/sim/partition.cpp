@@ -1,0 +1,82 @@
+#include "sim/partition.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace sim {
+
+PartitionSchedule& PartitionSchedule::add(PartitionEvent event) {
+  events_.push_back(std::move(event));
+  return *this;
+}
+
+PartitionSchedule& PartitionSchedule::split_halves(NodeId n, NodeId m,
+                                                   Time start, Time end) {
+  PartitionEvent ev;
+  ev.start = start;
+  ev.end = end;
+  std::vector<NodeId> left, right;
+  for (NodeId i = 0; i < m; ++i) left.push_back(i);
+  for (NodeId i = m; i < n; ++i) right.push_back(i);
+  ev.groups = {std::move(left), std::move(right)};
+  return add(std::move(ev));
+}
+
+PartitionSchedule& PartitionSchedule::isolate(NodeId node, NodeId cluster_size,
+                                              Time start, Time end) {
+  PartitionEvent ev;
+  ev.start = start;
+  ev.end = end;
+  std::vector<NodeId> rest;
+  for (NodeId i = 0; i < cluster_size; ++i) {
+    if (i != node) rest.push_back(i);
+  }
+  ev.groups = {{node}, std::move(rest)};
+  return add(std::move(ev));
+}
+
+bool PartitionSchedule::connected(NodeId a, NodeId b, Time t) const {
+  if (a == b) return true;
+  for (const PartitionEvent& ev : events_) {
+    if (t < ev.start || t >= ev.end) continue;
+    bool together = false;
+    for (const auto& group : ev.groups) {
+      const bool has_a = std::find(group.begin(), group.end(), a) != group.end();
+      const bool has_b = std::find(group.begin(), group.end(), b) != group.end();
+      if (has_a && has_b) {
+        together = true;
+        break;
+      }
+    }
+    if (!together) return false;
+  }
+  return true;
+}
+
+bool PartitionSchedule::partitioned_at(Time t) const {
+  return std::any_of(events_.begin(), events_.end(),
+                     [t](const PartitionEvent& ev) {
+                       return t >= ev.start && t < ev.end;
+                     });
+}
+
+Time PartitionSchedule::last_heal_time() const {
+  Time latest = 0.0;
+  for (const PartitionEvent& ev : events_) latest = std::max(latest, ev.end);
+  return latest;
+}
+
+std::string PartitionSchedule::describe() const {
+  if (events_.empty()) return "no partitions";
+  std::ostringstream os;
+  os << events_.size() << " partition event(s): ";
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    const PartitionEvent& ev = events_[i];
+    if (i > 0) os << "; ";
+    os << "[" << ev.start << "," << ev.end << ")x" << ev.groups.size()
+       << " groups";
+  }
+  return os.str();
+}
+
+}  // namespace sim

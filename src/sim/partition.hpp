@@ -1,0 +1,71 @@
+// Network-partition schedules.
+//
+// The whole point of SHARD (paper abstract, section 1.2) is continued
+// operation "in the face of communication failures, including network
+// partitions". The reproduction makes partitions a first-class, scriptable
+// input: a PartitionSchedule is a set of timed cuts, each splitting the node
+// set into connectivity groups. The network consults the schedule at send
+// time; messages that would cross a cut are lost (the reliable broadcast's
+// anti-entropy recovers them after the heal, matching [GLBKSS]'s guarantee
+// that "barring permanent communication failures, every node will eventually
+// receive information about every transaction").
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/delay.hpp"
+
+namespace sim {
+
+/// Identifies a node in the simulated cluster.
+using NodeId = std::uint32_t;
+
+/// One timed cut: during [start, end) the node set is split into `groups`;
+/// two nodes communicate only if some group contains both. Nodes absent from
+/// every group are isolated for the duration.
+struct PartitionEvent {
+  Time start = 0.0;
+  Time end = 0.0;
+  std::vector<std::vector<NodeId>> groups;
+};
+
+/// A scriptable schedule of partitions over the lifetime of a run.
+///
+/// Overlapping events compose conjunctively: a pair of nodes is connected at
+/// time t iff *every* active event keeps them in a common group.
+class PartitionSchedule {
+ public:
+  PartitionSchedule() = default;
+
+  /// Add a cut. Returns *this for fluent construction.
+  PartitionSchedule& add(PartitionEvent event);
+
+  /// Convenience: split nodes [0, n) into two halves [0, m) and [m, n)
+  /// during [start, end).
+  PartitionSchedule& split_halves(NodeId n, NodeId m, Time start, Time end);
+
+  /// Convenience: isolate a single node during [start, end).
+  PartitionSchedule& isolate(NodeId node, NodeId cluster_size, Time start,
+                             Time end);
+
+  /// Are a and b connected at time t?
+  bool connected(NodeId a, NodeId b, Time t) const;
+
+  /// Is any cut active at time t?
+  bool partitioned_at(Time t) const;
+
+  /// Latest end time over all events (0 if none). After this, the network is
+  /// whole again; used by harnesses to decide how long to run healing.
+  Time last_heal_time() const;
+
+  const std::vector<PartitionEvent>& events() const { return events_; }
+
+  std::string describe() const;
+
+ private:
+  std::vector<PartitionEvent> events_;
+};
+
+}  // namespace sim

@@ -1,0 +1,79 @@
+#include "sim/scheduler.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace sim {
+
+Scheduler::EventId Scheduler::schedule_at(Time t, Action action) {
+  if (t < now_) {
+    // Scheduling into the past would silently reorder causality; treat as a
+    // programming error at the call site but clamp so protocol code that
+    // computes t = now + sampled_delay with delay 0 is still fine.
+    t = now_;
+  }
+  Event ev;
+  ev.t = t;
+  ev.seq = next_seq_++;
+  ev.id = next_id_++;
+  ev.action = std::move(action);
+  queue_.push(std::move(ev));
+  return next_id_ - 1;
+}
+
+bool Scheduler::cancel(EventId id) {
+  if (id == 0 || id >= next_id_) return false;
+  // Only record ids that might still be pending.
+  cancelled_.push_back(id);
+  cancelled_dirty_ = true;
+  // We cannot know cheaply whether the event already ran; callers use the
+  // return value only as a hint. Track liveness conservatively by probing.
+  return true;
+}
+
+bool Scheduler::is_cancelled(EventId id) {
+  if (cancelled_.empty()) return false;
+  if (cancelled_dirty_) {
+    std::sort(cancelled_.begin(), cancelled_.end());
+    cancelled_.erase(std::unique(cancelled_.begin(), cancelled_.end()),
+                     cancelled_.end());
+    cancelled_dirty_ = false;
+  }
+  return std::binary_search(cancelled_.begin(), cancelled_.end(), id);
+}
+
+bool Scheduler::step() {
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    if (is_cancelled(ev.id)) continue;
+    assert(ev.t >= now_);
+    now_ = ev.t;
+    ++executed_;
+    ev.action();
+    return true;
+  }
+  return false;
+}
+
+std::size_t Scheduler::run() {
+  std::size_t n = 0;
+  while (step()) ++n;
+  return n;
+}
+
+std::size_t Scheduler::run_until(Time t) {
+  std::size_t n = 0;
+  for (;;) {
+    // Drop cancelled events from the front so the time check below sees the
+    // next event that would actually run.
+    while (!queue_.empty() && is_cancelled(queue_.top().id)) queue_.pop();
+    if (queue_.empty() || queue_.top().t > t) break;
+    if (step()) ++n;
+  }
+  if (now_ < t) now_ = t;
+  return n;
+}
+
+}  // namespace sim

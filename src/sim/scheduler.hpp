@@ -1,0 +1,94 @@
+// Deterministic discrete-event scheduler.
+//
+// The SHARD substrate (paper section 1.2) ran on a real network at CCA; the
+// reproduction runs the same protocols on a discrete-event simulation so that
+// every theorem of the paper can be checked against exactly reproducible
+// executions, including executions with controlled network partitions.
+// Events with equal timestamps fire in insertion order, so a run is a pure
+// function of (seed, configuration).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/delay.hpp"
+
+namespace sim {
+
+/// A deterministic discrete-event scheduler ("virtual time" event loop).
+///
+/// Components schedule closures at absolute or relative simulated times;
+/// `run()` drains the queue in (time, insertion-sequence) order. Cancellation
+/// is supported so protocols can maintain retransmission timers.
+class Scheduler {
+ public:
+  using Action = std::function<void()>;
+  /// Identifies a scheduled event; usable with `cancel`.
+  using EventId = std::uint64_t;
+
+  Scheduler() = default;
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Current simulated time. Starts at 0.
+  Time now() const { return now_; }
+
+  /// Schedule `action` at absolute simulated time `t` (>= now()).
+  EventId schedule_at(Time t, Action action);
+
+  /// Schedule `action` `dt` seconds from now.
+  EventId schedule_after(Time dt, Action action) {
+    return schedule_at(now_ + dt, std::move(action));
+  }
+
+  /// Cancel a pending event. Returns false if it already ran or was
+  /// previously cancelled.
+  bool cancel(EventId id);
+
+  /// Execute the next pending event. Returns false when the queue is empty.
+  bool step();
+
+  /// Run until the queue is empty ("quiescence"). Returns events executed.
+  std::size_t run();
+
+  /// Run events with time <= `t`, then set now() = t even if idle.
+  /// Returns events executed.
+  std::size_t run_until(Time t);
+
+  /// True if no events are pending (cancelled-but-unpopped events count as
+  /// pending until drained; run()/step() skip them).
+  bool idle() const { return queue_.empty(); }
+
+  /// Total events executed since construction.
+  std::size_t events_executed() const { return executed_; }
+
+ private:
+  struct Event {
+    Time t = 0.0;
+    std::uint64_t seq = 0;  // insertion order; tie-break for determinism
+    EventId id = 0;
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.t != b.t) return a.t > b.t;
+      return a.seq > b.seq;
+    }
+  };
+
+  // Cancelled events stay in the heap and are skipped on pop; `cancelled_`
+  // holds their ids until then. This keeps cancel() O(log n) amortized.
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::vector<EventId> cancelled_;  // sorted on demand
+  bool cancelled_dirty_ = false;
+  std::uint64_t next_seq_ = 0;
+  EventId next_id_ = 1;
+  Time now_ = 0.0;
+  std::size_t executed_ = 0;
+
+  bool is_cancelled(EventId id);
+};
+
+}  // namespace sim

@@ -1,0 +1,183 @@
+// Banking application: decision/update semantics, overdraft cost model,
+// the k-bounded overdraft claim (section 6's conjecture that the airline
+// results carry over), and the audit-with-complete-prefix property of
+// section 3.2.
+#include <gtest/gtest.h>
+
+#include "analysis/cost_bounds.hpp"
+#include "analysis/execution_checker.hpp"
+#include "analysis/tx_conditions.hpp"
+#include "apps/banking/banking.hpp"
+#include "harness/scenario.hpp"
+#include "harness/state_samples.hpp"
+#include "harness/workload.hpp"
+#include "shard/cluster.hpp"
+
+namespace {
+
+namespace bk = apps::banking;
+using bk::Banking;
+using bk::Request;
+using bk::Update;
+
+TEST(Banking, DepositAlwaysApplies) {
+  bk::State s;
+  Banking::apply({Update::Kind::kDeposit, 2, 0, 150}, s);
+  EXPECT_EQ(s.balance(2), 150);
+  EXPECT_EQ(s.balance(0), 0);
+  EXPECT_EQ(s.total(), 150);
+}
+
+TEST(Banking, WithdrawDecisionChecksObservedBalance) {
+  bk::State s;
+  s.slot(1) = 100;
+  const auto ok = Banking::decide(Request::withdraw(1, 60), s);
+  EXPECT_EQ(ok.update.kind, Update::Kind::kWithdraw);
+  ASSERT_EQ(ok.external_actions.size(), 1u);
+  EXPECT_EQ(ok.external_actions[0].kind, "dispense-cash");
+  const auto declined = Banking::decide(Request::withdraw(1, 160), s);
+  EXPECT_EQ(declined.update, Update{});  // no-op
+  ASSERT_EQ(declined.external_actions.size(), 1u);
+  EXPECT_EQ(declined.external_actions[0].kind, "decline");
+}
+
+TEST(Banking, WithdrawUpdateIsUnconditional) {
+  // The cash already left the machine: applied to a staler state, the
+  // debit can overdraw — the integrity violation the cost measures.
+  bk::State s;
+  s.slot(1) = 30;
+  Banking::apply({Update::Kind::kWithdraw, 1, 0, 100}, s);
+  EXPECT_EQ(s.balance(1), -70);
+  EXPECT_EQ(s.total_overdraft(), 70);
+  EXPECT_DOUBLE_EQ(Banking::cost(s, Banking::kNoOverdraft), 70.0);
+}
+
+TEST(Banking, TransferMovesFundsUnconditionally) {
+  bk::State s;
+  s.slot(0) = 50;
+  Banking::apply({Update::Kind::kTransfer, 0, 1, 80}, s);
+  EXPECT_EQ(s.balance(0), -30);
+  EXPECT_EQ(s.balance(1), 80);
+  EXPECT_EQ(s.total(), 50);  // conservation
+}
+
+TEST(Banking, AuditIsPureDecision) {
+  bk::State s;
+  s.slot(0) = 10;
+  s.slot(1) = 20;
+  const auto d = Banking::decide(Request::audit(), s);
+  EXPECT_EQ(d.update, Update{});
+  ASSERT_EQ(d.external_actions.size(), 1u);
+  EXPECT_EQ(d.external_actions[0].kind, "audit-report");
+  EXPECT_EQ(d.external_actions[0].subject, "30");
+}
+
+TEST(Banking, CoverForgivesMostOverdrawnAccount) {
+  bk::State s;
+  s.slot(0) = -10;
+  s.slot(1) = -50;
+  s.slot(2) = 100;
+  const auto d = Banking::decide(Request::cover(), s);
+  EXPECT_EQ(d.update.kind, Update::Kind::kCover);
+  EXPECT_EQ(d.update.a, 1u);
+  bk::State t = s;
+  Banking::apply(d.update, t);
+  EXPECT_EQ(t.balance(1), 0);
+  EXPECT_EQ(t.total_overdraft(), 10);
+  // From a clean state, COVER is a no-op decision.
+  bk::State clean;
+  clean.slot(0) = 5;
+  EXPECT_EQ(Banking::decide(Request::cover(), clean).update, Update{});
+}
+
+TEST(Banking, CoverCompensatesForOverdraft) {
+  const auto states = harness::random_banking_states(17, 300, 6, 25);
+  const auto report = analysis::check_compensates<Banking>(
+      states, Request::cover(), Banking::kNoOverdraft);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+TEST(Banking, DepositsAndAuditsSafeDebitsUnsafe) {
+  const auto states = harness::random_banking_states(18, 300, 6, 25);
+  EXPECT_TRUE(analysis::check_safe_for<Banking>(states, states,
+                                                Request::deposit(1, 50), 0)
+                  .ok());
+  EXPECT_TRUE(
+      analysis::check_safe_for<Banking>(states, states, Request::audit(), 0)
+          .ok());
+  EXPECT_FALSE(analysis::check_safe_for<Banking>(states, states,
+                                                 Request::withdraw(1, 50), 0)
+                   .ok());
+  EXPECT_FALSE(analysis::check_safe_for<Banking>(
+                   states, states, Request::transfer(1, 2, 50), 0)
+                   .ok());
+}
+
+class BankingCluster : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BankingCluster, ConvergesAndOverdraftBoundedByKTimesMaxAmount) {
+  auto sc = harness::partitioned_wan(4, 5.0, 15.0);
+  shard::Cluster<Banking> cluster(sc.cluster_config<Banking>(GetParam()));
+  harness::BankingWorkload w;
+  w.duration = 25.0;
+  w.max_amount = 100;
+  harness::drive_banking(cluster, w, GetParam() ^ 0x77);
+  cluster.run_until(w.duration);
+  cluster.settle();
+  EXPECT_TRUE(cluster.converged());
+  const auto exec = cluster.execution();
+  EXPECT_TRUE(analysis::check_prefix_subsequence_condition(exec).ok());
+  // The banking analogue of Corollary 8. A debit that saw a complete
+  // prefix cannot create overdraft (its decision checked the true
+  // balance); an incomplete debit adds at most its own amount. Hence:
+  // total overdraft <= sum of amounts over debits with missing info.
+  // (A per-account version of the airline's 900k bound; the bank-wide cost
+  // needs the sum because independent accounts can overdraw concurrently.)
+  double bound = 0.0;
+  std::size_t incomplete_debits = 0;
+  for (std::size_t i = 0; i < exec.size(); ++i) {
+    const auto& r = exec.tx(i).request;
+    const bool debit = r.kind == Request::Kind::kWithdraw ||
+                       r.kind == Request::Kind::kTransfer;
+    if (debit && exec.missing_count(i) > 0) {
+      bound += static_cast<double>(r.amount);
+      ++incomplete_debits;
+    }
+  }
+  EXPECT_LE(bound, Banking::Theory::f_bound_amount(
+                       w.max_amount, incomplete_debits) +
+                       1e-9);  // coarse form used in EXPERIMENTS.md
+  for (const auto& s : exec.actual_states()) {
+    EXPECT_LE(Banking::cost(s, 0), bound + 1e-9);
+  }
+}
+
+TEST_P(BankingCluster, AuditAtQuiescenceSeesTrueTotal) {
+  // Section 3.2: "it might be desirable for audits to see the effects of
+  // all the preceding ... transactions." At quiescence (complete prefix),
+  // the audit's report equals the true total.
+  auto sc = harness::wan(3);
+  shard::Cluster<Banking> cluster(sc.cluster_config<Banking>(GetParam()));
+  harness::BankingWorkload w;
+  w.duration = 10.0;
+  harness::drive_banking(cluster, w, GetParam());
+  cluster.run_until(w.duration);
+  cluster.settle();
+  const auto& rec = cluster.submit_now(0, Request::audit());
+  EXPECT_EQ(rec.prefix.size(), cluster.total_originated() - 1);
+  EXPECT_EQ(rec.external_actions[0].subject,
+            std::to_string(cluster.node(0).state().total()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BankingCluster,
+                         ::testing::Values(401u, 402u, 403u));
+
+TEST(Banking, StringsAreReadable) {
+  EXPECT_EQ(Request::transfer(1, 2, 30).to_string(), "TRANSFER(A1->A2,30)");
+  EXPECT_EQ((Update{Update::Kind::kCover, 4, 0, 0}).to_string(), "cover(A4)");
+  bk::State s;
+  s.slot(0) = 7;
+  EXPECT_EQ(s.to_string(), "{A0=7}");
+}
+
+}  // namespace

@@ -1,0 +1,199 @@
+// Chaos suite: randomized partition schedules, topologies, and workloads.
+//
+// Every run, whatever the failure pattern, must end with: converged
+// replicas, a trace satisfying the section 3.1 conditions, transitivity
+// (causal broadcast), Theorem 5 and Theorem 7 bounds, and the final state
+// equal to the execution replay — the full guarantee stack under random
+// fire.
+#include <gtest/gtest.h>
+
+#include "analysis/cost_bounds.hpp"
+#include "analysis/execution_checker.hpp"
+#include "apps/airline/airline.hpp"
+#include "apps/banking/sharded.hpp"
+#include "harness/scenario.hpp"
+#include "harness/workload.hpp"
+#include "shard/cluster.hpp"
+#include "shard/partial.hpp"
+#include "sim/rng.hpp"
+
+namespace {
+
+namespace al = apps::airline;
+using Air = al::BasicAirline<15, 900, 300>;
+
+/// A random partition schedule: `events` cuts with random windows and
+/// random two-group splits (possibly isolating single nodes).
+sim::PartitionSchedule random_partitions(sim::Rng& rng, std::size_t nodes,
+                                         double horizon, int events) {
+  sim::PartitionSchedule ps;
+  for (int e = 0; e < events; ++e) {
+    const double start = rng.uniform(0.0, horizon * 0.8);
+    const double len = rng.uniform(1.0, horizon * 0.4);
+    sim::PartitionEvent ev;
+    ev.start = start;
+    ev.end = start + len;
+    std::vector<sim::NodeId> left, right;
+    for (sim::NodeId n = 0; n < nodes; ++n) {
+      (rng.bernoulli(0.5) ? left : right).push_back(n);
+    }
+    if (left.empty() || right.empty()) continue;  // no cut, skip
+    ev.groups = {std::move(left), std::move(right)};
+    ps.add(std::move(ev));
+  }
+  return ps;
+}
+
+class Chaos : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Chaos, FullGuaranteeStackUnderRandomFailures) {
+  sim::Rng rng(GetParam());
+  const auto nodes = static_cast<std::size_t>(rng.uniform_int(2, 6));
+  const double horizon = 25.0;
+
+  harness::Scenario sc;
+  sc.name = "chaos";
+  sc.num_nodes = nodes;
+  sc.delay = sim::Delay::exponential(rng.uniform(0.005, 0.05),
+                                     rng.uniform(0.05, 0.3), 5.0);
+  sc.drop_probability = rng.uniform(0.0, 0.3);
+  sc.partitions = random_partitions(
+      rng, nodes, horizon, static_cast<int>(rng.uniform_int(0, 3)));
+  sc.anti_entropy_interval = rng.uniform(0.2, 0.8);
+
+  shard::Cluster<Air> cluster(sc.cluster_config<Air>(GetParam() ^ 0xc4a0));
+  harness::AirlineWorkload w;
+  w.duration = horizon;
+  w.request_rate = rng.uniform(1.0, 5.0);
+  w.mover_rate = rng.uniform(1.0, 6.0);
+  w.move_down_fraction = rng.uniform(0.1, 0.5);
+  w.cancel_fraction = rng.uniform(0.0, 0.3);
+  w.max_persons = 200;
+  harness::drive_airline(cluster, w, GetParam() ^ 0x5eed);
+
+  cluster.run_until(horizon);
+  cluster.settle();
+
+  // 1. Mutual consistency.
+  ASSERT_TRUE(cluster.converged());
+  // 2. The trace is a valid §3.1 execution.
+  const auto exec = cluster.execution();
+  ASSERT_TRUE(analysis::check_prefix_subsequence_condition(exec).ok());
+  // 3. Transitivity (causal broadcast).
+  EXPECT_TRUE(analysis::is_transitive(exec));
+  // 4. Replica state == formal replay.
+  EXPECT_EQ(cluster.node(0).state(), exec.final_state());
+  // 5. Cost-bound theorems.
+  const auto preserves = [](const al::Request& r, int c) {
+    return Air::Theory::preserves_cost(r, c);
+  };
+  const auto unsafe = [](const al::Request& r, int c) {
+    return !Air::Theory::safe_for(r, c);
+  };
+  const auto f = [](int c, std::size_t k) {
+    return Air::Theory::f_bound(c, k);
+  };
+  for (int c = 0; c < Air::kNumConstraints; ++c) {
+    EXPECT_TRUE(analysis::check_theorem5(exec, c, preserves, f).ok());
+  }
+  EXPECT_TRUE(
+      analysis::check_theorem7(exec, Air::kOverbooking, unsafe, f).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Chaos,
+                         ::testing::Range<std::uint64_t>(1000, 1012));
+
+class PartialChaos : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PartialChaos, ShardedBankingSurvivesRandomFailures) {
+  namespace bk = apps::banking;
+  sim::Rng rng(GetParam());
+  const auto nodes = static_cast<std::size_t>(rng.uniform_int(3, 6));
+  const auto groups = static_cast<std::size_t>(rng.uniform_int(4, 12));
+  const auto r = static_cast<std::size_t>(
+      rng.uniform_int(1, static_cast<std::int64_t>(nodes)));
+  shard::PartialCluster<bk::ShardedBanking>::Config cfg;
+  cfg.num_nodes = nodes;
+  cfg.num_groups = groups;
+  cfg.replication_factor = r;
+  cfg.network.delay = sim::Delay::exponential(0.01, rng.uniform(0.02, 0.2), 3.0);
+  cfg.network.drop_probability = rng.uniform(0.0, 0.25);
+  cfg.network.partitions = random_partitions(
+      rng, nodes, 20.0, static_cast<int>(rng.uniform_int(0, 2)));
+  cfg.anti_entropy_interval = 0.3;
+  cfg.seed = GetParam() ^ 0x9a27;
+  shard::PartialCluster<bk::ShardedBanking> cluster(cfg);
+  for (int i = 0; i < 150; ++i) {
+    const double t = rng.uniform(0.0, 20.0);
+    const auto a = static_cast<bk::AccountId>(
+        rng.uniform_int(0, static_cast<std::int64_t>(groups) - 1));
+    const double roll = rng.uniform01();
+    if (roll < 0.45) {
+      cluster.submit_at(t, bk::ShardedRequest::deposit(a, rng.uniform_int(1, 80)));
+    } else if (roll < 0.85) {
+      cluster.submit_at(t, bk::ShardedRequest::withdraw(a, rng.uniform_int(1, 80)));
+    } else {
+      auto b = static_cast<bk::AccountId>(
+          rng.uniform_int(0, static_cast<std::int64_t>(groups) - 1));
+      if (b == a) b = static_cast<bk::AccountId>((b + 1) % groups);
+      cluster.submit_at(t, bk::ShardedRequest::transfer(a, b, rng.uniform_int(1, 60)));
+    }
+  }
+  cluster.run_until(20.0);
+  cluster.settle();
+  ASSERT_TRUE(cluster.converged());
+  for (shard::GroupId g = 0; g < groups; ++g) {
+    const auto exec = cluster.group_execution(g);
+    ASSERT_EQ(exec.final_state(), cluster.group_state(g)) << "group " << g;
+    for (std::size_t i = 1; i < exec.size(); ++i) {
+      ASSERT_LT(exec.tx(i - 1).ts, exec.tx(i).ts);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PartialChaos,
+                         ::testing::Range<std::uint64_t>(2000, 2008));
+
+TEST(ChaosEdge, TwoNodeTotalIsolationRecovers) {
+  // The extreme: two nodes fully isolated for almost the whole run.
+  harness::Scenario sc;
+  sc.num_nodes = 2;
+  sc.delay = sim::Delay::constant(0.01);
+  sc.partitions.split_halves(2, 1, 0.5, 30.0);
+  sc.anti_entropy_interval = 0.4;
+  shard::Cluster<Air> cluster(sc.cluster_config<Air>(1));
+  harness::AirlineWorkload w;
+  w.duration = 28.0;
+  w.request_rate = 2.0;
+  w.mover_rate = 3.0;
+  harness::drive_airline(cluster, w, 2);
+  cluster.run_until(w.duration);
+  cluster.settle();
+  EXPECT_TRUE(cluster.converged());
+  EXPECT_TRUE(analysis::check_prefix_subsequence_condition(
+                  cluster.execution())
+                  .ok());
+}
+
+TEST(ChaosEdge, SingleNodeClusterIsTriviallySerial) {
+  harness::Scenario sc = harness::lan(1);
+  shard::Cluster<Air> cluster(sc.cluster_config<Air>(3));
+  harness::AirlineWorkload w;
+  w.duration = 10.0;
+  harness::drive_airline(cluster, w, 4);
+  cluster.run_until(w.duration);
+  cluster.settle();
+  EXPECT_TRUE(cluster.converged());
+  EXPECT_EQ(cluster.execution().max_missing(), 0u);
+}
+
+TEST(ChaosEdge, EmptyWorkloadIsFine) {
+  harness::Scenario sc = harness::wan(3);
+  shard::Cluster<Air> cluster(sc.cluster_config<Air>(5));
+  cluster.run_until(5.0);
+  cluster.settle();
+  EXPECT_TRUE(cluster.converged());
+  EXPECT_TRUE(cluster.execution().empty());
+}
+
+}  // namespace

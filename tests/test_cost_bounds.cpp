@@ -1,0 +1,260 @@
+// The cost-bound theorems (section 5.2) validated over real cluster
+// executions with partitions and loss, plus grouping construction and the
+// refined witness bounds of section 5.3 (Theorems 20/21).
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "analysis/airline_theorems.hpp"
+#include "analysis/cost_bounds.hpp"
+#include "analysis/execution_checker.hpp"
+#include "apps/airline/airline.hpp"
+#include "core/scripted.hpp"
+#include "harness/scenario.hpp"
+#include "harness/workload.hpp"
+#include "shard/cluster.hpp"
+
+namespace {
+
+namespace al = apps::airline;
+using al::Request;
+using Air = al::BasicAirline<20, 900, 300>;  // 20 seats: violations frequent
+
+const auto kPreserves = [](const Request& r, int c) {
+  return Air::Theory::preserves_cost(r, c);
+};
+const auto kUnsafe = [](const Request& r, int c) {
+  return !Air::Theory::safe_for(r, c);
+};
+const auto kF = [](int c, std::size_t k) { return Air::Theory::f_bound(c, k); };
+
+core::Execution<Air> run_cluster(std::uint64_t seed,
+                                 harness::Scenario sc,
+                                 harness::AirlineWorkload w) {
+  shard::Cluster<Air> cluster(sc.cluster_config<Air>(seed));
+  harness::drive_airline(cluster, w, seed ^ 0x9e37);
+  cluster.run_until(w.duration);
+  cluster.settle();
+  return cluster.execution();
+}
+
+harness::AirlineWorkload default_workload() {
+  harness::AirlineWorkload w;
+  w.duration = 30.0;
+  w.request_rate = 2.0;
+  w.mover_rate = 3.0;
+  w.cancel_fraction = 0.2;
+  w.max_persons = 80;
+  return w;
+}
+
+class CostBoundsOnCluster : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CostBoundsOnCluster, Theorem5StepBoundsHoldUnderPartition) {
+  const auto exec = run_cluster(GetParam(),
+                                harness::partitioned_wan(4, 5.0, 20.0),
+                                default_workload());
+  for (int c = 0; c < Air::kNumConstraints; ++c) {
+    const auto report = analysis::check_theorem5(exec, c, kPreserves, kF);
+    EXPECT_TRUE(report.ok()) << report.to_string();
+  }
+}
+
+TEST_P(CostBoundsOnCluster, Theorem7InvariantOverbookingBound) {
+  // Corollary 8: with every MOVE-UP k-complete, every reachable state has
+  // overbooking cost <= 900k. k is measured from the trace.
+  const auto exec = run_cluster(GetParam(),
+                                harness::partitioned_wan(4, 5.0, 20.0),
+                                default_workload());
+  const auto report =
+      analysis::check_theorem7(exec, Air::kOverbooking, kUnsafe, kF);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+TEST_P(CostBoundsOnCluster, Theorem7WithExplicitTooSmallKFlagsHypothesis) {
+  const auto exec = run_cluster(GetParam(),
+                                harness::partitioned_wan(4, 5.0, 20.0),
+                                default_workload());
+  const std::size_t measured = analysis::max_missing_over_unsafe(
+      exec, Air::kOverbooking, kUnsafe);
+  if (measured == 0) GTEST_SKIP() << "no information was missing this run";
+  // Claiming k = measured-1 must be reported as a failed hypothesis (or, if
+  // the bound still holds numerically, at least not crash).
+  const auto report = analysis::check_theorem7(
+      exec, Air::kOverbooking, kUnsafe, kF, measured - 1);
+  EXPECT_FALSE(report.ok());
+}
+
+TEST_P(CostBoundsOnCluster, Theorem20WitnessBoundsHold) {
+  const auto exec = run_cluster(GetParam(),
+                                harness::partitioned_wan(4, 5.0, 20.0),
+                                default_workload());
+  const auto report = analysis::check_theorem20(exec);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+TEST_P(CostBoundsOnCluster, WitnessKNeverExceedsRawK) {
+  // The section 5.3 refinement claim: per-person witness information is a
+  // sharper hypothesis than raw k-completeness.
+  const auto exec = run_cluster(GetParam(),
+                                harness::partitioned_wan(4, 5.0, 20.0),
+                                default_workload());
+  for (std::size_t i = 0; i < exec.size(); ++i) {
+    EXPECT_LE(analysis::witness_k_overbooking(exec, i),
+              exec.missing_count(i));
+  }
+}
+
+TEST_P(CostBoundsOnCluster, Theorem21CompensationBoundsHold) {
+  const auto exec = run_cluster(GetParam(),
+                                harness::partitioned_wan(4, 5.0, 20.0),
+                                default_workload());
+  // "seen" = a random-ish subsequence: drop every 7th index.
+  std::vector<std::size_t> seen;
+  for (std::size_t i = 0; i < exec.size(); ++i) {
+    if (i % 7 != 3) seen.push_back(i);
+  }
+  const auto r1 = analysis::check_theorem21_overbooking(exec, seen);
+  EXPECT_TRUE(r1.ok()) << r1.to_string();
+  const auto r2 = analysis::check_theorem21_underbooking(exec, seen);
+  EXPECT_TRUE(r2.ok()) << r2.to_string();
+}
+
+TEST_P(CostBoundsOnCluster, Lemma4ActualWithinFkOfApparent) {
+  // Lemma 4: for a k-complete T, s <=_k t (actual vs apparent states), so
+  // cost(s,i) <= cost(t,i) + f(k), before and after the transaction.
+  const auto exec = run_cluster(GetParam(),
+                                harness::partitioned_wan(4, 5.0, 20.0),
+                                default_workload());
+  const auto states = exec.actual_states();
+  for (std::size_t i = 0; i < exec.size(); ++i) {
+    const std::size_t k = exec.missing_count(i);
+    const auto t_before = exec.apparent_state_before(i);
+    const auto t_after = exec.apparent_state_after(i);
+    for (int c = 0; c < Air::kNumConstraints; ++c) {
+      EXPECT_LE(Air::cost(states[i], c), Air::cost(t_before, c) + kF(c, k) + 1e-9)
+          << "tx " << i << " constraint " << c << " (before)";
+      EXPECT_LE(Air::cost(states[i + 1], c),
+                Air::cost(t_after, c) + kF(c, k) + 1e-9)
+          << "tx " << i << " constraint " << c << " (after)";
+    }
+  }
+}
+
+TEST_P(CostBoundsOnCluster, Lemma3AtomicSuffixPreservesSubsequenceRelation) {
+  // Lemma 3: if s <=_k t before an atomic suffix, then s' <=_k t' after it
+  // — constructively: applying the suffix updates to both sides preserves
+  // the subsequence witness, so the cost gap stays bounded by f(k).
+  const auto exec = run_cluster(GetParam(),
+                                harness::partitioned_wan(4, 5.0, 20.0),
+                                default_workload());
+  // t = state of a subsequence missing k indices; s = full state.
+  std::vector<std::size_t> seen;
+  for (std::size_t i = 0; i < exec.size(); ++i) {
+    if (i % 9 != 4) seen.push_back(i);
+  }
+  const std::size_t k = exec.size() - seen.size();
+  Air::State s = exec.final_state();
+  Air::State t = exec.state_of_subsequence(seen);
+  // Atomic suffix: ten MOVE-UP/MOVE-DOWN decisions taken against t,
+  // applied to both sides (the definition of running atomically with
+  // prefix subsequence `seen`).
+  for (int step = 0; step < 10; ++step) {
+    const auto d = Air::decide(step % 2 == 0 ? al::Request::move_up()
+                                             : al::Request::move_down(),
+                               t);
+    Air::apply(d.update, t);
+    Air::apply(d.update, s);
+    for (int c = 0; c < Air::kNumConstraints; ++c) {
+      EXPECT_LE(Air::cost(s, c), Air::cost(t, c) + kF(c, k) + 1e-9)
+          << "step " << step << " constraint " << c;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CostBoundsOnCluster,
+                         ::testing::Values(101u, 102u, 103u, 104u));
+
+TEST(Grouping, SingletonGroupsForPreservingTransactions) {
+  // An execution of movers only: every transaction preserves both
+  // constraints, so the grouping is all singletons.
+  core::ScriptedExecution<Air> sx;
+  sx.run_complete(Request::move_up());
+  sx.run_complete(Request::move_down());
+  const auto g = analysis::find_grouping(sx.execution(), Air::kUnderbooking,
+                                         kPreserves);
+  ASSERT_TRUE(g.has_value());
+  EXPECT_EQ(g->groups.size(), 2u);
+  EXPECT_EQ(g->groups[0], (std::pair<std::size_t, std::size_t>{0, 0}));
+}
+
+TEST(Grouping, RequestRunClosesWhenApparentCostZero) {
+  // REQUEST(P1) opens a group (does not preserve underbooking); the
+  // following MOVE-UP's apparent post-state has cost 0, closing it.
+  core::ScriptedExecution<Air> sx;
+  sx.run_complete(Request::request(1));
+  sx.run_complete(Request::move_up());
+  sx.run_complete(Request::request(2));
+  sx.run_complete(Request::move_up());
+  const auto g = analysis::find_grouping(sx.execution(), Air::kUnderbooking,
+                                         kPreserves);
+  ASSERT_TRUE(g.has_value());
+  ASSERT_EQ(g->groups.size(), 2u);
+  EXPECT_EQ(g->groups[0], (std::pair<std::size_t, std::size_t>{0, 1}));
+  EXPECT_EQ(g->groups[1], (std::pair<std::size_t, std::size_t>{2, 3}));
+  EXPECT_EQ(g->normal_state_indices(), (std::vector<std::size_t>{2, 4}));
+}
+
+TEST(Grouping, UncompensatedTrailingRequestsHaveNoGrouping) {
+  // Requests keep arriving with no MOVE-UPs: the trailing run never closes
+  // — exactly when Corollary 10's hypothesis is unsatisfiable.
+  core::ScriptedExecution<Air> sx;
+  sx.run_complete(Request::request(1));
+  sx.run_complete(Request::request(2));
+  EXPECT_FALSE(analysis::find_grouping(sx.execution(), Air::kUnderbooking,
+                                       kPreserves)
+                   .has_value());
+}
+
+class GroupingOnCluster : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GroupingOnCluster, Theorem9NormalStateBoundHolds) {
+  // Build an execution that *has* a grouping by appending enough MOVE-UPs
+  // after the workload to drive the apparent underbooking cost to zero.
+  auto w = default_workload();
+  w.mover_rate = 6.0;  // frequent compensation
+  auto sc = harness::wan(3);
+  shard::Cluster<Air> cluster(sc.cluster_config<Air>(GetParam()));
+  harness::drive_airline(cluster, w, GetParam() ^ 0x51);
+  cluster.run_until(w.duration);
+  cluster.settle();
+  // Trailing atomic compensation at node 0 until its local cost is 0.
+  while (Air::cost(cluster.node(0).state(), Air::kUnderbooking) > 0.0) {
+    cluster.submit_now(0, Request::move_up());
+  }
+  cluster.settle();
+  const auto exec = cluster.execution();
+  const auto g =
+      analysis::find_grouping(exec, Air::kUnderbooking, kPreserves);
+  ASSERT_TRUE(g.has_value());
+  const auto report = analysis::check_theorem9(exec, *g, Air::kUnderbooking,
+                                               kPreserves, kF);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+  // Corollary 11: total cost at normal states <= 900k (k measured over the
+  // union hypothesis; every well-formed state has one constraint at 0).
+  const std::size_t k = analysis::grouping_hypothesis_k(
+      exec, *g, Air::kUnderbooking, kPreserves);
+  const auto states = exec.actual_states();
+  for (std::size_t ns : g->normal_state_indices()) {
+    EXPECT_LE(core::total_cost<Air>(states[ns]),
+              900.0 * static_cast<double>(std::max<std::size_t>(
+                          k, analysis::max_missing_over_unsafe(
+                                 exec, Air::kOverbooking, kUnsafe))) +
+                  1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GroupingOnCluster,
+                         ::testing::Values(201u, 202u, 203u));
+
+}  // namespace

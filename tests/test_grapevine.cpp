@@ -1,0 +1,236 @@
+// Grapevine-style name service (paper section 6): update/decision
+// semantics, the dangling-membership integrity constraint, the SCRUB
+// compensator (including the stale-scrub-vs-re-registration policy), and
+// cluster runs through partitions — "interesting but nonserializable
+// behavior ... described within our framework".
+#include <gtest/gtest.h>
+
+#include "analysis/compensation.hpp"
+#include "analysis/execution_checker.hpp"
+#include "analysis/tx_conditions.hpp"
+#include "apps/grapevine/grapevine.hpp"
+#include "harness/scenario.hpp"
+#include "shard/cluster.hpp"
+#include "sim/rng.hpp"
+
+namespace {
+
+namespace gv = apps::grapevine;
+using gv::Grapevine;
+using gv::Request;
+using gv::Update;
+
+TEST(Grapevine, RegisterAndDeregister) {
+  gv::State s;
+  Grapevine::apply({Update::Kind::kRegister, 1, 0, "siteA", {}}, s);
+  EXPECT_TRUE(s.is_registered(1));
+  EXPECT_EQ(s.individuals.at(1), "siteA");
+  Grapevine::apply({Update::Kind::kRegister, 1, 0, "siteB", {}}, s);
+  EXPECT_EQ(s.individuals.at(1), "siteB");  // later update wins
+  Grapevine::apply({Update::Kind::kDeregister, 1, 0, "", {}}, s);
+  EXPECT_FALSE(s.is_registered(1));
+}
+
+TEST(Grapevine, MembershipIsIdempotentAndSorted) {
+  gv::State s;
+  Grapevine::apply({Update::Kind::kAddMember, 10, 3, "", {}}, s);
+  Grapevine::apply({Update::Kind::kAddMember, 10, 1, "", {}}, s);
+  Grapevine::apply({Update::Kind::kAddMember, 10, 3, "", {}}, s);  // dup
+  EXPECT_EQ(s.groups.at(10), (std::vector<gv::Name>{1, 3}));
+  EXPECT_TRUE(Grapevine::well_formed(s));
+  Grapevine::apply({Update::Kind::kRemoveMember, 10, 1, "", {}}, s);
+  EXPECT_EQ(s.groups.at(10), (std::vector<gv::Name>{3}));
+  Grapevine::apply({Update::Kind::kRemoveMember, 10, 3, "", {}}, s);
+  EXPECT_FALSE(s.groups.contains(10));  // empty groups disappear
+}
+
+TEST(Grapevine, DeregisterLeavesDanglingMembership) {
+  gv::State s;
+  Grapevine::apply({Update::Kind::kRegister, 1, 0, "a", {}}, s);
+  Grapevine::apply({Update::Kind::kAddMember, 10, 1, "", {}}, s);
+  EXPECT_DOUBLE_EQ(Grapevine::cost(s, 0), 0.0);
+  Grapevine::apply({Update::Kind::kDeregister, 1, 0, "", {}}, s);
+  EXPECT_EQ(s.dangling().size(), 1u);
+  EXPECT_DOUBLE_EQ(Grapevine::cost(s, 0), Grapevine::kDanglingCost);
+}
+
+TEST(Grapevine, AddMemberDecisionRefusesVisiblyUnknownMembers) {
+  gv::State s;
+  const auto d = Grapevine::decide(Request::add_member(10, 7), s);
+  ASSERT_EQ(d.external_actions.size(), 1u);
+  EXPECT_EQ(d.external_actions[0].kind, "membership-refused");
+  EXPECT_EQ(d.update, Update{});  // refused: no update
+  // With the member registered: proceeds silently.
+  Grapevine::apply({Update::Kind::kRegister, 7, 0, "a", {}}, s);
+  const auto ok = Grapevine::decide(Request::add_member(10, 7), s);
+  EXPECT_TRUE(ok.external_actions.empty());
+  EXPECT_EQ(ok.update.kind, Update::Kind::kAddMember);
+}
+
+TEST(Grapevine, ResolveReportsObservedExpansion) {
+  gv::State s;
+  Grapevine::apply({Update::Kind::kRegister, 1, 0, "mx1", {}}, s);
+  Grapevine::apply({Update::Kind::kAddMember, 10, 1, "", {}}, s);
+  Grapevine::apply({Update::Kind::kAddMember, 10, 2, "", {}}, s);  // dangling
+  const auto d = Grapevine::decide(Request::resolve(10), s);
+  EXPECT_EQ(d.update, Update{});
+  EXPECT_EQ(d.external_actions[0].subject, "R10={R1:mx1,R2:<dangling>}");
+}
+
+TEST(Grapevine, ScrubRemovesExactlyObservedDangling) {
+  gv::State s;
+  Grapevine::apply({Update::Kind::kRegister, 1, 0, "a", {}}, s);
+  Grapevine::apply({Update::Kind::kAddMember, 10, 1, "", {}}, s);
+  Grapevine::apply({Update::Kind::kAddMember, 10, 2, "", {}}, s);
+  Grapevine::apply({Update::Kind::kAddMember, 11, 2, "", {}}, s);
+  const auto d = Grapevine::decide(Request::scrub(), s);
+  EXPECT_EQ(d.update.scrub.size(), 2u);
+  gv::State t = s;
+  Grapevine::apply(d.update, t);
+  EXPECT_TRUE(t.dangling().empty());
+  EXPECT_TRUE(t.is_member(10, 1));  // healthy membership untouched
+  // From a clean state, SCRUB is a no-op decision.
+  EXPECT_EQ(Grapevine::decide(Request::scrub(), t).update, Update{});
+}
+
+TEST(Grapevine, StaleScrubSparesReRegisteredMembers) {
+  // The scrub update re-checks at apply time: if the member was
+  // re-registered by a transaction the scrubber hadn't seen, the
+  // membership survives (the paper's duplicate-request policy style).
+  gv::State observed;
+  Grapevine::apply({Update::Kind::kAddMember, 10, 2, "", {}}, observed);
+  const auto d = Grapevine::decide(Request::scrub(), observed);
+  ASSERT_EQ(d.update.scrub.size(), 1u);
+  // Actual state: R2 re-registered before the scrub applies.
+  gv::State actual = observed;
+  Grapevine::apply({Update::Kind::kRegister, 2, 0, "back", {}}, actual);
+  Grapevine::apply(d.update, actual);
+  EXPECT_TRUE(actual.is_member(10, 2));
+  EXPECT_TRUE(actual.dangling().empty());
+}
+
+TEST(Grapevine, ScrubCompensatesLemma1) {
+  // Iterating SCRUB from any state drives the referential-integrity cost
+  // to zero (in one step — its decision sees all dangling pairs).
+  sim::Rng rng(5);
+  for (int trial = 0; trial < 100; ++trial) {
+    gv::State s;
+    for (int i = 0; i < 25; ++i) {
+      const auto n = static_cast<gv::Name>(rng.uniform_int(1, 6));
+      const auto g = static_cast<gv::Name>(rng.uniform_int(10, 13));
+      switch (rng.uniform_int(0, 3)) {
+        case 0:
+          Grapevine::apply({Update::Kind::kRegister, n, 0, "s", {}}, s);
+          break;
+        case 1:
+          Grapevine::apply({Update::Kind::kDeregister, n, 0, "", {}}, s);
+          break;
+        case 2:
+          Grapevine::apply({Update::Kind::kAddMember, g, n, "", {}}, s);
+          break;
+        default:
+          Grapevine::apply({Update::Kind::kRemoveMember, g, n, "", {}}, s);
+          break;
+      }
+    }
+    const auto run = analysis::iterate_compensator<Grapevine>(
+        s, Request::scrub(), Grapevine::kReferentialIntegrity);
+    EXPECT_TRUE(run.reached_zero);
+    EXPECT_LE(run.updates.size(), 1u);
+  }
+}
+
+TEST(Grapevine, SafetyClassification) {
+  sim::Rng rng(6);
+  std::vector<gv::State> sample;
+  for (int i = 0; i < 200; ++i) {
+    gv::State s;
+    for (int j = 0; j < 15; ++j) {
+      const auto n = static_cast<gv::Name>(rng.uniform_int(1, 5));
+      const auto g = static_cast<gv::Name>(rng.uniform_int(10, 12));
+      switch (rng.uniform_int(0, 3)) {
+        case 0: Grapevine::apply({Update::Kind::kRegister, n, 0, "s", {}}, s); break;
+        case 1: Grapevine::apply({Update::Kind::kDeregister, n, 0, "", {}}, s); break;
+        case 2: Grapevine::apply({Update::Kind::kAddMember, g, n, "", {}}, s); break;
+        default: Grapevine::apply({Update::Kind::kRemoveMember, g, n, "", {}}, s); break;
+      }
+    }
+    sample.push_back(std::move(s));
+  }
+  // DEREGISTER and ADD-MEMBER are unsafe for referential integrity.
+  EXPECT_FALSE(
+      analysis::check_safe_for<Grapevine>(sample, sample,
+                                          Request::deregister(1), 0)
+          .ok());
+  EXPECT_FALSE(analysis::check_safe_for<Grapevine>(
+                   sample, sample, Request::add_member(10, 1), 0)
+                   .ok());
+  // REGISTER, REMOVE-MEMBER, RESOLVE, SCRUB are safe.
+  for (const Request& r :
+       {Request::register_individual(1, "s"), Request::remove_member(10, 1),
+        Request::resolve(10), Request::scrub()}) {
+    EXPECT_TRUE(
+        analysis::check_safe_for<Grapevine>(sample, sample, r, 0).ok())
+        << r.to_string();
+  }
+  // SCRUB compensates.
+  EXPECT_TRUE(
+      analysis::check_compensates<Grapevine>(sample, Request::scrub(), 0)
+          .ok());
+}
+
+class GrapevineCluster : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GrapevineCluster, ConvergesWithValidTraceUnderPartition) {
+  auto sc = harness::partitioned_wan(4, 3.0, 12.0);
+  shard::Cluster<Grapevine> cluster(
+      sc.cluster_config<Grapevine>(GetParam()));
+  sim::Rng rng((GetParam() ^ 0x60) + 7);
+  for (int i = 0; i < 120; ++i) {
+    const double t = rng.uniform(0.0, 15.0);
+    const auto node = static_cast<core::NodeId>(rng.uniform_int(0, 3));
+    const auto n = static_cast<gv::Name>(rng.uniform_int(1, 10));
+    const auto g = static_cast<gv::Name>(rng.uniform_int(20, 23));
+    switch (rng.uniform_int(0, 5)) {
+      case 0:
+        cluster.submit_at(t, node,
+                          Request::register_individual(n, "mx" +
+                                                              std::to_string(node)));
+        break;
+      case 1:
+        cluster.submit_at(t, node, Request::deregister(n));
+        break;
+      case 2:
+      case 3:
+        cluster.submit_at(t, node, Request::add_member(g, n));
+        break;
+      case 4:
+        cluster.submit_at(t, node, Request::remove_member(g, n));
+        break;
+      default:
+        cluster.submit_at(t, node, Request::resolve(g));
+        break;
+    }
+  }
+  cluster.run_until(15.0);
+  cluster.settle();
+  EXPECT_TRUE(cluster.converged());
+  const auto exec = cluster.execution();
+  EXPECT_TRUE(analysis::check_prefix_subsequence_condition(exec).ok());
+  EXPECT_TRUE(analysis::is_transitive(exec));
+  // Post-heal scrub restores referential integrity everywhere.
+  cluster.submit_now(0, Request::scrub());
+  cluster.settle();
+  EXPECT_DOUBLE_EQ(Grapevine::cost(cluster.node(0).state(), 0), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GrapevineCluster,
+                         ::testing::Values(701u, 702u, 703u));
+
+TEST(Grapevine, StringsAreReadable) {
+  EXPECT_EQ(Request::add_member(10, 2).to_string(), "ADD-MEMBER(R10,R2)");
+  EXPECT_EQ((Update{Update::Kind::kDeregister, 3, 0, "", {}}).to_string(),
+            "deregister(R3)");
+}
+
+}  // namespace

@@ -1,0 +1,200 @@
+// Inventory application: update/decision semantics, the airline-shaped
+// two-constraint cost model, section 4.1 classification, and cluster-level
+// overcommit bounds (section 6's "inventory control" conjecture).
+#include <gtest/gtest.h>
+
+#include "analysis/cost_bounds.hpp"
+#include "analysis/execution_checker.hpp"
+#include "analysis/tx_conditions.hpp"
+#include "apps/inventory/inventory.hpp"
+#include "harness/scenario.hpp"
+#include "harness/state_samples.hpp"
+#include "harness/workload.hpp"
+#include "shard/cluster.hpp"
+
+namespace {
+
+namespace inv = apps::inventory;
+using inv::Inventory;
+using inv::Request;
+using inv::Update;
+
+inv::State make_state(inv::Units stock, inv::Units committed,
+                      inv::Units demand) {
+  inv::State s;
+  s.stock = stock;
+  s.committed = committed;
+  s.demand = demand;
+  return s;
+}
+
+TEST(Inventory, OrderRestockCancelSemantics) {
+  inv::State s;
+  Inventory::apply({Update::Kind::kOrder, 5}, s);
+  EXPECT_EQ(s.demand, 5);
+  Inventory::apply({Update::Kind::kRestock, 10}, s);
+  EXPECT_EQ(s.stock, 10);
+  Inventory::apply({Update::Kind::kCancel, 7}, s);
+  EXPECT_EQ(s.demand, 0);  // clamped
+}
+
+TEST(Inventory, CommitConsumesDemand) {
+  inv::State s = make_state(10, 0, 4);
+  Inventory::apply({Update::Kind::kCommit, 6}, s);
+  EXPECT_EQ(s.committed, 6);
+  EXPECT_EQ(s.demand, 0);
+}
+
+TEST(Inventory, ReleaseReturnsDemand) {
+  inv::State s = make_state(5, 8, 0);
+  Inventory::apply({Update::Kind::kRelease, 3}, s);
+  EXPECT_EQ(s.committed, 5);
+  EXPECT_EQ(s.demand, 3);
+  // Release clamps at committed.
+  Inventory::apply({Update::Kind::kRelease, 100}, s);
+  EXPECT_EQ(s.committed, 0);
+  EXPECT_EQ(s.demand, 8);
+}
+
+TEST(Inventory, FulfillDecisionPromisesObservedFreeStock) {
+  const auto d =
+      Inventory::decide(Request::fulfill(100), make_state(10, 4, 9));
+  EXPECT_EQ(d.update, (Update{Update::Kind::kCommit, 6}));
+  ASSERT_EQ(d.external_actions.size(), 1u);
+  EXPECT_EQ(d.external_actions[0].kind, "promise-shipment");
+  // Batch cap binds.
+  const auto capped =
+      Inventory::decide(Request::fulfill(2), make_state(10, 4, 9));
+  EXPECT_EQ(capped.update, (Update{Update::Kind::kCommit, 2}));
+  // No free stock or no demand: no-op.
+  EXPECT_EQ(Inventory::decide(Request::fulfill(5), make_state(4, 4, 9)).update,
+            Update{});
+  EXPECT_EQ(Inventory::decide(Request::fulfill(5), make_state(9, 4, 0)).update,
+            Update{});
+}
+
+TEST(Inventory, ReleaseDecisionTargetsObservedExcess) {
+  const auto d =
+      Inventory::decide(Request::release(), make_state(5, 9, 0));
+  EXPECT_EQ(d.update, (Update{Update::Kind::kRelease, 4}));
+  EXPECT_EQ(d.external_actions[0].kind, "apologize");
+  EXPECT_EQ(Inventory::decide(Request::release(), make_state(9, 5, 0)).update,
+            Update{});
+}
+
+TEST(Inventory, CostModel) {
+  // Overcommit: 50 per unit promised beyond stock.
+  EXPECT_DOUBLE_EQ(Inventory::cost(make_state(5, 9, 0), 0), 4 * 50.0);
+  EXPECT_DOUBLE_EQ(Inventory::cost(make_state(9, 5, 0), 0), 0.0);
+  // Idle stock with demand: 5 per shippable-but-unpromised unit.
+  EXPECT_DOUBLE_EQ(Inventory::cost(make_state(9, 5, 3), 1), 3 * 5.0);
+  EXPECT_DOUBLE_EQ(Inventory::cost(make_state(9, 5, 10), 1), 4 * 5.0);
+  EXPECT_DOUBLE_EQ(Inventory::cost(make_state(9, 9, 10), 1), 0.0);
+}
+
+TEST(Inventory, WellFormednessNonNegative) {
+  EXPECT_TRUE(Inventory::well_formed(make_state(0, 0, 0)));
+  EXPECT_FALSE(Inventory::well_formed(make_state(-1, 0, 0)));
+}
+
+TEST(Inventory, ClassificationMatchesTheory) {
+  const auto states = harness::random_inventory_states(19, 300, 25);
+  // FULFILL unsafe for overcommit; everything else safe.
+  EXPECT_FALSE(analysis::check_safe_for<Inventory>(states, states,
+                                                   Request::fulfill(10), 0)
+                   .ok());
+  for (const Request& r : {Request::order(5), Request::cancel(5),
+                           Request::restock(5), Request::release()}) {
+    EXPECT_TRUE(
+        analysis::check_safe_for<Inventory>(states, states, r, 0).ok())
+        << r.to_string();
+  }
+  // All preserve the overcommit cost (FULFILL believes it stays within
+  // stock); RELEASE compensates.
+  for (const Request& r : {Request::order(5), Request::fulfill(10),
+                           Request::restock(5), Request::release()}) {
+    EXPECT_TRUE(
+        analysis::check_preserves_cost<Inventory>(states, states, r, 0).ok())
+        << r.to_string();
+  }
+  EXPECT_TRUE(analysis::check_compensates<Inventory>(states,
+                                                     Request::release(), 0)
+                  .ok());
+  // FULFILL compensates for idle stock.
+  EXPECT_TRUE(analysis::check_compensates<Inventory>(
+                  states, Request::fulfill(1'000'000), 1)
+                  .ok());
+}
+
+class InventoryCluster : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(InventoryCluster, ConvergesAndOvercommitBounded) {
+  auto sc = harness::partitioned_wan(4, 4.0, 14.0);
+  shard::Cluster<Inventory> cluster(
+      sc.cluster_config<Inventory>(GetParam()));
+  harness::InventoryWorkload w;
+  w.duration = 20.0;
+  harness::drive_inventory(cluster, w, GetParam() ^ 0x3c);
+  cluster.run_until(w.duration);
+  cluster.settle();
+  EXPECT_TRUE(cluster.converged());
+  const auto exec = cluster.execution();
+  EXPECT_TRUE(analysis::check_prefix_subsequence_condition(exec).ok());
+  // Inventory analogue of the banking bound: overcommit cost <= penalty *
+  // sum of commit sizes over FULFILLs with missing info.
+  double bound_units = 0.0;
+  for (std::size_t i = 0; i < exec.size(); ++i) {
+    const auto& tx = exec.tx(i);
+    if (tx.update.kind == Update::Kind::kCommit &&
+        exec.missing_count(i) > 0) {
+      bound_units += static_cast<double>(tx.update.n);
+    }
+  }
+  for (const auto& s : exec.actual_states()) {
+    EXPECT_LE(Inventory::cost(s, 0),
+              Inventory::kOvercommitPenalty * bound_units + 1e-9);
+  }
+}
+
+TEST_P(InventoryCluster, Theorems5And7CarryOver) {
+  // The conclusion's conjecture checked through the GENERIC theorem
+  // checkers: with f parameterized by the workload's fulfill cap, the
+  // section 5.2 bounds hold for inventory too.
+  auto sc = harness::partitioned_wan(4, 4.0, 14.0);
+  shard::Cluster<Inventory> cluster(
+      sc.cluster_config<Inventory>(GetParam() ^ 0x1234));
+  harness::InventoryWorkload w;
+  w.duration = 20.0;
+  harness::drive_inventory(cluster, w, GetParam() ^ 0x9);
+  cluster.run_until(w.duration);
+  cluster.settle();
+  const auto exec = cluster.execution();
+  const auto preserves = [](const Request& r, int c) {
+    return Inventory::Theory::preserves_cost(r, c);
+  };
+  const auto unsafe = [](const Request& r, int c) {
+    return !Inventory::Theory::safe_for(r, c);
+  };
+  const auto f = [&w](int c, std::size_t k) {
+    return Inventory::Theory::f_bound_units(c, w.fulfill_cap, k);
+  };
+  for (int c = 0; c < Inventory::kNumConstraints; ++c) {
+    const auto r5 = analysis::check_theorem5(exec, c, preserves, f);
+    EXPECT_TRUE(r5.ok()) << r5.to_string();
+  }
+  const auto r7 = analysis::check_theorem7(exec, Inventory::kOvercommit,
+                                           unsafe, f);
+  EXPECT_TRUE(r7.ok()) << r7.to_string();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, InventoryCluster,
+                         ::testing::Values(501u, 502u, 503u));
+
+TEST(Inventory, StringsAreReadable) {
+  EXPECT_EQ(Request::fulfill(3).to_string(), "FULFILL(cap=3)");
+  EXPECT_EQ((Update{Update::Kind::kCommit, 4}).to_string(), "commit(4)");
+  EXPECT_EQ(make_state(1, 2, 3).to_string(),
+            "{stock=1,committed=2,demand=3}");
+}
+
+}  // namespace

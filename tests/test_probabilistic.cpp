@@ -1,0 +1,94 @@
+// The section 1.3 probabilistic layer: k-distribution bookkeeping and the
+// composition of (1) conditional bounds with (2) measured probabilities,
+// plus table rendering used by the bench binaries.
+#include <gtest/gtest.h>
+
+#include "analysis/execution_checker.hpp"
+#include "apps/airline/airline.hpp"
+#include "harness/probabilistic.hpp"
+#include "harness/scenario.hpp"
+#include "harness/table.hpp"
+#include "harness/workload.hpp"
+#include "shard/cluster.hpp"
+
+namespace {
+
+TEST(KDistribution, BasicStatistics) {
+  harness::KDistribution d;
+  for (std::size_t k : {0u, 0u, 0u, 1u, 1u, 2u, 5u}) d.observe(k);
+  EXPECT_EQ(d.total(), 7u);
+  EXPECT_EQ(d.max_k(), 5u);
+  EXPECT_NEAR(d.mean(), 9.0 / 7.0, 1e-12);
+  EXPECT_NEAR(d.cdf(0), 3.0 / 7.0, 1e-12);
+  EXPECT_NEAR(d.cdf(1), 5.0 / 7.0, 1e-12);
+  EXPECT_NEAR(d.cdf(5), 1.0, 1e-12);
+  EXPECT_EQ(d.quantile(0.5), 1u);
+  EXPECT_EQ(d.quantile(0.99), 5u);
+  EXPECT_EQ(d.quantile(0.2), 0u);
+}
+
+TEST(KDistribution, EmptyIsBenign) {
+  harness::KDistribution d;
+  EXPECT_EQ(d.total(), 0u);
+  EXPECT_DOUBLE_EQ(d.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(d.cdf(3), 1.0);
+  EXPECT_EQ(d.quantile(0.9), 0u);
+}
+
+TEST(KDistribution, ComposedBoundUsesQuantile) {
+  harness::KDistribution d;
+  for (int i = 0; i < 90; ++i) d.observe(0);
+  for (int i = 0; i < 9; ++i) d.observe(2);
+  d.observe(7);
+  const auto b = harness::probabilistic_cost_bound(
+      d, /*constraint=*/0,
+      [](int, std::size_t k) { return 900.0 * static_cast<double>(k); },
+      /*target_probability=*/0.95);
+  EXPECT_EQ(b.K, 2u);
+  EXPECT_NEAR(b.probability, 0.99, 1e-12);
+  EXPECT_DOUBLE_EQ(b.cost_bound, 1800.0);
+}
+
+TEST(KDistribution, MeasuredFromClusterShrinksWithBetterNetwork) {
+  // The whole point of the section 1.3 program: better delay
+  // characteristics => stochastically smaller k.
+  using Air = apps::airline::BasicAirline<20, 900, 300>;
+  const auto measure = [](harness::Scenario sc) {
+    shard::Cluster<Air> cluster(sc.cluster_config<Air>(91));
+    harness::AirlineWorkload w;
+    w.duration = 20.0;
+    w.request_rate = 3.0;
+    w.mover_rate = 3.0;
+    harness::drive_airline(cluster, w, 92);
+    cluster.run_until(w.duration);
+    cluster.settle();
+    harness::KDistribution d;
+    d.observe_all(analysis::missing_counts(cluster.execution()));
+    return d;
+  };
+  const auto lan = measure(harness::lan(4));
+  const auto part = measure(harness::partitioned_wan(4, 3.0, 15.0));
+  EXPECT_LE(lan.mean(), part.mean());
+  EXPECT_LE(lan.quantile(0.9), part.quantile(0.9));
+  EXPECT_EQ(lan.quantile(0.5), 0u);  // LAN: nearly serializable
+}
+
+TEST(Table, RendersAlignedColumns) {
+  harness::Table t("demo", {"a", "bb", "ccc"});
+  t.add_row({"1", "22", "333"});
+  t.add_row({"x"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("== demo =="), std::string::npos);
+  EXPECT_NE(out.find("| a | bb | ccc |"), std::string::npos);
+  EXPECT_NE(out.find("| 1 | 22 | 333 |"), std::string::npos);
+  // Short rows are padded to the header width.
+  EXPECT_NE(out.find("| x |"), std::string::npos);
+}
+
+TEST(Table, NumberFormatting) {
+  EXPECT_EQ(harness::Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(harness::Table::num(std::size_t{42}), "42");
+  EXPECT_EQ(harness::Table::pct(0.1234, 1), "12.3%");
+}
+
+}  // namespace

@@ -1,0 +1,134 @@
+// Serializability metrics: the measurable version of the paper's
+// "continuous flavor" spectrum between serializable and highly available.
+#include <gtest/gtest.h>
+
+#include "analysis/describe.hpp"
+#include "analysis/serializability.hpp"
+#include "apps/airline/airline.hpp"
+#include "core/scripted.hpp"
+#include "harness/scenario.hpp"
+#include "harness/workload.hpp"
+#include "shard/cluster.hpp"
+
+namespace {
+
+namespace al = apps::airline;
+using Air = al::SmallAirline;
+using al::Request;
+using core::ScriptedExecution;
+
+TEST(Serializability, CompletePrefixesAreSerializable) {
+  ScriptedExecution<Air> sx;
+  sx.run_complete(Request::request(1));
+  sx.run_complete(Request::move_up());
+  sx.run_complete(Request::cancel(1));
+  EXPECT_TRUE(analysis::is_serializable(sx.execution()));
+  const auto d = analysis::serializability_distance(sx.execution());
+  EXPECT_EQ(d.incomplete, 0u);
+  EXPECT_EQ(d.total_missing_pairs, 0u);
+  EXPECT_DOUBLE_EQ(d.complete_fraction, 1.0);
+}
+
+TEST(Serializability, MissingPrefixBreaksIt) {
+  ScriptedExecution<Air> sx;
+  sx.run(Request::request(1), {});
+  sx.run(Request::request(2), {});   // misses tx 0
+  sx.run(Request::move_up(), {1});   // misses tx 0
+  EXPECT_FALSE(analysis::is_serializable(sx.execution()));
+  const auto d = analysis::serializability_distance(sx.execution());
+  EXPECT_EQ(d.transactions, 3u);
+  EXPECT_EQ(d.incomplete, 2u);
+  EXPECT_EQ(d.total_missing_pairs, 2u);
+  EXPECT_EQ(d.max_k, 1u);
+  EXPECT_NEAR(d.complete_fraction, 1.0 / 3.0, 1e-12);
+}
+
+TEST(Serializability, DivergenceIsSharperThanMissingCounts) {
+  // Tx 1 (a REQUEST) misses tx 0 but its decision is prefix-independent —
+  // not divergent. Tx 2 (a MOVE-UP) misses tx 0 and picks a different
+  // person than it would with full information — divergent.
+  ScriptedExecution<Air> sx;
+  sx.run(Request::request(1), {});
+  sx.run(Request::request(2), {});   // incomplete but outcome identical
+  sx.run(Request::move_up(), {1});   // moves P2; complete info => P1
+  const auto divergent = analysis::divergent_transactions(sx.execution());
+  EXPECT_EQ(divergent, (std::vector<std::size_t>{2}));
+}
+
+TEST(Serializability, FullyCentralizedClusterIsSerializable) {
+  using BigAir = al::BasicAirline<20, 900, 300>;
+  auto sc = harness::partitioned_wan(4, 3.0, 10.0);
+  shard::Cluster<BigAir> cluster(sc.cluster_config<BigAir>(3));
+  harness::AirlineWorkload w;
+  w.duration = 15.0;
+  w.routing = harness::Routing::kCentralizeAll;
+  harness::drive_airline(cluster, w, 4);
+  cluster.run_until(w.duration);
+  cluster.settle();
+  EXPECT_TRUE(analysis::is_serializable(cluster.execution()));
+}
+
+TEST(Serializability, DistanceGrowsWithPartitionLength) {
+  using BigAir = al::BasicAirline<20, 900, 300>;
+  const auto measure = [](double plen) {
+    auto sc = plen == 0.0 ? harness::wan(4)
+                          : harness::partitioned_wan(4, 3.0, 3.0 + plen);
+    shard::Cluster<BigAir> cluster(sc.cluster_config<BigAir>(5));
+    harness::AirlineWorkload w;
+    w.duration = 8.0 + plen;
+    harness::drive_airline(cluster, w, 6);
+    cluster.run_until(w.duration);
+    cluster.settle();
+    return analysis::serializability_distance(cluster.execution());
+  };
+  const auto d0 = measure(0.0);
+  const auto d10 = measure(10.0);
+  EXPECT_LT(d0.total_missing_pairs, d10.total_missing_pairs);
+  EXPECT_GE(d0.complete_fraction, d10.complete_fraction);
+}
+
+TEST(Serializability, DivergentSubsetOfIncomplete) {
+  using BigAir = al::BasicAirline<20, 900, 300>;
+  auto sc = harness::partitioned_wan(4, 3.0, 12.0);
+  shard::Cluster<BigAir> cluster(sc.cluster_config<BigAir>(7));
+  harness::AirlineWorkload w;
+  w.duration = 16.0;
+  harness::drive_airline(cluster, w, 8);
+  cluster.run_until(w.duration);
+  cluster.settle();
+  const auto exec = cluster.execution();
+  const auto d = analysis::serializability_distance(exec);
+  const auto divergent = analysis::divergent_transactions(exec);
+  EXPECT_LE(divergent.size(), d.incomplete);
+  for (std::size_t i : divergent) EXPECT_GT(exec.missing_count(i), 0u);
+}
+
+TEST(Describe, ExecutionDumpIsReadable) {
+  ScriptedExecution<Air> sx;
+  sx.run_complete(Request::request(1));
+  sx.run_complete(Request::move_up());
+  const std::string dump = analysis::describe_execution(sx.execution());
+  EXPECT_NE(dump.find("REQUEST(P1)"), std::string::npos);
+  EXPECT_NE(dump.find("move-up(P1)"), std::string::npos);
+  EXPECT_NE(dump.find("grant-seat"), std::string::npos);
+  EXPECT_NE(dump.find("saw 1/1"), std::string::npos);
+}
+
+TEST(Describe, TruncatesLongExecutions) {
+  ScriptedExecution<Air> sx;
+  for (al::Person p = 1; p <= 20; ++p) sx.run_complete(Request::request(p));
+  const std::string dump =
+      analysis::describe_execution(sx.execution(), /*max_rows=*/5);
+  EXPECT_NE(dump.find("... 15 more"), std::string::npos);
+}
+
+TEST(Describe, CostTrajectoryShowsSteps) {
+  ScriptedExecution<Air> sx;  // capacity 5
+  sx.run_complete(Request::request(1));
+  sx.run_complete(Request::request(2));
+  const std::string traj = analysis::describe_cost_trajectory(
+      sx.execution(), Air::kUnderbooking);
+  EXPECT_NE(traj.find("0 -> 300 -> 600"), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,36 @@
+// End-to-end smoke test: a small cluster runs the airline under a lossy
+// network, converges, and the assembled execution satisfies the paper's
+// basic conditions. Deeper checks live in the per-module suites.
+#include <gtest/gtest.h>
+
+#include "analysis/execution_checker.hpp"
+#include "apps/airline/airline.hpp"
+#include "harness/scenario.hpp"
+#include "harness/workload.hpp"
+#include "shard/cluster.hpp"
+
+namespace {
+
+using apps::airline::Airline;
+
+TEST(Smoke, ClusterRunsConvergesAndSatisfiesPrefixCondition) {
+  const harness::Scenario sc = harness::wan(4);
+  shard::Cluster<Airline> cluster(sc.cluster_config<Airline>(/*seed=*/42));
+  harness::AirlineWorkload w;
+  w.duration = 20.0;
+  w.request_rate = 3.0;
+  w.mover_rate = 3.0;
+  harness::drive_airline(cluster, w, /*seed=*/7);
+  cluster.run_until(w.duration);
+  cluster.settle();
+  EXPECT_TRUE(cluster.converged());
+
+  const core::Execution<Airline> exec = cluster.execution();
+  EXPECT_GT(exec.size(), 20u);
+  const analysis::CheckReport report =
+      analysis::check_prefix_subsequence_condition(exec);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+  EXPECT_TRUE(analysis::is_transitive(exec));
+}
+
+}  // namespace

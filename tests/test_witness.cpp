@@ -1,0 +1,246 @@
+// Witness machinery property tests (paper section 5.3, Lemmas 14–19).
+//
+// Lemma 14 characterizes list membership by witness existence; Lemmas 15–19
+// relate membership in the state of a full sequence vs a subsequence. All
+// are checked over thousands of random update sequences against the ground
+// truth of actually replaying the updates.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "apps/airline/airline.hpp"
+#include "apps/airline/witness.hpp"
+#include "sim/rng.hpp"
+
+namespace {
+
+namespace al = apps::airline;
+using al::SmallAirline;
+using al::Update;
+
+/// Random update sequence under the paper's implicit section 5.3
+/// hypothesis: at most one REQUEST(P) *ever* per person (the same shape as
+/// Theorem 23's hypothesis and every worked example in the paper). Without
+/// it, Lemma 14's witness characterization is genuinely false — e.g. in
+/// [request(P), move-up(P), request(P)] the trailing no-op request is a
+/// form-1 waiting witness while P is assigned — and Lemmas 16/19 fail even
+/// for duplicate-free-per-window sequences, because a SUBSEQUENCE that
+/// drops a cancel(P) merges two windows and recreates the duplicate
+/// pathology inside S. See the note in witness.hpp.
+std::vector<Update> random_sequence(sim::Rng& rng, std::size_t len,
+                                    std::uint32_t persons) {
+  std::vector<Update> seq;
+  seq.reserve(len);
+  std::vector<bool> requested(persons + 1, false);
+  for (std::size_t i = 0; i < len; ++i) {
+    const auto p =
+        static_cast<al::Person>(rng.uniform_int(1, persons));
+    Update u;
+    switch (rng.uniform_int(0, 3)) {
+      case 0:
+        if (requested[p]) {
+          u = {Update::Kind::kMoveUp, p};  // substitute
+        } else {
+          u = {Update::Kind::kRequest, p};
+          requested[p] = true;
+        }
+        break;
+      case 1: u = {Update::Kind::kCancel, p}; break;
+      case 2: u = {Update::Kind::kMoveUp, p}; break;
+      default: u = {Update::Kind::kMoveDown, p}; break;
+    }
+    seq.push_back(u);
+  }
+  return seq;
+}
+
+al::State replay(const std::vector<Update>& seq) {
+  al::State s = SmallAirline::initial();
+  for (const auto& u : seq) SmallAirline::apply(u, s);
+  return s;
+}
+
+/// Keep positions where keep[i] is true.
+std::vector<Update> subsequence(const std::vector<Update>& seq,
+                                const std::vector<bool>& keep) {
+  std::vector<Update> out;
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    if (keep[i]) out.push_back(seq[i]);
+  }
+  return out;
+}
+
+// --- hand-built sanity cases ---
+
+TEST(Witness, AssignmentWitnessBasic) {
+  const std::vector<Update> seq = {{Update::Kind::kRequest, 1},
+                                   {Update::Kind::kMoveUp, 1}};
+  const auto w = al::find_assignment_witness(seq, 1);
+  ASSERT_TRUE(w.has_value());
+  EXPECT_EQ(w->request_index, 0u);
+  EXPECT_EQ(w->move_up_index, 1u);
+}
+
+TEST(Witness, CancelAfterRequestKillsAssignmentWitness) {
+  const std::vector<Update> seq = {{Update::Kind::kRequest, 1},
+                                   {Update::Kind::kCancel, 1},
+                                   {Update::Kind::kMoveUp, 1}};
+  EXPECT_FALSE(al::find_assignment_witness(seq, 1).has_value());
+}
+
+TEST(Witness, MoveDownAfterMoveUpKillsAssignmentWitness) {
+  const std::vector<Update> seq = {{Update::Kind::kRequest, 1},
+                                   {Update::Kind::kMoveUp, 1},
+                                   {Update::Kind::kMoveDown, 1}};
+  EXPECT_FALSE(al::find_assignment_witness(seq, 1).has_value());
+}
+
+TEST(Witness, ReRequestAfterCancelRestoresWitness) {
+  const std::vector<Update> seq = {
+      {Update::Kind::kRequest, 1}, {Update::Kind::kCancel, 1},
+      {Update::Kind::kRequest, 1}, {Update::Kind::kMoveUp, 1}};
+  const auto w = al::find_assignment_witness(seq, 1);
+  ASSERT_TRUE(w.has_value());
+  EXPECT_EQ(w->request_index, 2u);
+  EXPECT_EQ(w->move_up_index, 3u);
+}
+
+TEST(Witness, WaitingWitnessForm1) {
+  const std::vector<Update> seq = {{Update::Kind::kRequest, 1}};
+  const auto w = al::find_waiting_witness(seq, 1);
+  ASSERT_TRUE(w.has_value());
+  EXPECT_FALSE(w->move_down_index.has_value());
+}
+
+TEST(Witness, WaitingWitnessForm2) {
+  const std::vector<Update> seq = {{Update::Kind::kRequest, 1},
+                                   {Update::Kind::kMoveUp, 1},
+                                   {Update::Kind::kMoveDown, 1}};
+  const auto w = al::find_waiting_witness(seq, 1);
+  ASSERT_TRUE(w.has_value());
+  ASSERT_TRUE(w->move_down_index.has_value());
+  EXPECT_EQ(*w->move_down_index, 2u);
+}
+
+TEST(Witness, KnownInRequiresUncancelledRequest) {
+  EXPECT_TRUE(al::known_in({{Update::Kind::kRequest, 1}}, 1));
+  EXPECT_FALSE(al::known_in(
+      {{Update::Kind::kRequest, 1}, {Update::Kind::kCancel, 1}}, 1));
+  EXPECT_FALSE(al::known_in({{Update::Kind::kMoveUp, 1}}, 1));
+  EXPECT_FALSE(al::known_in({}, 1));
+}
+
+TEST(Witness, LastIndexOfFindsRightmost) {
+  const std::vector<Update> seq = {{Update::Kind::kCancel, 1},
+                                   {Update::Kind::kRequest, 1},
+                                   {Update::Kind::kCancel, 1}};
+  EXPECT_EQ(al::last_index_of(seq, Update::Kind::kCancel, 1), 2u);
+  EXPECT_EQ(al::last_index_of(seq, Update::Kind::kRequest, 1), 1u);
+  EXPECT_FALSE(al::last_index_of(seq, Update::Kind::kMoveUp, 1).has_value());
+}
+
+TEST(Witness, PersonsMentionedDedups) {
+  const std::vector<Update> seq = {{Update::Kind::kRequest, 2},
+                                   {Update::Kind::kCancel, 2},
+                                   {Update::Kind::kRequest, 1},
+                                   Update{}};
+  EXPECT_EQ(al::persons_mentioned(seq), (std::vector<al::Person>{1, 2}));
+}
+
+// --- Lemma 14 property: witnesses exactly characterize membership ---
+
+class WitnessLemma14 : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(WitnessLemma14, WitnessesCharacterizeMembership) {
+  sim::Rng rng(GetParam());
+  for (int trial = 0; trial < 300; ++trial) {
+    const auto seq = random_sequence(rng, 40, 6);
+    const al::State s = replay(seq);
+    for (al::Person p = 1; p <= 6; ++p) {
+      // (a) known <-> request not followed by cancel.
+      EXPECT_EQ(s.is_known(p), al::known_in(seq, p))
+          << "person " << p << " trial " << trial;
+      // (b) assigned <-> assignment witness.
+      EXPECT_EQ(s.is_assigned(p),
+                al::find_assignment_witness(seq, p).has_value())
+          << "person " << p << " trial " << trial;
+      // (c) waiting <-> waiting witness.
+      EXPECT_EQ(s.is_waiting(p),
+                al::find_waiting_witness(seq, p).has_value())
+          << "person " << p << " trial " << trial;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WitnessLemma14,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+// --- Lemmas 15–19 properties over (sequence, random subsequence) pairs ---
+
+class WitnessSubsequenceLemmas
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(WitnessSubsequenceLemmas, Lemmas15Through19) {
+  sim::Rng rng(GetParam());
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto seq = random_sequence(rng, 30, 5);
+    std::vector<bool> keep(seq.size());
+    for (std::size_t i = 0; i < seq.size(); ++i) keep[i] = rng.bernoulli(0.7);
+    const auto sub = subsequence(seq, keep);
+    const al::State s = replay(seq);   // full state
+    const al::State t = replay(sub);   // subsequence state
+    // Map from full-sequence index to whether kept; find kept-index of a
+    // full-sequence position.
+    const auto kept = [&](std::size_t idx) { return keep[idx]; };
+
+    for (al::Person p = 1; p <= 5; ++p) {
+      // Lemma 15: if P assigned in s with witness (A,B) both kept, then P
+      // assigned in t.
+      if (s.is_assigned(p)) {
+        const auto w = al::find_assignment_witness(seq, p);
+        ASSERT_TRUE(w.has_value());  // Lemma 14
+        if (kept(w->request_index) && kept(w->move_up_index)) {
+          EXPECT_TRUE(t.is_assigned(p)) << "Lemma 15, person " << p;
+        }
+      }
+      // Lemma 16: if P waiting in s and witness kept, P waiting in t.
+      if (s.is_waiting(p)) {
+        const auto w = al::find_waiting_witness(seq, p);
+        ASSERT_TRUE(w.has_value());
+        const bool witness_kept =
+            kept(w->request_index) &&
+            (!w->move_down_index.has_value() || kept(*w->move_down_index));
+        if (witness_kept) {
+          EXPECT_TRUE(t.is_waiting(p)) << "Lemma 16, person " << p;
+        }
+      }
+      const auto last_cancel =
+          al::last_index_of(seq, Update::Kind::kCancel, p);
+      const auto last_up = al::last_index_of(seq, Update::Kind::kMoveUp, p);
+      const auto last_down =
+          al::last_index_of(seq, Update::Kind::kMoveDown, p);
+      const bool has_last_cancel =
+          !last_cancel.has_value() || kept(*last_cancel);
+      // Lemma 17: if sub contains the last cancel(P) (if any), then
+      // P known in t => P known in s.
+      if (has_last_cancel && t.is_known(p)) {
+        EXPECT_TRUE(s.is_known(p)) << "Lemma 17, person " << p;
+      }
+      // Lemma 18: + last move-down kept: assigned in t => assigned in s.
+      const bool has_last_down = !last_down.has_value() || kept(*last_down);
+      if (has_last_cancel && has_last_down && t.is_assigned(p)) {
+        EXPECT_TRUE(s.is_assigned(p)) << "Lemma 18, person " << p;
+      }
+      // Lemma 19: + last move-up kept: waiting in t => waiting in s.
+      const bool has_last_up = !last_up.has_value() || kept(*last_up);
+      if (has_last_cancel && has_last_up && t.is_waiting(p)) {
+        EXPECT_TRUE(s.is_waiting(p)) << "Lemma 19, person " << p;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WitnessSubsequenceLemmas,
+                         ::testing::Values(11u, 12u, 13u, 14u, 15u));
+
+}  // namespace
