@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shard_sim.dir/sim/delay.cpp.o"
+  "CMakeFiles/shard_sim.dir/sim/delay.cpp.o.d"
+  "CMakeFiles/shard_sim.dir/sim/network.cpp.o"
+  "CMakeFiles/shard_sim.dir/sim/network.cpp.o.d"
+  "CMakeFiles/shard_sim.dir/sim/partition.cpp.o"
+  "CMakeFiles/shard_sim.dir/sim/partition.cpp.o.d"
+  "CMakeFiles/shard_sim.dir/sim/scheduler.cpp.o"
+  "CMakeFiles/shard_sim.dir/sim/scheduler.cpp.o.d"
+  "libshard_sim.a"
+  "libshard_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shard_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
