@@ -1,0 +1,134 @@
+// E18 — availability and convergence lag under node crash/restart fault
+// injection (section 1.2's availability narrative, extended to node death).
+//
+// Sweep the crash rate (random crash/restart schedules, durable and amnesia
+// recovery mixed 50/50) over a fixed airline workload and measure what the
+// fault injection costs: the share of submissions rejected because their
+// origin was down (availability), how long restarted nodes lag behind the
+// cluster frontier (recovery lag), how much they re-merge to catch up, and
+// how long after the last failure the cluster needs to reconverge
+// (convergence lag). Emits one JSON document — the machine-readable
+// counterpart of the E12 availability table.
+#include <algorithm>
+#include <cstdio>
+
+#include "analysis/execution_checker.hpp"
+#include "apps/airline/airline.hpp"
+#include "harness/scenario.hpp"
+#include "harness/workload.hpp"
+#include "shard/cluster.hpp"
+#include "sim/crash.hpp"
+
+namespace {
+
+namespace al = apps::airline;
+using Air = al::BasicAirline<20, 900, 300>;
+
+struct Point {
+  int crash_events = 0;
+  std::uint64_t scheduled = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t crashes = 0;
+  std::uint64_t amnesia_recoveries = 0;
+  std::uint64_t catch_up_updates = 0;
+  double downtime = 0.0;
+  double recovery_lag = 0.0;
+  double convergence_lag = 0.0;
+  std::uint64_t txs = 0;
+  bool checker_clean = true;
+};
+
+}  // namespace
+
+int main() {
+  constexpr double kHorizon = 30.0;
+  const std::uint64_t kSeeds[] = {181, 182, 183};
+  std::vector<Point> points;
+
+  for (const int crash_events : {0, 2, 4, 8, 12}) {
+    Point pt;
+    pt.crash_events = crash_events;
+    for (const std::uint64_t seed : kSeeds) {
+      sim::Rng rng(seed);
+      harness::Scenario sc = harness::wan(4);
+      sc.crashes = sim::CrashSchedule::random(rng, sc.num_nodes, kHorizon,
+                                              crash_events, 1.0, 5.0, 0.5);
+      shard::Cluster<Air> cluster(sc.cluster_config<Air>(seed ^ 0xe18));
+      harness::AirlineWorkload w;
+      w.duration = kHorizon;
+      w.request_rate = 4.0;
+      w.mover_rate = 4.0;
+      w.cancel_fraction = 0.1;
+      w.max_persons = 250;
+      harness::drive_airline(cluster, w, seed ^ 0x5eed);
+
+      cluster.run_until(kHorizon);
+      // Convergence lag: simulated time past the last failure (workload
+      // end, partition heal, or final restart — whichever is latest) until
+      // every replica knows every update.
+      const double all_clear =
+          std::max({kHorizon, sc.partitions.last_heal_time(),
+                    sc.crashes.last_restart_time()});
+      cluster.run_until(all_clear);
+      double t = all_clear;
+      while (!cluster.converged() && t < all_clear + 1e4) {
+        t += 0.25;
+        cluster.run_until(t);
+      }
+      pt.convergence_lag += t - all_clear;
+
+      const auto exec = cluster.execution();
+      pt.txs += exec.size();
+      pt.checker_clean = pt.checker_clean &&
+                         analysis::check_prefix_subsequence_condition(exec).ok() &&
+                         cluster.converged();
+      pt.scheduled += cluster.scheduled_submissions();
+      const shard::EngineStats agg = cluster.aggregate_engine_stats();
+      pt.rejected += agg.rejected_submissions;
+      pt.crashes += agg.crashes;
+      pt.catch_up_updates += agg.catch_up_updates;
+      pt.downtime += agg.downtime;
+      pt.recovery_lag += agg.recovery_lag;
+      for (std::size_t n = 0; n < cluster.num_nodes(); ++n) {
+        pt.amnesia_recoveries +=
+            cluster.node(n).broadcast_stats().amnesia_resets;
+      }
+    }
+    points.push_back(pt);
+  }
+
+  const std::size_t runs = std::size(kSeeds);
+  std::printf("{\n  \"experiment\": \"e18_crash_recovery\",\n");
+  std::printf("  \"horizon\": %.1f, \"nodes\": 4, \"seeds\": %zu,\n", kHorizon,
+              runs);
+  std::printf("  \"points\": [\n");
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const Point& p = points[i];
+    const double availability =
+        p.scheduled == 0
+            ? 1.0
+            : 1.0 - static_cast<double>(p.rejected) /
+                        static_cast<double>(p.scheduled);
+    const double mean_lag =
+        p.crashes == 0 ? 0.0
+                       : p.recovery_lag / static_cast<double>(p.crashes);
+    std::printf(
+        "    {\"crash_events_requested\": %d, \"crashes\": %llu, "
+        "\"amnesia_recoveries\": %llu, \"txs\": %llu, "
+        "\"scheduled_submissions\": %llu, \"rejected_submissions\": %llu, "
+        "\"availability\": %.4f, \"total_downtime\": %.2f, "
+        "\"mean_recovery_lag\": %.3f, \"catch_up_updates\": %llu, "
+        "\"mean_convergence_lag\": %.3f, \"checker_clean\": %s}%s\n",
+        p.crash_events, static_cast<unsigned long long>(p.crashes),
+        static_cast<unsigned long long>(p.amnesia_recoveries),
+        static_cast<unsigned long long>(p.txs),
+        static_cast<unsigned long long>(p.scheduled),
+        static_cast<unsigned long long>(p.rejected), availability, p.downtime,
+        mean_lag, static_cast<unsigned long long>(p.catch_up_updates),
+        p.convergence_lag / static_cast<double>(runs),
+        p.checker_clean ? "true" : "false",
+        i + 1 < points.size() ? "," : "");
+  }
+  std::printf("  ]\n}\n");
+  return 0;
+}

@@ -38,4 +38,12 @@ Scenario flaky_node(std::size_t num_nodes, double t0, double t1) {
   return s;
 }
 
+Scenario crashy_node(std::size_t num_nodes, double t0, double t1,
+                     sim::RecoveryMode mode) {
+  Scenario s = wan(num_nodes);
+  s.name = "crashy-node";
+  s.crashes.crash(static_cast<sim::NodeId>(num_nodes - 1), t0, t1, mode);
+  return s;
+}
+
 }  // namespace harness

@@ -8,6 +8,7 @@
 
 #include "net/broadcast.hpp"
 #include "shard/cluster.hpp"
+#include "sim/crash.hpp"
 #include "sim/delay.hpp"
 #include "sim/partition.hpp"
 
@@ -20,6 +21,7 @@ struct Scenario {
   sim::Delay delay = sim::Delay::constant(0.01);
   double drop_probability = 0.0;
   sim::PartitionSchedule partitions;
+  sim::CrashSchedule crashes;
   bool causal_broadcast = true;
   double anti_entropy_interval = 0.5;
   std::size_t checkpoint_interval = 32;
@@ -33,6 +35,7 @@ struct Scenario {
     cfg.network.delay = delay;
     cfg.network.drop_probability = drop_probability;
     cfg.network.partitions = partitions;
+    cfg.crashes = crashes;
     cfg.broadcast.causal = causal_broadcast;
     cfg.broadcast.anti_entropy_interval = anti_entropy_interval;
     cfg.checkpoint_interval = checkpoint_interval;
@@ -56,5 +59,12 @@ Scenario partitioned_wan(std::size_t num_nodes = 4, double t0 = 10.0,
 /// A flaky node: node `num_nodes - 1` is isolated during [t0, t1).
 Scenario flaky_node(std::size_t num_nodes = 4, double t0 = 5.0,
                     double t1 = 25.0);
+
+/// A crashing node: WAN conditions, node `num_nodes - 1` crashes during
+/// [t0, t1) and restarts with the given recovery mode — the crash analogue
+/// of flaky_node (which merely cuts links).
+Scenario crashy_node(std::size_t num_nodes = 4, double t0 = 5.0,
+                     double t1 = 25.0,
+                     sim::RecoveryMode mode = sim::RecoveryMode::kDurable);
 
 }  // namespace harness

@@ -22,7 +22,9 @@
 // protocol tests).
 #pragma once
 
+#include <algorithm>
 #include <any>
+#include <cassert>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -107,6 +109,7 @@ class ReliableBroadcast {
   /// origin's own state always reflects its own transactions. Returns the
   /// origin sequence number.
   std::uint64_t broadcast(Payload payload) {
+    assert(!down_ && "a crashed node cannot broadcast");
     Wire w;
     w.origin = self_;
     w.origin_seq = ++own_seq_;
@@ -143,6 +146,40 @@ class ReliableBroadcast {
     announce_fn_ = std::move(on_announce);
   }
 
+  /// Crash/restart the endpoint. While down, anti-entropy ticks no-op (the
+  /// timer keeps running so restarts need no re-arming) and the network
+  /// additionally refuses sends/deliveries for this node. Mirrors the down
+  /// state into the network so both layers agree.
+  void set_down(bool down) {
+    down_ = down;
+    net_.set_node_down(self_, down);
+  }
+  bool down() const { return down_; }
+
+  /// Amnesia restart: all volatile broadcast state — delivery vectors,
+  /// repair store of *other* nodes' payloads, causal holding buffer — is
+  /// lost. What survives is the stable outbox: this node's own wire
+  /// messages, written to stable storage before their external actions
+  /// fired (see sim/crash.hpp). They are re-accepted below, rebuilding the
+  /// node's knowledge of its own transactions; everything else is
+  /// re-learned from peers through the ordinary digest/repair path (the
+  /// node's first post-restart digest is all-zeros, so peers resend
+  /// everything they hold).
+  void restart_amnesia() {
+    std::vector<Wire> outbox = std::move(store_[self_]);
+    for (auto& s : store_) s.clear();
+    for (auto& e : seen_extra_) e.clear();
+    std::fill(delivered_count_.begin(), delivered_count_.end(), 0);
+    std::fill(contiguous_have_.begin(), contiguous_have_.end(), 0);
+    pending_.clear();
+    ++stats_.amnesia_resets;
+    set_down(false);
+    for (const Wire& w : outbox) {
+      ++stats_.outbox_replays;
+      accept(w);
+    }
+  }
+
  private:
   enum class PacketType { kWire, kDigest, kRepair, kAnnounce };
   struct Packet {
@@ -163,6 +200,7 @@ class ReliableBroadcast {
   }
 
   void on_message(const sim::Message& m) {
+    if (down_) return;  // defensive: the network drops these before us
     const auto& p = std::any_cast<const Packet&>(m.payload);
     switch (p.type) {
       case PacketType::kWire:
@@ -262,6 +300,13 @@ class ReliableBroadcast {
   }
 
   void run_anti_entropy_round() {
+    // The timer stays armed through a crash; ticks while down do nothing,
+    // so restarting needs no timer re-arming and the event sequence stays a
+    // pure function of (seed, configuration, crash schedule).
+    if (down_) {
+      ++stats_.rounds_skipped_down;
+      return;
+    }
     const std::size_t n = net_.node_count();
     if (n < 2) return;
     if (promise_fn_) {
@@ -310,6 +355,7 @@ class ReliableBroadcast {
   DeliverFn deliver_;
   PromiseFn promise_fn_;
   AnnounceFn announce_fn_;
+  bool down_ = false;  ///< crashed: no gossip, no sends (see set_down)
 
   std::uint64_t own_seq_ = 0;
   /// Delivered-to-application counts per origin (vector clock).

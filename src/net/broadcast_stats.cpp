@@ -10,6 +10,11 @@ std::string BroadcastStats::summary() const {
      << " dup=" << duplicates_dropped << " buffered=" << causally_buffered
      << " ae_rounds=" << anti_entropy_rounds
      << " ae_repairs=" << anti_entropy_repairs;
+  if (rounds_skipped_down > 0 || amnesia_resets > 0) {
+    os << " down_rounds=" << rounds_skipped_down
+       << " amnesia_resets=" << amnesia_resets
+       << " outbox_replays=" << outbox_replays;
+  }
   return os.str();
 }
 

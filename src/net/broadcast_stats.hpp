@@ -15,6 +15,10 @@ struct BroadcastStats {
   std::uint64_t causally_buffered = 0; ///< Arrivals parked awaiting deps.
   std::uint64_t anti_entropy_rounds = 0;   ///< Digests sent.
   std::uint64_t anti_entropy_repairs = 0;  ///< Payloads resent to peers.
+  std::uint64_t rounds_skipped_down = 0;   ///< Gossip ticks while crashed.
+  std::uint64_t amnesia_resets = 0;        ///< Volatile-state wipes (restarts).
+  std::uint64_t outbox_replays = 0;        ///< Own stable payloads re-accepted
+                                           ///< after an amnesia restart.
 
   std::string summary() const;
 };

@@ -9,6 +9,7 @@
 // the paper's conditions and theorems.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -18,6 +19,7 @@
 #include "core/execution.hpp"
 #include "net/broadcast.hpp"
 #include "shard/node.hpp"
+#include "sim/crash.hpp"
 #include "sim/network.hpp"
 #include "sim/scheduler.hpp"
 
@@ -37,6 +39,11 @@ class Cluster {
     /// Discard obsolete information ([SL]): fold cluster-stable log
     /// prefixes into the base state.
     bool compaction = false;
+    /// Node crash/restart fault injection: each event crashes one node and
+    /// restarts it (durable or amnesia recovery — see sim/crash.hpp). The
+    /// network refuses delivery to down nodes; submissions reaching them
+    /// are rejected and counted, never silently executed.
+    sim::CrashSchedule crashes;
     std::uint64_t seed = 1;
   };
 
@@ -50,14 +57,28 @@ class Cluster {
           master_rng_.fork_seed(), config.compaction));
     }
     for (auto& n : nodes_) n->start();
+    for (const sim::CrashEvent& ev : config_.crashes.events()) {
+      if (ev.node >= nodes_.size()) throw std::out_of_range("crash: no such node");
+      scheduler_.schedule_at(ev.start, [this, node = ev.node] {
+        nodes_[node]->crash(scheduler_.now());
+      });
+      // The catch-up target (how much the node must re-merge to count as
+      // recovered) is read at restart time, not schedule-construction time.
+      scheduler_.schedule_at(ev.end, [this, ev] {
+        nodes_[ev.node]->restart(ev.mode, scheduler_.now(), total_originated());
+      });
+    }
   }
 
   /// Schedule a request to be submitted at `node` at simulated time `t`.
+  /// If the node is crashed at that moment, the submission is rejected and
+  /// counted (EngineStats::rejected_submissions) — clients of a down node
+  /// observe unavailability, the paper's price for node failure.
   void submit_at(sim::Time t, core::NodeId node, Request request) {
     if (node >= nodes_.size()) throw std::out_of_range("no such node");
     ++scheduled_submissions_;
     scheduler_.schedule_at(t, [this, node, request = std::move(request)] {
-      nodes_[node]->submit(request, scheduler_.now());
+      nodes_[node]->try_submit(request, scheduler_.now());
     });
   }
 
@@ -88,12 +109,14 @@ class Cluster {
   /// Advance simulated time, executing all events up to `t`.
   void run_until(sim::Time t) { scheduler_.run_until(t); }
 
-  /// Run past the end of the partition schedule plus enough anti-entropy
-  /// rounds for every node to learn every update. Throws if convergence is
-  /// not reached within `max_time` (which would indicate a protocol bug or
-  /// a permanent partition).
+  /// Run past the end of the partition and crash schedules plus enough
+  /// anti-entropy rounds for every node to learn every update. Throws if
+  /// convergence is not reached within `max_time` (which would indicate a
+  /// protocol bug, a permanent partition, or a never-restarted node).
   void settle(sim::Time max_time = 1e6) {
-    const sim::Time heal = config_.network.partitions.last_heal_time();
+    const sim::Time heal =
+        std::max(config_.network.partitions.last_heal_time(),
+                 config_.crashes.last_restart_time());
     if (scheduler_.now() < heal) run_until(heal);
     const sim::Time step =
         config_.broadcast.anti_entropy_interval > 0.0
@@ -165,7 +188,7 @@ class Cluster {
   std::size_t num_nodes() const { return nodes_.size(); }
   const Config& config() const { return config_; }
 
-  /// Aggregated engine stats across nodes (thrashing / E10 tables).
+  /// Aggregated engine stats across nodes (thrashing / E10 / E18 tables).
   EngineStats aggregate_engine_stats() const {
     EngineStats agg;
     for (const auto& n : nodes_) {
@@ -177,9 +200,20 @@ class Cluster {
       agg.redone_updates += s.redone_updates;
       agg.checkpoints_taken += s.checkpoints_taken;
       agg.checkpoints_invalidated += s.checkpoints_invalidated;
+      agg.entries_folded += s.entries_folded;
+      agg.crashes += s.crashes;
+      agg.recoveries += s.recoveries;
+      agg.rejected_submissions += s.rejected_submissions;
+      agg.catch_up_updates += s.catch_up_updates;
+      agg.downtime += s.downtime;
+      agg.recovery_lag += s.recovery_lag;
     }
     return agg;
   }
+
+  /// Requests handed to submit_at (accepted or rejected); with the
+  /// aggregate rejected_submissions this yields the availability ratio.
+  std::uint64_t scheduled_submissions() const { return scheduled_submissions_; }
 
  private:
   Config config_;

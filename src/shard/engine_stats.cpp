@@ -11,6 +11,12 @@ std::string EngineStats::summary() const {
      << " redone=" << redone_updates << " ckpt=" << checkpoints_taken
      << " ckpt_inval=" << checkpoints_invalidated
      << " folded=" << entries_folded;
+  if (crashes > 0) {
+    os << " crashes=" << crashes << " recoveries=" << recoveries
+       << " rejected=" << rejected_submissions
+       << " catch_up=" << catch_up_updates << " downtime=" << downtime
+       << " recovery_lag=" << recovery_lag;
+  }
   return os.str();
 }
 

@@ -6,8 +6,9 @@
 
 namespace shard {
 
-/// Observability for one node's merge engine. The thrashing experiment (E8)
-/// and the checkpoint-optimization microbench (E10) read these.
+/// Observability for one node's merge engine. The thrashing experiment (E8),
+/// the checkpoint-optimization microbench (E10), and the crash/recovery
+/// experiment (E18) read these.
 struct EngineStats {
   std::uint64_t decisions_run = 0;   ///< Decision parts executed locally.
   std::uint64_t tail_appends = 0;    ///< Updates merged at the log tail.
@@ -18,6 +19,20 @@ struct EngineStats {
   std::uint64_t checkpoints_taken = 0;
   std::uint64_t checkpoints_invalidated = 0;
   std::uint64_t entries_folded = 0;  ///< Compaction ([SL]): discarded entries.
+
+  // Crash/recovery (E18). A submission reaching a down node is *rejected*,
+  // never silently executed; recovery lag is the time from a restart until
+  // the node has re-merged every update the cluster had originated by that
+  // restart; catch-up updates are the merges performed in that window.
+  std::uint64_t crashes = 0;               ///< crash() transitions.
+  std::uint64_t recoveries = 0;            ///< restart() transitions.
+  std::uint64_t rejected_submissions = 0;  ///< Submissions refused while down
+                                           ///< (incl. reservations dropped by
+                                           ///< a crash).
+  std::uint64_t catch_up_updates = 0;      ///< Updates merged while catching
+                                           ///< up after a restart.
+  double downtime = 0.0;      ///< Total simulated time spent crashed.
+  double recovery_lag = 0.0;  ///< Total restart -> caught-up time.
 
   std::string summary() const;
 };

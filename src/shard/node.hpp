@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <deque>
 #include <optional>
+#include <stdexcept>
 #include <utility>
 #include <vector>
 
@@ -26,6 +27,7 @@
 #include "core/timestamp.hpp"
 #include "net/broadcast.hpp"
 #include "shard/update_log.hpp"
+#include "sim/crash.hpp"
 
 namespace shard {
 
@@ -85,8 +87,10 @@ class Node {
 
   /// Run one transaction originated here, now. Returns a copy of the
   /// record (also retained internally; a reference would dangle when the
-  /// next submit grows the record vector).
+  /// next submit grows the record vector). Throws if the node is crashed —
+  /// use try_submit for workloads that must tolerate downtime.
   Record submit(const Request& request, sim::Time now) {
+    if (down_) throw std::logic_error("submit on a crashed node");
     ++log_.mutable_stats().decisions_run;
     Record rec;
     rec.origin = id_;
@@ -111,6 +115,18 @@ class Node {
     return originated_.back();
   }
 
+  /// Availability-aware submission: a request reaching a crashed origin is
+  /// rejected (counted, never silently executed) — the client sees an
+  /// unavailable node and can retry elsewhere. Returns the record on
+  /// success, nullopt on rejection.
+  std::optional<Record> try_submit(const Request& request, sim::Time now) {
+    if (down_) {
+      ++log_.mutable_stats().rejected_submissions;
+      return std::nullopt;
+    }
+    return submit(request, now);
+  }
+
   /// Mixed-mode extension (paper sections 3.3 and 6): run this transaction
   /// SERIALIZABLY — with a provably complete prefix. A timestamp position
   /// ts_p is reserved now; the decision is deferred until every peer has
@@ -121,6 +137,10 @@ class Node {
   /// timestamp < ts_p: the complete prefix. Blocks (logically) through
   /// partitions — the availability price of serializability.
   void submit_serializable(const Request& request, sim::Time now) {
+    if (down_) {
+      ++log_.mutable_stats().rejected_submissions;
+      return;
+    }
     PendingSerial p;
     p.request = request;
     p.reserved_ts = clock_.tick();
@@ -131,6 +151,76 @@ class Node {
 
   /// Serializable submissions still waiting for peer promises.
   std::size_t pending_serializable() const { return pending_.size(); }
+
+  /// Crash the node at simulated time `now`. The node stops executing,
+  /// gossiping, and receiving (the network refuses delivery); pending
+  /// serializable reservations are volatile and die with it (their clients
+  /// observe unavailability — counted as rejections). Idempotent.
+  ///
+  /// What happens to *state* is decided at restart time by the recovery
+  /// mode: conceptually the crash wipes volatile memory, and restart either
+  /// reloads stable storage (kDurable) or finds none (kAmnesia). Already-
+  /// executed decisions are in neither case re-run, and their external
+  /// actions — fired at decision time, recorded in the stable outbox before
+  /// firing — are never re-fired (paper section 1.2: external actions "can
+  /// never be undone").
+  void crash(sim::Time now) {
+    if (down_) return;
+    down_ = true;
+    down_since_ = now;
+    auto& st = log_.mutable_stats();
+    ++st.crashes;
+    st.rejected_submissions += pending_.size();
+    pending_.clear();
+    broadcast_.set_down(true);
+  }
+
+  /// Restart a crashed node at `now`.
+  ///
+  ///  * kDurable: the merged log survived on stable storage (the engine's
+  ///    last checkpoint plus the log suffix — exactly what UpdateLog holds);
+  ///    only updates originated while down are missing, and the ordinary
+  ///    anti-entropy digests fetch them.
+  ///  * kAmnesia: volatile replication state is gone. The log restarts from
+  ///    the application's initial state, peer promises and causal buffers
+  ///    are dropped, and everything is resynchronized — the node's own
+  ///    transactions replay from its stable outbox, the rest arrives
+  ///    through repair. The Lamport counter survives in the outbox (each
+  ///    record carries its timestamp), so fresh transactions keep receiving
+  ///    globally unique timestamps above everything this node ever issued
+  ///    or merged.
+  ///
+  /// `catch_up_target` is measurement-only omniscience supplied by the
+  /// cluster: the number of updates originated cluster-wide by restart
+  /// time. Reaching it ends the recovery window (recovery_lag,
+  /// catch_up_updates in EngineStats). It never influences protocol
+  /// behavior. Idempotent (no-op if the node is up).
+  void restart(sim::RecoveryMode mode, sim::Time now,
+               std::uint64_t catch_up_target = 0) {
+    if (!down_) return;
+    down_ = false;
+    auto& st = log_.mutable_stats();
+    ++st.recoveries;
+    st.downtime += now - down_since_;
+    restart_time_ = now;
+    catch_up_target_ = catch_up_target;
+    catching_up_ = true;
+    if (mode == sim::RecoveryMode::kAmnesia) {
+      log_.reset_to_initial();
+      folded_ts_.clear();
+      for (auto& a : peer_announcements_) a = Announcement{};
+      // Clears volatile broadcast state, then replays the stable outbox
+      // (re-merging our own updates into the fresh log via on_deliver).
+      broadcast_.restart_amnesia();
+    } else {
+      broadcast_.set_down(false);
+    }
+    check_caught_up(now);
+  }
+
+  bool down() const { return down_; }
+  /// Still re-merging updates missed before/during the last crash.
+  bool catching_up() const { return catching_up_; }
 
   const State& state() const { return log_.state(); }
   const UpdateLog<App>& log() const { return log_; }
@@ -162,7 +252,19 @@ class Node {
     // transaction, preserving "local timestamps exceed all merged ones".
     clock_.observe(wire.payload.ts);
     log_.insert({wire.payload.ts, wire.payload.update});
+    if (catching_up_) {
+      ++log_.mutable_stats().catch_up_updates;
+      check_caught_up(sched_->now());
+    }
     try_run_pending(sched_->now());
+  }
+
+  /// Recovery-window bookkeeping: the window closes once this node again
+  /// knows every update the cluster had originated by the restart.
+  void check_caught_up(sim::Time now) {
+    if (!catching_up_ || updates_known() < catch_up_target_) return;
+    catching_up_ = false;
+    log_.mutable_stats().recovery_lag += now - restart_time_;
   }
 
   /// Our promise: we will issue nothing with a timestamp below this. With
@@ -275,6 +377,13 @@ class Node {
   std::vector<Record> originated_;
   std::vector<Announcement> peer_announcements_;
   std::deque<PendingSerial> pending_;
+  // Crash/recovery (sim/crash.hpp): down_ gates every activity; the rest is
+  // recovery-window instrumentation.
+  bool down_ = false;
+  bool catching_up_ = false;
+  sim::Time down_since_ = 0.0;
+  sim::Time restart_time_ = 0.0;
+  std::uint64_t catch_up_target_ = 0;
   bool enable_compaction_ = false;
   /// Timestamps of compacted-away entries, in order (prefix bookkeeping).
   std::vector<core::Timestamp> folded_ts_;

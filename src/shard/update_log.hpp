@@ -164,6 +164,21 @@ class UpdateLog {
     return n;
   }
 
+  /// Amnesia recovery (sim/crash.hpp): the merged log is volatile and did
+  /// not survive the crash. Reset to the application's initial state —
+  /// entries, checkpoints, compaction base, everything — so the node can
+  /// resynchronize from scratch. Counters are cumulative observability and
+  /// deliberately survive (the lifetime undo/redo work really happened).
+  void reset_to_initial() {
+    entries_.clear();
+    base_ = App::initial();
+    base_cut_ = core::Timestamp{};
+    folded_count_ = 0;
+    state_ = base_;
+    checkpoints_.clear();
+    checkpoints_.push_back(base_);
+  }
+
   /// Entries folded into the base so far.
   std::size_t folded_count() const { return folded_count_; }
   /// All updates ever merged here (retained + folded).

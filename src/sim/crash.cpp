@@ -1,0 +1,82 @@
+#include "sim/crash.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace sim {
+
+CrashSchedule& CrashSchedule::add(CrashEvent event) {
+  if (!(event.start < event.end)) {
+    throw std::invalid_argument("CrashSchedule: empty down-window");
+  }
+  for (const CrashEvent& ev : events_) {
+    if (ev.node == event.node && event.start < ev.end && ev.start < event.end) {
+      throw std::invalid_argument(
+          "CrashSchedule: overlapping down-windows for one node");
+    }
+  }
+  events_.push_back(event);
+  return *this;
+}
+
+CrashSchedule& CrashSchedule::crash(NodeId node, Time start, Time end,
+                                    RecoveryMode mode) {
+  return add(CrashEvent{node, start, end, mode});
+}
+
+bool CrashSchedule::down(NodeId node, Time t) const {
+  return std::any_of(events_.begin(), events_.end(),
+                     [node, t](const CrashEvent& ev) {
+                       return ev.node == node && t >= ev.start && t < ev.end;
+                     });
+}
+
+Time CrashSchedule::last_restart_time() const {
+  Time latest = 0.0;
+  for (const CrashEvent& ev : events_) latest = std::max(latest, ev.end);
+  return latest;
+}
+
+Time CrashSchedule::total_downtime() const {
+  Time total = 0.0;
+  for (const CrashEvent& ev : events_) total += ev.end - ev.start;
+  return total;
+}
+
+std::string CrashSchedule::describe() const {
+  if (events_.empty()) return "no crashes";
+  std::ostringstream os;
+  os << events_.size() << " crash event(s): ";
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    const CrashEvent& ev = events_[i];
+    if (i > 0) os << "; ";
+    os << "node " << ev.node << " down [" << ev.start << "," << ev.end << ") "
+       << (ev.mode == RecoveryMode::kDurable ? "durable" : "amnesia");
+  }
+  return os.str();
+}
+
+CrashSchedule CrashSchedule::random(Rng& rng, std::size_t nodes, Time horizon,
+                                    int count, Time min_down, Time max_down,
+                                    double amnesia_probability) {
+  CrashSchedule cs;
+  for (int e = 0; e < count; ++e) {
+    CrashEvent ev;
+    ev.node = static_cast<NodeId>(
+        rng.uniform_int(0, static_cast<std::int64_t>(nodes) - 1));
+    ev.start = rng.uniform(0.0, horizon);
+    ev.end = ev.start + rng.uniform(min_down, max_down);
+    ev.mode = rng.bernoulli(amnesia_probability) ? RecoveryMode::kAmnesia
+                                                 : RecoveryMode::kDurable;
+    const bool overlaps = std::any_of(
+        cs.events_.begin(), cs.events_.end(), [&ev](const CrashEvent& prior) {
+          return prior.node == ev.node && ev.start < prior.end &&
+                 prior.start < ev.end;
+        });
+    if (!overlaps) cs.events_.push_back(ev);
+  }
+  return cs;
+}
+
+}  // namespace sim

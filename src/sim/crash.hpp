@@ -1,0 +1,99 @@
+// Node crash/restart schedules.
+//
+// The paper's availability story (section 1.2) is that SHARD keeps serving
+// "barring permanent communication failures" — which covers node failures
+// too: a crashed node is just a node nobody can communicate with until it
+// comes back. This module makes crashes a first-class, scriptable input,
+// symmetric with PartitionSchedule: a CrashSchedule is a set of timed
+// down-windows per node. The Cluster consults the schedule to drive
+// Node::crash()/Node::restart(); the Network refuses delivery to a node
+// that is currently down (its volatile receive path does not exist).
+//
+// Each event names a recovery mode for the restart that ends it:
+//
+//   * kDurable — the node recovers its merged log from stable storage
+//     (modeled as: the UpdateLog survives; conceptually the last checkpoint
+//     plus the log suffix is replayed from disk) and catches up on whatever
+//     it missed through the usual anti-entropy digests.
+//   * kAmnesia — the node loses all volatile replication state (merged log,
+//     delivery vectors, peer promises) and rebuilds from the initial state
+//     by resynchronizing every update from its own stable outbox and its
+//     peers. Only the minimal stable-storage footprint survives: the node's
+//     own transaction records (timestamps, updates, fired external
+//     actions), written before external actions fire so that decisions are
+//     never re-run and external actions never re-fired (section 1.2).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/delay.hpp"
+#include "sim/partition.hpp"
+#include "sim/rng.hpp"
+
+namespace sim {
+
+/// How a node comes back from a crash (see file comment).
+enum class RecoveryMode {
+  kDurable,  ///< merged log survives; catch up on the missed suffix only
+  kAmnesia,  ///< volatile state lost; resync everything from peers/outbox
+};
+
+/// One down-window: `node` crashes at `start` and restarts at `end` with
+/// `mode`. While down the node executes nothing, receives nothing, and
+/// rejects submissions.
+struct CrashEvent {
+  NodeId node = 0;
+  Time start = 0.0;
+  Time end = 0.0;
+  RecoveryMode mode = RecoveryMode::kDurable;
+};
+
+/// A scriptable schedule of node crashes over the lifetime of a run,
+/// analogous to PartitionSchedule for link failures. Windows for the same
+/// node must not overlap (checked by `add`).
+class CrashSchedule {
+ public:
+  CrashSchedule() = default;
+
+  /// Add a down-window. Returns *this for fluent construction. Throws
+  /// std::invalid_argument on an empty window or one overlapping an
+  /// existing window of the same node.
+  CrashSchedule& add(CrashEvent event);
+
+  /// Convenience: crash `node` during [start, end).
+  CrashSchedule& crash(NodeId node, Time start, Time end,
+                       RecoveryMode mode = RecoveryMode::kDurable);
+
+  /// Is `node` down at time t?
+  bool down(NodeId node, Time t) const;
+
+  /// Latest restart time over all events (0 if none). After this every node
+  /// is up again; harnesses run at least this long before settling.
+  Time last_restart_time() const;
+
+  /// Total down-window time summed over all events.
+  Time total_downtime() const;
+
+  bool empty() const { return events_.empty(); }
+  const std::vector<CrashEvent>& events() const { return events_; }
+
+  std::string describe() const;
+
+  /// A seed-driven random schedule: `count` crash/restart windows over
+  /// [0, horizon), uniformly assigned to nodes, with down-times drawn from
+  /// [min_down, max_down) and the recovery mode chosen by a Bernoulli coin
+  /// (`amnesia_probability`). Windows that would overlap an earlier window
+  /// of the same node are skipped, so the result may hold fewer than
+  /// `count` events; the draw sequence is fixed, keeping runs reproducible.
+  static CrashSchedule random(Rng& rng, std::size_t nodes, Time horizon,
+                              int count, Time min_down = 1.0,
+                              Time max_down = 5.0,
+                              double amnesia_probability = 0.5);
+
+ private:
+  std::vector<CrashEvent> events_;
+};
+
+}  // namespace sim

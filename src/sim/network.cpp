@@ -9,9 +9,20 @@ void Network::register_node(NodeId node, Handler handler) {
   handlers_[node] = std::move(handler);
 }
 
+void Network::set_node_down(NodeId node, bool down) {
+  if (node >= down_.size()) down_.resize(node + 1, 0);
+  down_[node] = down ? 1 : 0;
+}
+
 std::uint64_t Network::send(NodeId src, NodeId dst, std::any payload) {
   assert(dst < handlers_.size() && handlers_[dst]);
   ++stats_.sent;
+  // A crashed endpoint swallows the message outright: a down node has no
+  // running protocol stack to transmit or receive with.
+  if (node_down(src) || node_down(dst)) {
+    ++stats_.dropped_crashed;
+    return 0;
+  }
   // A cut active at send time swallows the message. The paper's broadcast
   // layer is responsible for eventual delivery via retransmission, so loss
   // here is exactly the failure the correctness conditions must tolerate.
@@ -30,7 +41,13 @@ std::uint64_t Network::send(NodeId src, NodeId dst, std::any payload) {
   sched_.schedule_after(latency, [this, msg = std::move(msg)]() {
     // Deliver even if a partition started after the send: the datagram was
     // already in flight. (Cut-at-send-time is the standard simplification;
-    // the broadcast layer tolerates either convention.)
+    // the broadcast layer tolerates either convention.) A crash is
+    // different: a datagram arriving at a down node lands on dead hardware
+    // and is lost — anti-entropy recovers it after the restart.
+    if (node_down(msg.dst)) {
+      ++stats_.dropped_crashed;
+      return;
+    }
     ++stats_.delivered;
     handlers_[msg.dst](msg);
   });

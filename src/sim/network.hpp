@@ -28,12 +28,16 @@ struct Message {
   std::any payload;
 };
 
-/// Counters exposed for the availability experiments (E8, E12).
+/// Counters exposed for the availability experiments (E8, E12, E18).
 struct NetworkStats {
   std::uint64_t sent = 0;
   std::uint64_t delivered = 0;
   std::uint64_t dropped_partition = 0;
   std::uint64_t dropped_random = 0;
+  /// Messages lost because an endpoint was crashed — at send time (either
+  /// end down) or at delivery time (destination crashed while the datagram
+  /// was in flight; its volatile receive path no longer exists).
+  std::uint64_t dropped_crashed = 0;
 };
 
 /// Simulated unreliable network.
@@ -75,6 +79,18 @@ class Network {
     return config_.partitions.connected(a, b, sched_.now());
   }
 
+  /// Mark a node crashed/restarted. While down the node neither sends nor
+  /// receives: sends from/to it are dropped at send time, and in-flight
+  /// messages addressed to it are dropped at delivery time. Driven by
+  /// Node::crash()/restart() (single source of truth — the schedule only
+  /// decides *when* the cluster calls those).
+  void set_node_down(NodeId node, bool down);
+
+  /// Is `node` currently marked down?
+  bool node_down(NodeId node) const {
+    return node < down_.size() && down_[node];
+  }
+
   const NetworkStats& stats() const { return stats_; }
   const Config& config() const { return config_; }
   Scheduler& scheduler() { return sched_; }
@@ -84,6 +100,7 @@ class Network {
   Config config_;
   Rng rng_;
   std::vector<Handler> handlers_;
+  std::vector<char> down_;  ///< down_[n]: node n is currently crashed
   NetworkStats stats_;
   std::uint64_t next_msg_id_ = 1;
 };

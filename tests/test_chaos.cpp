@@ -1,10 +1,13 @@
-// Chaos suite: randomized partition schedules, topologies, and workloads.
+// Chaos suite: randomized partition schedules, crash/restart schedules,
+// topologies, and workloads.
 //
 // Every run, whatever the failure pattern, must end with: converged
 // replicas, a trace satisfying the section 3.1 conditions, transitivity
 // (causal broadcast), Theorem 5 and Theorem 7 bounds, and the final state
 // equal to the execution replay — the full guarantee stack under random
-// fire.
+// fire. The crash tier adds node death and both recovery modes (durable /
+// amnesia) on top of the link failures, and additionally demands that no
+// decision ever re-ran (external actions fired exactly once).
 #include <gtest/gtest.h>
 
 #include "analysis/cost_bounds.hpp"
@@ -15,6 +18,7 @@
 #include "harness/workload.hpp"
 #include "shard/cluster.hpp"
 #include "shard/partial.hpp"
+#include "sim/crash.hpp"
 #include "sim/rng.hpp"
 
 namespace {
@@ -102,6 +106,104 @@ TEST_P(Chaos, FullGuaranteeStackUnderRandomFailures) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, Chaos,
                          ::testing::Range<std::uint64_t>(1000, 1012));
+
+/// The §3 guarantee stack an airline run must satisfy after any failure
+/// pattern, plus the crash-specific demand: decisions ran exactly once
+/// (zero re-fired external actions), which follows from every decision
+/// producing exactly one recorded transaction.
+void expect_full_stack(shard::Cluster<Air>& cluster) {
+  ASSERT_TRUE(cluster.converged());
+  const auto exec = cluster.execution();
+  ASSERT_TRUE(analysis::check_prefix_subsequence_condition(exec).ok());
+  EXPECT_TRUE(analysis::is_transitive(exec));
+  EXPECT_EQ(cluster.node(0).state(), exec.final_state());
+  EXPECT_EQ(cluster.aggregate_engine_stats().decisions_run, exec.size());
+  const auto preserves = [](const al::Request& r, int c) {
+    return Air::Theory::preserves_cost(r, c);
+  };
+  const auto unsafe = [](const al::Request& r, int c) {
+    return !Air::Theory::safe_for(r, c);
+  };
+  const auto f = [](int c, std::size_t k) { return Air::Theory::f_bound(c, k); };
+  for (int c = 0; c < Air::kNumConstraints; ++c) {
+    EXPECT_TRUE(analysis::check_theorem5(exec, c, preserves, f).ok());
+  }
+  EXPECT_TRUE(analysis::check_theorem7(exec, Air::kOverbooking, unsafe, f).ok());
+}
+
+/// Crash-chaos tier: random crash/restart schedules (both recovery modes)
+/// interleaved with random partition schedules and random drops; the full
+/// checker stack must hold after every run.
+class CrashChaos : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CrashChaos, FullGuaranteeStackUnderCrashesAndPartitions) {
+  sim::Rng rng(GetParam());
+  const auto nodes = static_cast<std::size_t>(rng.uniform_int(2, 6));
+  const double horizon = 25.0;
+
+  harness::Scenario sc;
+  sc.name = "crash-chaos";
+  sc.num_nodes = nodes;
+  sc.delay = sim::Delay::exponential(rng.uniform(0.005, 0.05),
+                                     rng.uniform(0.05, 0.3), 5.0);
+  sc.drop_probability = rng.uniform(0.0, 0.25);
+  sc.partitions = random_partitions(
+      rng, nodes, horizon, static_cast<int>(rng.uniform_int(0, 3)));
+  sc.crashes = sim::CrashSchedule::random(
+      rng, nodes, horizon, static_cast<int>(rng.uniform_int(1, 4)),
+      /*min_down=*/1.0, /*max_down=*/6.0, /*amnesia_probability=*/0.5);
+  sc.anti_entropy_interval = rng.uniform(0.2, 0.8);
+
+  shard::Cluster<Air> cluster(sc.cluster_config<Air>(GetParam() ^ 0xc4a5));
+  harness::AirlineWorkload w;
+  w.duration = horizon;
+  w.request_rate = rng.uniform(1.0, 5.0);
+  w.mover_rate = rng.uniform(1.0, 6.0);
+  w.move_down_fraction = rng.uniform(0.1, 0.5);
+  w.cancel_fraction = rng.uniform(0.0, 0.3);
+  w.max_persons = 200;
+  harness::drive_airline(cluster, w, GetParam() ^ 0x5eed);
+
+  cluster.run_until(horizon);
+  cluster.settle();
+  expect_full_stack(cluster);
+  // Crashes really happened and every crashed node came back.
+  const shard::EngineStats agg = cluster.aggregate_engine_stats();
+  EXPECT_EQ(agg.crashes, sc.crashes.events().size());
+  EXPECT_EQ(agg.recoveries, agg.crashes);
+  EXPECT_GT(agg.crashes, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CrashChaos,
+                         ::testing::Range<std::uint64_t>(3000, 3012));
+
+/// Acceptance pin: a run with >= 3 crash/restart events (both recovery
+/// modes) and >= 2 partition windows ends converged, checker-clean, with
+/// zero re-fired external actions and a nonzero catch-up.
+TEST(CrashChaos, ThreeCrashesTwoPartitionsFullStack) {
+  harness::Scenario sc = harness::wan(5);
+  sc.partitions.split_halves(5, 2, 4.0, 9.0);
+  sc.partitions.isolate(4, 5, 12.0, 16.0);
+  sc.crashes.crash(0, 3.0, 7.0, sim::RecoveryMode::kDurable)
+      .crash(2, 6.0, 11.0, sim::RecoveryMode::kAmnesia)
+      .crash(4, 14.0, 18.0, sim::RecoveryMode::kAmnesia);
+  shard::Cluster<Air> cluster(sc.cluster_config<Air>(0xACCE));
+  harness::AirlineWorkload w;
+  w.duration = 22.0;
+  w.request_rate = 4.0;
+  w.mover_rate = 4.0;
+  w.cancel_fraction = 0.15;
+  harness::drive_airline(cluster, w, 0xACC5);
+  cluster.run_until(w.duration);
+  cluster.settle();
+  expect_full_stack(cluster);
+  const shard::EngineStats agg = cluster.aggregate_engine_stats();
+  EXPECT_EQ(agg.crashes, 3u);
+  EXPECT_EQ(agg.recoveries, 3u);
+  EXPECT_GT(agg.catch_up_updates, 0u);
+  EXPECT_GT(cluster.network().stats().dropped_crashed, 0u);
+  EXPECT_GT(cluster.network().stats().dropped_partition, 0u);
+}
 
 class PartialChaos : public ::testing::TestWithParam<std::uint64_t> {};
 
