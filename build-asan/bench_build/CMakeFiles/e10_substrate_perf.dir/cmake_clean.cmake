@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/e10_substrate_perf"
+  "../bench/e10_substrate_perf.pdb"
+  "CMakeFiles/e10_substrate_perf.dir/e10_substrate_perf.cpp.o"
+  "CMakeFiles/e10_substrate_perf.dir/e10_substrate_perf.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e10_substrate_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/e11_other_apps"
+  "../bench/e11_other_apps.pdb"
+  "CMakeFiles/e11_other_apps.dir/e11_other_apps.cpp.o"
+  "CMakeFiles/e11_other_apps.dir/e11_other_apps.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e11_other_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

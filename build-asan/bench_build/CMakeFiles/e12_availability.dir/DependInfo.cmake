@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/e12_availability.cpp" "bench_build/CMakeFiles/e12_availability.dir/e12_availability.cpp.o" "gcc" "bench_build/CMakeFiles/e12_availability.dir/e12_availability.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/CMakeFiles/shard_harness.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/CMakeFiles/shard_engine.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/CMakeFiles/shard_net.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/CMakeFiles/shard_analysis.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/CMakeFiles/shard_apps.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/CMakeFiles/shard_core.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/CMakeFiles/shard_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

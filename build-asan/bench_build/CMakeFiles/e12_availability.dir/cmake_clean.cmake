@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/e12_availability"
+  "../bench/e12_availability.pdb"
+  "CMakeFiles/e12_availability.dir/e12_availability.cpp.o"
+  "CMakeFiles/e12_availability.dir/e12_availability.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e12_availability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

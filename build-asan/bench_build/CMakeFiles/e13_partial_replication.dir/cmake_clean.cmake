@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/e13_partial_replication"
+  "../bench/e13_partial_replication.pdb"
+  "CMakeFiles/e13_partial_replication.dir/e13_partial_replication.cpp.o"
+  "CMakeFiles/e13_partial_replication.dir/e13_partial_replication.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e13_partial_replication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

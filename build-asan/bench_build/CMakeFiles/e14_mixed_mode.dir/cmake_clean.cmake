@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/e14_mixed_mode"
+  "../bench/e14_mixed_mode.pdb"
+  "CMakeFiles/e14_mixed_mode.dir/e14_mixed_mode.cpp.o"
+  "CMakeFiles/e14_mixed_mode.dir/e14_mixed_mode.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e14_mixed_mode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for e14_mixed_mode.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/e15_broadcast_ablation"
+  "../bench/e15_broadcast_ablation.pdb"
+  "CMakeFiles/e15_broadcast_ablation.dir/e15_broadcast_ablation.cpp.o"
+  "CMakeFiles/e15_broadcast_ablation.dir/e15_broadcast_ablation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e15_broadcast_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/e16_compaction"
+  "../bench/e16_compaction.pdb"
+  "CMakeFiles/e16_compaction.dir/e16_compaction.cpp.o"
+  "CMakeFiles/e16_compaction.dir/e16_compaction.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e16_compaction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/e17_grapevine"
+  "../bench/e17_grapevine.pdb"
+  "CMakeFiles/e17_grapevine.dir/e17_grapevine.cpp.o"
+  "CMakeFiles/e17_grapevine.dir/e17_grapevine.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e17_grapevine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/e18_crash_recovery"
+  "../bench/e18_crash_recovery.pdb"
+  "CMakeFiles/e18_crash_recovery.dir/e18_crash_recovery.cpp.o"
+  "CMakeFiles/e18_crash_recovery.dir/e18_crash_recovery.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e18_crash_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/e1_step_bounds"
+  "../bench/e1_step_bounds.pdb"
+  "CMakeFiles/e1_step_bounds.dir/e1_step_bounds.cpp.o"
+  "CMakeFiles/e1_step_bounds.dir/e1_step_bounds.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e1_step_bounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/e2_overbooking_invariant"
+  "../bench/e2_overbooking_invariant.pdb"
+  "CMakeFiles/e2_overbooking_invariant.dir/e2_overbooking_invariant.cpp.o"
+  "CMakeFiles/e2_overbooking_invariant.dir/e2_overbooking_invariant.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e2_overbooking_invariant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

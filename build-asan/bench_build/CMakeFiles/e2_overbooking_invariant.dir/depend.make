@@ -1,0 +1,2 @@
+# Empty dependencies file for e2_overbooking_invariant.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/e3_underbooking_grouping"
+  "../bench/e3_underbooking_grouping.pdb"
+  "CMakeFiles/e3_underbooking_grouping.dir/e3_underbooking_grouping.cpp.o"
+  "CMakeFiles/e3_underbooking_grouping.dir/e3_underbooking_grouping.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e3_underbooking_grouping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/e4_refined_witness_bounds"
+  "../bench/e4_refined_witness_bounds.pdb"
+  "CMakeFiles/e4_refined_witness_bounds.dir/e4_refined_witness_bounds.cpp.o"
+  "CMakeFiles/e4_refined_witness_bounds.dir/e4_refined_witness_bounds.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e4_refined_witness_bounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for e4_refined_witness_bounds.
+# This may be replaced when dependencies are built.

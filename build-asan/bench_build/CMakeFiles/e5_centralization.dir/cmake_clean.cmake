@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/e5_centralization"
+  "../bench/e5_centralization.pdb"
+  "CMakeFiles/e5_centralization.dir/e5_centralization.cpp.o"
+  "CMakeFiles/e5_centralization.dir/e5_centralization.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e5_centralization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/e6_counterexample"
+  "../bench/e6_counterexample.pdb"
+  "CMakeFiles/e6_counterexample.dir/e6_counterexample.cpp.o"
+  "CMakeFiles/e6_counterexample.dir/e6_counterexample.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e6_counterexample.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

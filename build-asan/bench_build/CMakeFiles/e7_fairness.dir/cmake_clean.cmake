@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/e7_fairness"
+  "../bench/e7_fairness.pdb"
+  "CMakeFiles/e7_fairness.dir/e7_fairness.cpp.o"
+  "CMakeFiles/e7_fairness.dir/e7_fairness.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e7_fairness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

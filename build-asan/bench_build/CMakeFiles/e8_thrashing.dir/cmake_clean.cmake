@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/e8_thrashing"
+  "../bench/e8_thrashing.pdb"
+  "CMakeFiles/e8_thrashing.dir/e8_thrashing.cpp.o"
+  "CMakeFiles/e8_thrashing.dir/e8_thrashing.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e8_thrashing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/e9_probabilistic_bounds"
+  "../bench/e9_probabilistic_bounds.pdb"
+  "CMakeFiles/e9_probabilistic_bounds.dir/e9_probabilistic_bounds.cpp.o"
+  "CMakeFiles/e9_probabilistic_bounds.dir/e9_probabilistic_bounds.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e9_probabilistic_bounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/airline_partition.dir/airline_partition.cpp.o"
+  "CMakeFiles/airline_partition.dir/airline_partition.cpp.o.d"
+  "airline_partition"
+  "airline_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/airline_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/banking_audit.dir/banking_audit.cpp.o"
+  "CMakeFiles/banking_audit.dir/banking_audit.cpp.o.d"
+  "banking_audit"
+  "banking_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/banking_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dictionary_sync.dir/dictionary_sync.cpp.o"
+  "CMakeFiles/dictionary_sync.dir/dictionary_sync.cpp.o.d"
+  "dictionary_sync"
+  "dictionary_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dictionary_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mixed_critical.dir/mixed_critical.cpp.o"
+  "CMakeFiles/mixed_critical.dir/mixed_critical.cpp.o.d"
+  "mixed_critical"
+  "mixed_critical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mixed_critical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sharded_bank.dir/sharded_bank.cpp.o"
+  "CMakeFiles/sharded_bank.dir/sharded_bank.cpp.o.d"
+  "sharded_bank"
+  "sharded_bank.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sharded_bank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shard_analysis.dir/analysis/report.cpp.o"
+  "CMakeFiles/shard_analysis.dir/analysis/report.cpp.o.d"
+  "libshard_analysis.a"
+  "libshard_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shard_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

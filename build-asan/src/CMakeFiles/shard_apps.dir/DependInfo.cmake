@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/airline/airline.cpp" "src/CMakeFiles/shard_apps.dir/apps/airline/airline.cpp.o" "gcc" "src/CMakeFiles/shard_apps.dir/apps/airline/airline.cpp.o.d"
+  "/root/repo/src/apps/airline/timestamped.cpp" "src/CMakeFiles/shard_apps.dir/apps/airline/timestamped.cpp.o" "gcc" "src/CMakeFiles/shard_apps.dir/apps/airline/timestamped.cpp.o.d"
+  "/root/repo/src/apps/airline/witness.cpp" "src/CMakeFiles/shard_apps.dir/apps/airline/witness.cpp.o" "gcc" "src/CMakeFiles/shard_apps.dir/apps/airline/witness.cpp.o.d"
+  "/root/repo/src/apps/banking/banking.cpp" "src/CMakeFiles/shard_apps.dir/apps/banking/banking.cpp.o" "gcc" "src/CMakeFiles/shard_apps.dir/apps/banking/banking.cpp.o.d"
+  "/root/repo/src/apps/dictionary/dictionary.cpp" "src/CMakeFiles/shard_apps.dir/apps/dictionary/dictionary.cpp.o" "gcc" "src/CMakeFiles/shard_apps.dir/apps/dictionary/dictionary.cpp.o.d"
+  "/root/repo/src/apps/grapevine/grapevine.cpp" "src/CMakeFiles/shard_apps.dir/apps/grapevine/grapevine.cpp.o" "gcc" "src/CMakeFiles/shard_apps.dir/apps/grapevine/grapevine.cpp.o.d"
+  "/root/repo/src/apps/inventory/inventory.cpp" "src/CMakeFiles/shard_apps.dir/apps/inventory/inventory.cpp.o" "gcc" "src/CMakeFiles/shard_apps.dir/apps/inventory/inventory.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/CMakeFiles/shard_core.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/CMakeFiles/shard_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shard_apps.dir/apps/airline/airline.cpp.o"
+  "CMakeFiles/shard_apps.dir/apps/airline/airline.cpp.o.d"
+  "CMakeFiles/shard_apps.dir/apps/airline/timestamped.cpp.o"
+  "CMakeFiles/shard_apps.dir/apps/airline/timestamped.cpp.o.d"
+  "CMakeFiles/shard_apps.dir/apps/airline/witness.cpp.o"
+  "CMakeFiles/shard_apps.dir/apps/airline/witness.cpp.o.d"
+  "CMakeFiles/shard_apps.dir/apps/banking/banking.cpp.o"
+  "CMakeFiles/shard_apps.dir/apps/banking/banking.cpp.o.d"
+  "CMakeFiles/shard_apps.dir/apps/dictionary/dictionary.cpp.o"
+  "CMakeFiles/shard_apps.dir/apps/dictionary/dictionary.cpp.o.d"
+  "CMakeFiles/shard_apps.dir/apps/grapevine/grapevine.cpp.o"
+  "CMakeFiles/shard_apps.dir/apps/grapevine/grapevine.cpp.o.d"
+  "CMakeFiles/shard_apps.dir/apps/inventory/inventory.cpp.o"
+  "CMakeFiles/shard_apps.dir/apps/inventory/inventory.cpp.o.d"
+  "libshard_apps.a"
+  "libshard_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shard_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

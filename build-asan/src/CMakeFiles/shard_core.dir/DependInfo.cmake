@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cost.cpp" "src/CMakeFiles/shard_core.dir/core/cost.cpp.o" "gcc" "src/CMakeFiles/shard_core.dir/core/cost.cpp.o.d"
+  "/root/repo/src/core/timestamp.cpp" "src/CMakeFiles/shard_core.dir/core/timestamp.cpp.o" "gcc" "src/CMakeFiles/shard_core.dir/core/timestamp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/CMakeFiles/shard_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shard_core.dir/core/cost.cpp.o"
+  "CMakeFiles/shard_core.dir/core/cost.cpp.o.d"
+  "CMakeFiles/shard_core.dir/core/timestamp.cpp.o"
+  "CMakeFiles/shard_core.dir/core/timestamp.cpp.o.d"
+  "libshard_core.a"
+  "libshard_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shard_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libshard_core.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shard_engine.dir/shard/engine_stats.cpp.o"
+  "CMakeFiles/shard_engine.dir/shard/engine_stats.cpp.o.d"
+  "libshard_engine.a"
+  "libshard_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shard_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

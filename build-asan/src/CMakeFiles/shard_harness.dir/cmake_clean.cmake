@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shard_harness.dir/harness/scenario.cpp.o"
+  "CMakeFiles/shard_harness.dir/harness/scenario.cpp.o.d"
+  "CMakeFiles/shard_harness.dir/harness/table.cpp.o"
+  "CMakeFiles/shard_harness.dir/harness/table.cpp.o.d"
+  "CMakeFiles/shard_harness.dir/harness/workload.cpp.o"
+  "CMakeFiles/shard_harness.dir/harness/workload.cpp.o.d"
+  "libshard_harness.a"
+  "libshard_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shard_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shard_net.dir/net/broadcast_stats.cpp.o"
+  "CMakeFiles/shard_net.dir/net/broadcast_stats.cpp.o.d"
+  "libshard_net.a"
+  "libshard_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shard_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

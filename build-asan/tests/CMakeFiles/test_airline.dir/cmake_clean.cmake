@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_airline.dir/test_airline.cpp.o"
+  "CMakeFiles/test_airline.dir/test_airline.cpp.o.d"
+  "test_airline"
+  "test_airline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_airline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

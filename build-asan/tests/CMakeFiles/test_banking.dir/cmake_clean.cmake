@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_banking.dir/test_banking.cpp.o"
+  "CMakeFiles/test_banking.dir/test_banking.cpp.o.d"
+  "test_banking"
+  "test_banking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_banking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

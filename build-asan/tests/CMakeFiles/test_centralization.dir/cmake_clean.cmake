@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_centralization.dir/test_centralization.cpp.o"
+  "CMakeFiles/test_centralization.dir/test_centralization.cpp.o.d"
+  "test_centralization"
+  "test_centralization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_centralization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_compensation.dir/test_compensation.cpp.o"
+  "CMakeFiles/test_compensation.dir/test_compensation.cpp.o.d"
+  "test_compensation"
+  "test_compensation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_compensation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_execution_model.dir/test_execution_model.cpp.o"
+  "CMakeFiles/test_execution_model.dir/test_execution_model.cpp.o.d"
+  "test_execution_model"
+  "test_execution_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_execution_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_grapevine.dir/test_grapevine.cpp.o"
+  "CMakeFiles/test_grapevine.dir/test_grapevine.cpp.o.d"
+  "test_grapevine"
+  "test_grapevine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_grapevine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_inventory.dir/test_inventory.cpp.o"
+  "CMakeFiles/test_inventory.dir/test_inventory.cpp.o.d"
+  "test_inventory"
+  "test_inventory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_inventory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mixed_mode.dir/test_mixed_mode.cpp.o"
+  "CMakeFiles/test_mixed_mode.dir/test_mixed_mode.cpp.o.d"
+  "test_mixed_mode"
+  "test_mixed_mode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mixed_mode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

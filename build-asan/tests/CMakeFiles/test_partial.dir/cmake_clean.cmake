@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_partial.dir/test_partial.cpp.o"
+  "CMakeFiles/test_partial.dir/test_partial.cpp.o.d"
+  "test_partial"
+  "test_partial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_partial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

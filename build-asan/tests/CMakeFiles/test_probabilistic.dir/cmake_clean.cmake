@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_probabilistic.dir/test_probabilistic.cpp.o"
+  "CMakeFiles/test_probabilistic.dir/test_probabilistic.cpp.o.d"
+  "test_probabilistic"
+  "test_probabilistic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_probabilistic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

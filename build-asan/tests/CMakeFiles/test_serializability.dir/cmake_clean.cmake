@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_serializability.dir/test_serializability.cpp.o"
+  "CMakeFiles/test_serializability.dir/test_serializability.cpp.o.d"
+  "test_serializability"
+  "test_serializability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_serializability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

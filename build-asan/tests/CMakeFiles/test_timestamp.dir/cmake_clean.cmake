@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_timestamp.dir/test_timestamp.cpp.o"
+  "CMakeFiles/test_timestamp.dir/test_timestamp.cpp.o.d"
+  "test_timestamp"
+  "test_timestamp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_timestamp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_timestamped.dir/test_timestamped.cpp.o"
+  "CMakeFiles/test_timestamped.dir/test_timestamped.cpp.o.d"
+  "test_timestamped"
+  "test_timestamped.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_timestamped.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

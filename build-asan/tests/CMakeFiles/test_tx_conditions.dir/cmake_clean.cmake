@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tx_conditions.dir/test_tx_conditions.cpp.o"
+  "CMakeFiles/test_tx_conditions.dir/test_tx_conditions.cpp.o.d"
+  "test_tx_conditions"
+  "test_tx_conditions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tx_conditions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

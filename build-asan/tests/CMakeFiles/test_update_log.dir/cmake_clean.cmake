@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_update_log.dir/test_update_log.cpp.o"
+  "CMakeFiles/test_update_log.dir/test_update_log.cpp.o.d"
+  "test_update_log"
+  "test_update_log.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_update_log.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -258,7 +258,7 @@ bench_build/CMakeFiles/e10_substrate_perf.dir/e10_substrate_perf.cpp.o: \
  /root/repo/src/shard/cluster.hpp /root/repo/src/core/execution.hpp \
  /root/repo/src/core/timestamp.hpp /root/repo/src/shard/node.hpp \
  /root/repo/src/shard/update_log.hpp \
- /root/repo/src/shard/engine_stats.hpp \
+ /root/repo/src/shard/engine_stats.hpp /root/repo/src/sim/crash.hpp \
  /root/repo/src/harness/workload.hpp \
  /root/repo/src/apps/airline/timestamped.hpp \
  /root/repo/src/apps/banking/banking.hpp \

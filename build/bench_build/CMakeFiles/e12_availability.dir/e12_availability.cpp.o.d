@@ -249,7 +249,8 @@ bench_build/CMakeFiles/e12_availability.dir/e12_availability.cpp.o: \
  /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h \
  /root/repo/src/harness/scenario.hpp /root/repo/src/net/broadcast.hpp \
- /usr/include/c++/12/any /usr/include/c++/12/deque \
+ /usr/include/c++/12/any /usr/include/c++/12/cassert \
+ /usr/include/assert.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h /usr/include/c++/12/utility \
@@ -258,8 +259,8 @@ bench_build/CMakeFiles/e12_availability.dir/e12_availability.cpp.o: \
  /root/repo/src/sim/scheduler.hpp /usr/include/c++/12/queue \
  /usr/include/c++/12/bits/stl_queue.h /root/repo/src/shard/cluster.hpp \
  /root/repo/src/shard/node.hpp /usr/include/c++/12/optional \
- /root/repo/src/shard/update_log.hpp /usr/include/c++/12/cassert \
- /usr/include/assert.h /root/repo/src/shard/engine_stats.hpp \
+ /root/repo/src/shard/update_log.hpp \
+ /root/repo/src/shard/engine_stats.hpp /root/repo/src/sim/crash.hpp \
  /root/repo/src/harness/table.hpp /root/repo/src/harness/workload.hpp \
  /root/repo/src/apps/airline/timestamped.hpp \
  /root/repo/src/apps/banking/banking.hpp \

@@ -251,7 +251,8 @@ bench_build/CMakeFiles/e3_underbooking_grouping.dir/e3_underbooking_grouping.cpp
  /root/repo/src/analysis/cost_bounds.hpp \
  /root/repo/src/apps/airline/airline.hpp /root/repo/src/core/monus.hpp \
  /root/repo/src/harness/scenario.hpp /root/repo/src/net/broadcast.hpp \
- /usr/include/c++/12/any /usr/include/c++/12/deque \
+ /usr/include/c++/12/any /usr/include/c++/12/cassert \
+ /usr/include/assert.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h /usr/include/c++/12/utility \
@@ -262,8 +263,8 @@ bench_build/CMakeFiles/e3_underbooking_grouping.dir/e3_underbooking_grouping.cpp
  /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
  /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/shard/node.hpp \
- /root/repo/src/shard/update_log.hpp /usr/include/c++/12/cassert \
- /usr/include/assert.h /root/repo/src/shard/engine_stats.hpp \
+ /root/repo/src/shard/update_log.hpp \
+ /root/repo/src/shard/engine_stats.hpp /root/repo/src/sim/crash.hpp \
  /root/repo/src/harness/table.hpp /root/repo/src/harness/workload.hpp \
  /root/repo/src/apps/airline/timestamped.hpp \
  /root/repo/src/apps/banking/banking.hpp \

@@ -253,7 +253,8 @@ bench_build/CMakeFiles/e5_centralization.dir/e5_centralization.cpp.o: \
  /root/repo/src/apps/airline/airline.hpp /root/repo/src/core/monus.hpp \
  /root/repo/src/apps/airline/witness.hpp \
  /root/repo/src/harness/scenario.hpp /root/repo/src/net/broadcast.hpp \
- /usr/include/c++/12/any /usr/include/c++/12/deque \
+ /usr/include/c++/12/any /usr/include/c++/12/cassert \
+ /usr/include/assert.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h /usr/include/c++/12/utility \
@@ -262,9 +263,8 @@ bench_build/CMakeFiles/e5_centralization.dir/e5_centralization.cpp.o: \
  /root/repo/src/sim/scheduler.hpp /usr/include/c++/12/queue \
  /usr/include/c++/12/bits/stl_queue.h /root/repo/src/shard/cluster.hpp \
  /root/repo/src/shard/node.hpp /root/repo/src/shard/update_log.hpp \
- /usr/include/c++/12/cassert /usr/include/assert.h \
- /root/repo/src/shard/engine_stats.hpp /root/repo/src/harness/table.hpp \
- /root/repo/src/harness/workload.hpp \
+ /root/repo/src/shard/engine_stats.hpp /root/repo/src/sim/crash.hpp \
+ /root/repo/src/harness/table.hpp /root/repo/src/harness/workload.hpp \
  /root/repo/src/apps/airline/timestamped.hpp \
  /root/repo/src/apps/banking/banking.hpp \
  /root/repo/src/apps/inventory/inventory.hpp

@@ -255,7 +255,8 @@ examples/CMakeFiles/airline_partition.dir/airline_partition.cpp.o: \
  /root/repo/src/analysis/cost_bounds.hpp \
  /root/repo/src/analysis/thrashing.hpp \
  /root/repo/src/harness/scenario.hpp /root/repo/src/net/broadcast.hpp \
- /usr/include/c++/12/any /usr/include/c++/12/deque \
+ /usr/include/c++/12/any /usr/include/c++/12/cassert \
+ /usr/include/assert.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h /usr/include/c++/12/utility \
@@ -264,8 +265,7 @@ examples/CMakeFiles/airline_partition.dir/airline_partition.cpp.o: \
  /root/repo/src/sim/scheduler.hpp /usr/include/c++/12/queue \
  /usr/include/c++/12/bits/stl_queue.h /root/repo/src/shard/cluster.hpp \
  /root/repo/src/shard/node.hpp /root/repo/src/shard/update_log.hpp \
- /usr/include/c++/12/cassert /usr/include/assert.h \
- /root/repo/src/shard/engine_stats.hpp \
+ /root/repo/src/shard/engine_stats.hpp /root/repo/src/sim/crash.hpp \
  /root/repo/src/harness/workload.hpp \
  /root/repo/src/apps/airline/timestamped.hpp \
  /root/repo/src/apps/banking/banking.hpp \

@@ -246,7 +246,8 @@ examples/CMakeFiles/mixed_critical.dir/mixed_critical.cpp.o: \
  /usr/include/c++/12/pstl/glue_numeric_defs.h \
  /root/repo/src/apps/banking/banking.hpp /root/repo/src/core/monus.hpp \
  /root/repo/src/harness/scenario.hpp /root/repo/src/net/broadcast.hpp \
- /usr/include/c++/12/any /usr/include/c++/12/deque \
+ /usr/include/c++/12/any /usr/include/c++/12/cassert \
+ /usr/include/assert.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h /usr/include/c++/12/utility \
@@ -258,8 +259,7 @@ examples/CMakeFiles/mixed_critical.dir/mixed_critical.cpp.o: \
  /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/shard/node.hpp \
  /usr/include/c++/12/optional /root/repo/src/shard/update_log.hpp \
- /usr/include/c++/12/cassert /usr/include/assert.h \
- /root/repo/src/shard/engine_stats.hpp \
+ /root/repo/src/shard/engine_stats.hpp /root/repo/src/sim/crash.hpp \
  /root/repo/src/harness/workload.hpp \
  /root/repo/src/apps/airline/airline.hpp \
  /root/repo/src/apps/airline/timestamped.hpp \

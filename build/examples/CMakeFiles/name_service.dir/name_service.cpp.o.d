@@ -141,6 +141,7 @@ examples/CMakeFiles/name_service.dir/name_service.cpp.o: \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/core/model.hpp \
  /root/repo/src/harness/scenario.hpp /root/repo/src/net/broadcast.hpp \
  /usr/include/c++/12/any /usr/include/c++/12/typeinfo \
+ /usr/include/c++/12/cassert /usr/include/assert.h \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/functional \
  /usr/include/c++/12/bits/std_function.h \
@@ -256,5 +257,5 @@ examples/CMakeFiles/name_service.dir/name_service.cpp.o: \
  /root/repo/src/shard/cluster.hpp /root/repo/src/core/execution.hpp \
  /usr/include/c++/12/cstddef /root/repo/src/core/timestamp.hpp \
  /root/repo/src/shard/node.hpp /usr/include/c++/12/optional \
- /root/repo/src/shard/update_log.hpp /usr/include/c++/12/cassert \
- /usr/include/assert.h /root/repo/src/shard/engine_stats.hpp
+ /root/repo/src/shard/update_log.hpp \
+ /root/repo/src/shard/engine_stats.hpp /root/repo/src/sim/crash.hpp

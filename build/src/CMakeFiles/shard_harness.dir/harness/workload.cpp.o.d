@@ -252,6 +252,7 @@ src/CMakeFiles/shard_harness.dir/harness/workload.cpp.o: \
  /usr/include/c++/12/bits/stl_numeric.h \
  /usr/include/c++/12/pstl/glue_numeric_defs.h \
  /root/repo/src/net/broadcast.hpp /usr/include/c++/12/any \
+ /usr/include/c++/12/cassert /usr/include/assert.h \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h /usr/include/c++/12/utility \
@@ -260,5 +261,4 @@ src/CMakeFiles/shard_harness.dir/harness/workload.cpp.o: \
  /root/repo/src/sim/scheduler.hpp /usr/include/c++/12/queue \
  /usr/include/c++/12/bits/stl_queue.h /root/repo/src/shard/node.hpp \
  /usr/include/c++/12/optional /root/repo/src/shard/update_log.hpp \
- /usr/include/c++/12/cassert /usr/include/assert.h \
- /root/repo/src/shard/engine_stats.hpp
+ /root/repo/src/shard/engine_stats.hpp /root/repo/src/sim/crash.hpp

@@ -337,7 +337,7 @@ tests/CMakeFiles/test_smoke.dir/test_smoke.cpp.o: \
  /root/repo/src/sim/scheduler.hpp /usr/include/c++/12/queue \
  /usr/include/c++/12/bits/stl_queue.h /root/repo/src/shard/cluster.hpp \
  /root/repo/src/shard/node.hpp /root/repo/src/shard/update_log.hpp \
- /root/repo/src/shard/engine_stats.hpp \
+ /root/repo/src/shard/engine_stats.hpp /root/repo/src/sim/crash.hpp \
  /root/repo/src/harness/workload.hpp \
  /root/repo/src/apps/airline/timestamped.hpp \
  /root/repo/src/apps/banking/banking.hpp \
