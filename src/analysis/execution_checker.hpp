@@ -37,13 +37,13 @@ CheckReport check_prefix_subsequence_condition(
         std::ostringstream os;
         os << "tx " << i << ": prefix references non-preceding tx "
            << tx.prefix[j];
-        report.add_violation(os.str());
+        report.add_violation(os.str(), i);
       }
       if (j > 0 && tx.prefix[j] <= tx.prefix[j - 1]) {
         std::ostringstream os;
         os << "tx " << i << ": prefix not strictly increasing at position "
            << j;
-        report.add_violation(os.str());
+        report.add_violation(os.str(), i);
       }
     }
     // (2)+(3): the recorded update/external actions must equal what the
@@ -53,7 +53,7 @@ CheckReport check_prefix_subsequence_condition(
     if (!App::well_formed(apparent)) {
       std::ostringstream os;
       os << "tx " << i << ": apparent state not well-formed";
-      report.add_violation(os.str());
+      report.add_violation(os.str(), i);
     }
     const core::DecisionResult<typename App::Update> redo =
         App::decide(tx.request, apparent);
@@ -62,13 +62,13 @@ CheckReport check_prefix_subsequence_condition(
       os << "tx " << i
          << ": recorded update differs from decision re-run on apparent "
             "state (condition (3))";
-      report.add_violation(os.str());
+      report.add_violation(os.str(), i);
     }
     if (redo.external_actions != tx.external_actions) {
       std::ostringstream os;
       os << "tx " << i << ": recorded external actions differ from decision "
                           "re-run (condition (3))";
-      report.add_violation(os.str());
+      report.add_violation(os.str(), i);
     }
   }
   // (4): actual states must be well-formed (updates preserve
@@ -80,7 +80,7 @@ CheckReport check_prefix_subsequence_condition(
     if (!App::well_formed(s)) {
       std::ostringstream os;
       os << "actual state after tx " << i << " not well-formed";
-      report.add_violation(os.str());
+      report.add_violation(os.str(), i);
     }
   }
   return report;
@@ -115,7 +115,7 @@ CheckReport check_transitive(const core::Execution<App>& exec) {
           std::ostringstream os;
           os << "tx " << i << " sees tx " << j << " which sees tx " << jj
              << ", but " << jj << " is not in tx " << i << "'s prefix";
-          report.add_violation(os.str());
+          report.add_violation(os.str(), i);
         }
       }
     }

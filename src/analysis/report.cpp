@@ -1,14 +1,24 @@
 #include "analysis/report.hpp"
 
+#include <algorithm>
 #include <sstream>
 
 namespace analysis {
+
+std::vector<std::size_t> CheckReport::violating_txs() const {
+  std::vector<std::size_t> txs = violating_txs_;
+  std::sort(txs.begin(), txs.end());
+  txs.erase(std::unique(txs.begin(), txs.end()), txs.end());
+  return txs;
+}
 
 void CheckReport::absorb(const CheckReport& other) {
   for (const std::string& v : other.violations()) {
     violations_.push_back(other.title().empty() ? v
                                                 : other.title() + ": " + v);
   }
+  violating_txs_.insert(violating_txs_.end(), other.violating_txs_.begin(),
+                        other.violating_txs_.end());
 }
 
 std::string CheckReport::to_string() const {

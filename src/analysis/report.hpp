@@ -1,6 +1,7 @@
 // Shared result type for all analysis passes.
 #pragma once
 
+#include <cstddef>
 #include <string>
 #include <vector>
 
@@ -16,7 +17,17 @@ class CheckReport {
 
   bool ok() const { return violations_.empty(); }
   void add_violation(std::string v) { violations_.push_back(std::move(v)); }
+  /// Violation attributed to transaction index `tx` in the checked
+  /// execution — lets diagnostics (analysis/trace_dump.hpp) find the
+  /// offending update and dump the trace window around it.
+  void add_violation(std::string v, std::size_t tx) {
+    violations_.push_back(std::move(v));
+    violating_txs_.push_back(tx);
+  }
   const std::vector<std::string>& violations() const { return violations_; }
+  /// Transaction indices named by violations, sorted and deduplicated
+  /// (violations without an attributed index contribute nothing).
+  std::vector<std::size_t> violating_txs() const;
   const std::string& title() const { return title_; }
 
   /// Merge another report's violations into this one.
@@ -27,6 +38,7 @@ class CheckReport {
  private:
   std::string title_;
   std::vector<std::string> violations_;
+  std::vector<std::size_t> violating_txs_;
 };
 
 }  // namespace analysis

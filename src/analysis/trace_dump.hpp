@@ -1,0 +1,48 @@
+// Counter-example context from the event trace.
+//
+// When an execution checker rejects, the violation string names a
+// transaction index but says nothing about *how* the system got there —
+// which merges, drops, crashes and repairs surrounded the offending update.
+// This pass joins the two observability worlds: it maps each violating
+// transaction index back to its globally-unique timestamp and dumps the
+// tracer's ring window around every event that mentions that update.
+#pragma once
+
+#include <cstddef>
+#include <sstream>
+#include <string>
+
+#include "analysis/report.hpp"
+#include "core/execution.hpp"
+#include "obs/tracer.hpp"
+
+namespace analysis {
+
+/// Render the trace context for every transaction a report's violations
+/// attribute (CheckReport::violating_txs). Empty string when the report is
+/// clean. `context` = events of surrounding context kept on each side of
+/// every matching trace event (obs::Tracer::slice_around).
+template <core::Application App>
+std::string trace_dump(const CheckReport& report,
+                       const core::Execution<App>& exec,
+                       const obs::Tracer& tracer, std::size_t context = 6) {
+  if (report.ok()) return {};
+  std::ostringstream os;
+  os << "trace context for "
+     << (report.title().empty() ? "check" : report.title()) << ":\n";
+  for (std::size_t i : report.violating_txs()) {
+    if (i >= exec.size()) continue;
+    const core::Timestamp& ts = exec.tx(i).ts;
+    os << "-- tx " << i << " ts=" << ts.logical << ":" << ts.node << " --\n";
+    const std::vector<obs::Event> slice =
+        tracer.slice_around(ts.logical, ts.node, context);
+    if (slice.empty()) {
+      os << "(no events for this update retained in the trace ring)\n";
+    } else {
+      os << obs::serialize(slice);
+    }
+  }
+  return os.str();
+}
+
+}  // namespace analysis

@@ -7,6 +7,7 @@
 #include <string>
 
 #include "net/broadcast.hpp"
+#include "obs/tracer.hpp"
 #include "shard/cluster.hpp"
 #include "sim/crash.hpp"
 #include "sim/delay.hpp"
@@ -25,6 +26,9 @@ struct Scenario {
   bool causal_broadcast = true;
   double anti_entropy_interval = 0.5;
   std::size_t checkpoint_interval = 32;
+  /// Structured event tracing (obs/); disabled by default so existing
+  /// scenarios run with the null-tracer fast path.
+  obs::TraceOptions trace;
 
   /// Materialize as a cluster config with the given seed.
   template <class App>
@@ -39,6 +43,7 @@ struct Scenario {
     cfg.broadcast.causal = causal_broadcast;
     cfg.broadcast.anti_entropy_interval = anti_entropy_interval;
     cfg.checkpoint_interval = checkpoint_interval;
+    cfg.trace = trace;
     cfg.seed = seed;
     return cfg;
   }

@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "net/broadcast_stats.hpp"
+#include "obs/tracer.hpp"
 #include "sim/network.hpp"
 
 namespace net {
@@ -117,7 +118,14 @@ class ReliableBroadcast {
     w.payload = std::move(payload);
     ++stats_.originated;
     accept(w);  // local delivery; also places it in the store for repair
-    if (options_.flood) net_.send_to_all(self_, make_packet(w));
+    if (options_.flood) {
+      const std::size_t peers = net_.send_to_all(self_, make_packet(w));
+      if (tracer_) {
+        tracer_->record(obs::EventType::kBroadcastSend,
+                        net_.scheduler().now(), self_, 0, 0, w.origin_seq,
+                        peers);
+      }
+    }
     return w.origin_seq;
   }
 
@@ -155,6 +163,10 @@ class ReliableBroadcast {
     net_.set_node_down(self_, down);
   }
   bool down() const { return down_; }
+
+  /// Attach the execution tracer (nullptr disables; the off path is one
+  /// branch per potential event).
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
 
   /// Amnesia restart: all volatile broadcast state — delivery vectors,
   /// repair store of *other* nodes' payloads, causal holding buffer — is
@@ -226,6 +238,11 @@ class ReliableBroadcast {
   void accept(const Wire& w) {
     if (already_have(w.origin, w.origin_seq)) {
       ++stats_.duplicates_dropped;
+      if (tracer_) {
+        tracer_->record(obs::EventType::kBroadcastDuplicate,
+                        net_.scheduler().now(), self_, 0, 0, w.origin,
+                        w.origin_seq);
+      }
       return;
     }
     remember(w);
@@ -260,6 +277,11 @@ class ReliableBroadcast {
   void deliver_now(const Wire& w) {
     ++delivered_count_[w.origin];
     ++stats_.delivered;
+    if (tracer_) {
+      tracer_->record(obs::EventType::kBroadcastDeliver,
+                      net_.scheduler().now(), self_, 0, 0, w.origin,
+                      w.origin_seq);
+    }
     deliver_(w);
   }
 
@@ -327,6 +349,10 @@ class ReliableBroadcast {
     p.type = PacketType::kDigest;
     p.digest = contiguous_have_;
     ++stats_.anti_entropy_rounds;
+    if (tracer_) {
+      tracer_->record(obs::EventType::kAntiEntropyDigest,
+                      net_.scheduler().now(), self_, 0, 0, peer);
+    }
     net_.send(self_, peer, std::any(std::move(p)));
   }
 
@@ -345,6 +371,11 @@ class ReliableBroadcast {
     }
     if (reply.repairs.empty()) return;
     stats_.anti_entropy_repairs += reply.repairs.size();
+    if (tracer_) {
+      tracer_->record(obs::EventType::kAntiEntropyRepair,
+                      net_.scheduler().now(), self_, 0, 0, requester,
+                      reply.repairs.size());
+    }
     net_.send(self_, requester, std::any(std::move(reply)));
   }
 
@@ -355,6 +386,7 @@ class ReliableBroadcast {
   DeliverFn deliver_;
   PromiseFn promise_fn_;
   AnnounceFn announce_fn_;
+  obs::Tracer* tracer_ = nullptr;  ///< optional; nullptr = tracing off
   bool down_ = false;  ///< crashed: no gossip, no sends (see set_down)
 
   std::uint64_t own_seq_ = 0;

@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "obs/metrics.hpp"
+
 namespace net {
 
 std::string BroadcastStats::summary() const {
@@ -16,6 +18,19 @@ std::string BroadcastStats::summary() const {
        << " outbox_replays=" << outbox_replays;
   }
   return os.str();
+}
+
+void BroadcastStats::export_to(obs::MetricsRegistry& reg,
+                               const std::string& prefix) const {
+  reg.add_counter(prefix + ".originated", originated);
+  reg.add_counter(prefix + ".delivered", delivered);
+  reg.add_counter(prefix + ".duplicates_dropped", duplicates_dropped);
+  reg.add_counter(prefix + ".causally_buffered", causally_buffered);
+  reg.add_counter(prefix + ".anti_entropy_rounds", anti_entropy_rounds);
+  reg.add_counter(prefix + ".anti_entropy_repairs", anti_entropy_repairs);
+  reg.add_counter(prefix + ".rounds_skipped_down", rounds_skipped_down);
+  reg.add_counter(prefix + ".amnesia_resets", amnesia_resets);
+  reg.add_counter(prefix + ".outbox_replays", outbox_replays);
 }
 
 }  // namespace net

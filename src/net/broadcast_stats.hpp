@@ -4,6 +4,10 @@
 #include <cstdint>
 #include <string>
 
+namespace obs {
+class MetricsRegistry;
+}
+
 namespace net {
 
 /// Observability for the [GLBKSS]-style broadcast. Used by the availability
@@ -21,6 +25,11 @@ struct BroadcastStats {
                                            ///< after an amnesia restart.
 
   std::string summary() const;
+
+  /// Fold every counter into `reg` under "<prefix>.<field>" (adds, so
+  /// calling once per node aggregates cluster-wide).
+  void export_to(obs::MetricsRegistry& reg,
+                 const std::string& prefix = "broadcast") const;
 };
 
 }  // namespace net

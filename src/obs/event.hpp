@@ -1,0 +1,78 @@
+// Typed execution-trace events.
+//
+// The paper's theorems are statements about *executions* — which updates a
+// decision saw, when information propagated, how merges reordered the log.
+// End-of-run counters (EngineStats, BroadcastStats) cannot answer "what
+// happened around timestamp 17:2 on node 3?"; this event taxonomy can. One
+// Event is one observable step of the substrate, stamped with simulated
+// time, the node it happened at, and (where applicable) the globally unique
+// timestamp of the update involved — the same (logical, node) pair
+// core::Timestamp carries, stored raw here so the obs layer sits below
+// core in the dependency order.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "sim/delay.hpp"
+#include "sim/partition.hpp"
+
+namespace obs {
+
+/// Sentinel for events not tied to any one node (partition cuts, scheduler
+/// dispatch): rendered on a synthetic "control" track by the exporters.
+inline constexpr sim::NodeId kControlNode = 0xffffffffu;
+
+/// Everything the substrate can report. Names group by subsystem; the
+/// exporters render them as "<group>.<what>" (see event_type_name).
+enum class EventType : std::uint8_t {
+  // sim/scheduler — one per dispatched event (a = scheduler EventId).
+  kSchedulerDispatch,
+  // sim/network — message fates (a = message id, b = destination).
+  kNetSend,
+  kNetDeliver,
+  kNetDropPartition,
+  kNetDropRandom,
+  kNetDropCrashed,
+  // net/broadcast — payload lifecycle at one endpoint.
+  kBroadcastOriginate,   ///< Node submitted; ts set, a = origin_seq.
+  kBroadcastSend,        ///< Flood fan-out; a = peers sent to.
+  kBroadcastDeliver,     ///< Delivered upward; a = origin, b = origin_seq.
+  kBroadcastDuplicate,   ///< Re-received payload dropped; a/b as deliver.
+  kAntiEntropyDigest,    ///< Digest sent; a = chosen peer.
+  kAntiEntropyRepair,    ///< Repair batch sent; a = requester, b = payloads.
+  // shard/update_log — merge machinery (ts = update merged).
+  kMergeTailAppend,      ///< In-order arrival applied at the tail.
+  kMergeMidInsert,       ///< Out-of-order arrival; a = entries displaced.
+  kMergeUndo,            ///< a = updates undone by a mid-insert.
+  kMergeRedo,            ///< a = updates re-applied during recompute.
+  kCheckpointTake,       ///< a = checkpoint index.
+  kCheckpointInvalidate, ///< a = checkpoints dropped.
+  // shard/node + sim/crash — fault injection.
+  kCrash,                ///< Node went down.
+  kRestart,              ///< Node came back; a = RecoveryMode.
+  // sim/partition — cut lifecycle (control track; a = event index).
+  kPartitionOpen,
+  kPartitionHeal,
+};
+
+/// Total number of event types (array-sizing helper for per-type counts).
+inline constexpr std::size_t kNumEventTypes =
+    static_cast<std::size_t>(EventType::kPartitionHeal) + 1;
+
+/// Stable machine-readable name, e.g. "merge.mid_insert". Used by both
+/// exporters and the determinism regression (byte-identical streams).
+std::string_view event_type_name(EventType t);
+
+/// One trace event. POD; 48 bytes, so the ring stays cache-friendly.
+struct Event {
+  EventType type = EventType::kSchedulerDispatch;
+  double time = 0.0;           ///< Simulated time of occurrence.
+  sim::NodeId node = 0;        ///< Where it happened (kControlNode if none).
+  std::uint64_t ts_logical = 0;  ///< Update timestamp (0,0 if n/a).
+  sim::NodeId ts_node = 0;
+  std::uint64_t a = 0;  ///< Type-specific detail (see EventType comments).
+  std::uint64_t b = 0;  ///< Second detail slot.
+};
+
+}  // namespace obs

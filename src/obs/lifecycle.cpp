@@ -1,0 +1,87 @@
+#include "obs/lifecycle.hpp"
+
+#include <algorithm>
+
+namespace obs {
+
+std::size_t LifecycleTracker::index_of(const TsKey& key) {
+  const auto [it, inserted] = index_.emplace(key, index_.size());
+  if (inserted) {
+    originate_at_.push_back(-1.0);
+    merge_count_.push_back(0);
+  }
+  return it->second;
+}
+
+void LifecycleTracker::on_event(const Event& e) {
+  switch (e.type) {
+    case EventType::kBroadcastOriginate: {
+      const std::size_t idx = index_of({e.ts_logical, e.ts_node});
+      if (originate_at_[idx] < 0.0) {
+        originate_at_[idx] = e.time;
+        originate_time_.emplace(TsKey{e.ts_logical, e.ts_node}, e.time);
+      }
+      break;
+    }
+    case EventType::kMergeTailAppend:
+    case EventType::kMergeMidInsert:
+      note_merge(e);
+      break;
+    default:
+      break;
+  }
+}
+
+void LifecycleTracker::note_merge(const Event& e) {
+  if (e.node >= cluster_size_) return;
+  const std::size_t idx = index_of({e.ts_logical, e.ts_node});
+  auto& bits = merged_[e.node];
+  const std::size_t word = idx / 64, bit = idx % 64;
+  if (word >= bits.size()) bits.resize(word + 1, 0);
+  if (bits[word] & (1ull << bit)) return;  // re-merge after amnesia: known
+  bits[word] |= 1ull << bit;
+
+  if (e.type == EventType::kMergeMidInsert) {
+    total_churn_ += e.a;
+    churn_.add(static_cast<double>(e.a));
+  } else {
+    churn_.add(0.0);
+  }
+  if (++merge_count_[idx] == cluster_size_) {
+    ++fully_replicated_;
+    if (originate_at_[idx] >= 0.0) {
+      latency_.add(e.time - originate_at_[idx]);
+    }
+  }
+}
+
+std::uint64_t LifecycleTracker::divergence() const {
+  std::uint64_t worst = 0;
+  for (std::size_t i = 0; i < cluster_size_; ++i) {
+    for (std::size_t j = 0; j < cluster_size_; ++j) {
+      if (i == j) continue;
+      const auto& a = merged_[i];
+      const auto& b = merged_[j];
+      std::uint64_t missing = 0;
+      for (std::size_t w = 0; w < a.size(); ++w) {
+        const std::uint64_t bw = w < b.size() ? b[w] : 0;
+        missing += static_cast<std::uint64_t>(__builtin_popcountll(a[w] & ~bw));
+      }
+      worst = std::max(worst, missing);
+    }
+  }
+  return worst;
+}
+
+void LifecycleTracker::export_to(MetricsRegistry& reg) const {
+  reg.set_counter("lifecycle.updates_originated", originated());
+  reg.set_counter("lifecycle.updates_fully_replicated", fully_replicated_);
+  reg.set_counter("lifecycle.undo_churn_total", total_churn_);
+  reg.set_gauge("lifecycle.divergence_max_missing",
+                static_cast<double>(divergence()));
+  reg.histogram("lifecycle.replication_latency", Histogram::latency()) =
+      latency_;
+  reg.histogram("lifecycle.undo_churn", Histogram::counts()) = churn_;
+}
+
+}  // namespace obs

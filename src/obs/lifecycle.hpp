@@ -1,0 +1,74 @@
+// Per-update lifecycle metrics derived from the event trace.
+//
+// A sink that follows every update from its originate event to its merge
+// at each replica and derives what no end-of-run counter can express:
+//
+//   * replication latency — simulated time from originate to the moment the
+//     LAST replica merges the update (the paper's "eventually receives
+//     information about every transaction", measured);
+//   * undo churn — how many already-merged updates each arrival displaced
+//     (mid-insert cost attributed to the update that caused it);
+//   * divergence — a live gauge: max over ordered node pairs (i, j) of the
+//     number of updates node i has merged that node j has not. Zero exactly
+//     when the cluster is mutually consistent in the knowledge sense.
+//
+// Merges are counted as monotone knowledge: a re-merge after an amnesia
+// restart does not double-count (the node had "known" the update before the
+// crash; its stable outbox / peers restore that knowledge).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "obs/event.hpp"
+#include "obs/metrics.hpp"
+#include "obs/tracer.hpp"
+
+namespace obs {
+
+class LifecycleTracker : public Sink {
+ public:
+  explicit LifecycleTracker(std::size_t cluster_size)
+      : cluster_size_(cluster_size), merged_(cluster_size) {}
+
+  void on_event(const Event& e) override;
+
+  /// Updates seen originating (== transactions recorded by any node).
+  std::uint64_t originated() const { return originate_time_.size(); }
+  /// Updates merged by every replica.
+  std::uint64_t fully_replicated() const { return fully_replicated_; }
+  /// Originate -> last-replica-merge latencies.
+  const Histogram& replication_latency() const { return latency_; }
+  /// Entries displaced per merged update (tail appends contribute 0).
+  const Histogram& undo_churn() const { return churn_; }
+  std::uint64_t total_undo_churn() const { return total_churn_; }
+
+  /// Max over ordered node pairs (i, j) of |merged_i \ merged_j|, right
+  /// now. O(nodes^2 * updates/64); computed on demand.
+  std::uint64_t divergence() const;
+
+  /// Fold everything into the registry under "lifecycle.*".
+  void export_to(MetricsRegistry& reg) const;
+
+ private:
+  using TsKey = std::pair<std::uint64_t, sim::NodeId>;
+
+  /// Dense index for an update's timestamp (assigned on first sighting).
+  std::size_t index_of(const TsKey& key);
+  void note_merge(const Event& e);
+
+  std::size_t cluster_size_;
+  std::map<TsKey, std::size_t> index_;       ///< ts -> dense update index.
+  std::vector<double> originate_at_;         ///< by update index (-1 unseen).
+  std::map<TsKey, double> originate_time_;   ///< also keyed by ts for stats.
+  std::vector<std::uint64_t> merge_count_;   ///< distinct nodes merged, by idx.
+  std::vector<std::vector<std::uint64_t>> merged_;  ///< per node: bitset by idx.
+  std::uint64_t fully_replicated_ = 0;
+  std::uint64_t total_churn_ = 0;
+  Histogram latency_ = Histogram::latency();
+  Histogram churn_ = Histogram::counts();
+};
+
+}  // namespace obs

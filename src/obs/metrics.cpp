@@ -1,0 +1,249 @@
+#include "obs/metrics.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace obs {
+
+namespace {
+
+/// Doubles are emitted with max_digits10 so parsing recovers the exact
+/// value — which is what makes from_json(to_json(r)) == r hold bitwise.
+void emit_double(std::ostringstream& os, double v) {
+  os << std::setprecision(17) << v << std::setprecision(6);
+}
+
+/// Minimal cursor parser for the exact grammar to_json() emits: an object
+/// of three objects; leaf values are numbers or arrays of numbers.
+struct Cursor {
+  const std::string& s;
+  std::size_t i = 0;
+
+  [[noreturn]] void fail(const char* what) const {
+    throw std::invalid_argument(std::string("MetricsRegistry::from_json: ") +
+                                what + " at offset " + std::to_string(i));
+  }
+  void skip_ws() {
+    while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+  }
+  bool peek_is(char c) {
+    skip_ws();
+    return i < s.size() && s[i] == c;
+  }
+  void expect(char c) {
+    skip_ws();
+    if (i >= s.size() || s[i] != c) fail("unexpected character");
+    ++i;
+  }
+  std::string string() {
+    expect('"');
+    std::string out;
+    while (i < s.size() && s[i] != '"') out.push_back(s[i++]);
+    expect('"');
+    return out;
+  }
+  double number() {
+    skip_ws();
+    const char* begin = s.c_str() + i;
+    char* end = nullptr;
+    const double v = std::strtod(begin, &end);
+    if (end == begin) fail("expected number");
+    i += static_cast<std::size_t>(end - begin);
+    return v;
+  }
+  std::vector<double> number_array() {
+    std::vector<double> out;
+    expect('[');
+    if (!peek_is(']')) {
+      out.push_back(number());
+      while (peek_is(',')) {
+        expect(',');
+        out.push_back(number());
+      }
+    }
+    expect(']');
+    return out;
+  }
+};
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), counts_(bounds_.size() + 1, 0) {}
+
+Histogram Histogram::latency() {
+  std::vector<double> b;
+  double edge = 0.001;
+  for (int i = 0; i < 20; ++i, edge *= 2.0) b.push_back(edge);
+  return Histogram(std::move(b));
+}
+
+Histogram Histogram::counts() {
+  std::vector<double> b{0.0};
+  for (double edge = 1.0; edge <= 1024.0; edge *= 2.0) b.push_back(edge);
+  return Histogram(std::move(b));
+}
+
+void Histogram::add(double v) {
+  if (count_ == 0) {
+    min_ = max_ = v;
+  } else {
+    if (v < min_) min_ = v;
+    if (v > max_) max_ = v;
+  }
+  ++count_;
+  sum_ += v;
+  std::size_t i = 0;
+  while (i < bounds_.size() && v > bounds_[i]) ++i;
+  ++counts_[i];
+}
+
+double Histogram::quantile_bound(double q) const {
+  if (count_ == 0) return 0.0;
+  const double target = q * static_cast<double>(count_);
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < bounds_.size(); ++i) {
+    seen += counts_[i];
+    if (static_cast<double>(seen) >= target) return bounds_[i];
+  }
+  return max();
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      const Histogram& proto) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) it = histograms_.emplace(name, proto).first;
+  return it->second;
+}
+
+std::string MetricsRegistry::to_json() const {
+  std::ostringstream os;
+  os << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, v] : counters_) {
+    os << (first ? "\n" : ",\n") << "    \"" << name << "\": " << v;
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "},\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, v] : gauges_) {
+    os << (first ? "\n" : ",\n") << "    \"" << name << "\": ";
+    emit_double(os, v);
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "},\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    os << (first ? "\n" : ",\n") << "    \"" << name << "\": {\n";
+    os << "      \"bounds\": [";
+    for (std::size_t i = 0; i < h.bounds().size(); ++i) {
+      if (i) os << ", ";
+      emit_double(os, h.bounds()[i]);
+    }
+    os << "],\n      \"bucket_counts\": [";
+    for (std::size_t i = 0; i < h.bucket_counts().size(); ++i) {
+      if (i) os << ", ";
+      os << h.bucket_counts()[i];
+    }
+    os << "],\n      \"count\": " << h.count();
+    os << ",\n      \"sum\": ";
+    emit_double(os, h.sum());
+    os << ",\n      \"min\": ";
+    emit_double(os, h.min());
+    os << ",\n      \"max\": ";
+    emit_double(os, h.max());
+    os << "\n    }";
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "}\n}\n";
+  return os.str();
+}
+
+MetricsRegistry MetricsRegistry::from_json(const std::string& json) {
+  MetricsRegistry reg;
+  Cursor c{json};
+  c.expect('{');
+
+  const auto parse_section = [&](const char* want) {
+    const std::string key = c.string();
+    if (key != want) c.fail("unexpected section");
+    c.expect(':');
+    c.expect('{');
+  };
+
+  parse_section("counters");
+  while (!c.peek_is('}')) {
+    const std::string name = c.string();
+    c.expect(':');
+    reg.counters_[name] = static_cast<std::uint64_t>(c.number());
+    if (c.peek_is(',')) c.expect(',');
+  }
+  c.expect('}');
+  c.expect(',');
+
+  parse_section("gauges");
+  while (!c.peek_is('}')) {
+    const std::string name = c.string();
+    c.expect(':');
+    reg.gauges_[name] = c.number();
+    if (c.peek_is(',')) c.expect(',');
+  }
+  c.expect('}');
+  c.expect(',');
+
+  parse_section("histograms");
+  while (!c.peek_is('}')) {
+    const std::string name = c.string();
+    c.expect(':');
+    c.expect('{');
+    Histogram h;
+    std::uint64_t count = 0;
+    double sum = 0.0, mn = 0.0, mx = 0.0;
+    std::vector<double> bounds;
+    std::vector<double> bucket_counts;
+    while (!c.peek_is('}')) {
+      const std::string field = c.string();
+      c.expect(':');
+      if (field == "bounds") {
+        bounds = c.number_array();
+      } else if (field == "bucket_counts") {
+        bucket_counts = c.number_array();
+      } else if (field == "count") {
+        count = static_cast<std::uint64_t>(c.number());
+      } else if (field == "sum") {
+        sum = c.number();
+      } else if (field == "min") {
+        mn = c.number();
+      } else if (field == "max") {
+        mx = c.number();
+      } else {
+        c.fail("unknown histogram field");
+      }
+      if (c.peek_is(',')) c.expect(',');
+    }
+    c.expect('}');
+    if (bucket_counts.size() != bounds.size() + 1) {
+      c.fail("bucket_counts/bounds size mismatch");
+    }
+    h.bounds_ = std::move(bounds);
+    h.counts_.clear();
+    for (double bc : bucket_counts) {
+      h.counts_.push_back(static_cast<std::uint64_t>(bc));
+    }
+    h.count_ = count;
+    h.sum_ = sum;
+    h.min_ = mn;
+    h.max_ = mx;
+    reg.histograms_.emplace(name, std::move(h));
+    if (c.peek_is(',')) c.expect(',');
+  }
+  c.expect('}');
+  c.expect('}');
+  return reg;
+}
+
+}  // namespace obs

@@ -1,0 +1,79 @@
+#include "obs/perfetto.hpp"
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace obs {
+
+namespace {
+
+/// trace_event "tid" for the synthetic control track.
+constexpr long long kControlTid = 1000000;
+
+void emit_event(std::ostream& os, const Event& e) {
+  // Crash/restart become a duration slice ("down") on the node's track so
+  // downtime is visible as a solid block; everything else is an instant.
+  const char* ph = "i";
+  std::string_view name = event_type_name(e.type);
+  if (e.type == EventType::kCrash) {
+    ph = "B";
+    name = "down";
+  } else if (e.type == EventType::kRestart) {
+    ph = "E";
+    name = "down";
+  }
+  const long long tid =
+      e.node == kControlNode ? kControlTid : static_cast<long long>(e.node);
+  os << "{\"name\":\"" << name << "\",\"ph\":\"" << ph << "\"";
+  if (ph[0] == 'i') os << ",\"s\":\"t\"";
+  os << ",\"ts\":" << std::fixed << std::setprecision(3) << e.time * 1e6
+     << std::defaultfloat << ",\"pid\":0,\"tid\":" << tid;
+  os << ",\"args\":{";
+  // Slices are renamed to "down"; keep the underlying event reachable.
+  if (name != event_type_name(e.type)) {
+    os << "\"event\":\"" << event_type_name(e.type) << "\",";
+  }
+  os << "\"ts\":\"" << e.ts_logical << ':' << e.ts_node << "\",\"a\":" << e.a
+     << ",\"b\":" << e.b << "}}";
+}
+
+}  // namespace
+
+void write_perfetto(const std::vector<Event>& events, std::ostream& os) {
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (const Event& e : events) {
+    if (!first) os << ",\n";
+    first = false;
+    emit_event(os, e);
+  }
+  os << "],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+std::string perfetto_json(const Tracer& tracer) {
+  std::ostringstream os;
+  write_perfetto(tracer.ring(), os);
+  return os.str();
+}
+
+PerfettoSink::PerfettoSink(std::ostream& os) : os_(os) {
+  os_ << "{\"traceEvents\":[";
+}
+
+PerfettoSink::~PerfettoSink() { finish(); }
+
+void PerfettoSink::on_event(const Event& e) {
+  if (finished_) return;
+  if (!first_) os_ << ",\n";
+  first_ = false;
+  emit_event(os_, e);
+}
+
+void PerfettoSink::finish() {
+  if (finished_) return;
+  finished_ = true;
+  os_ << "],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+}  // namespace obs

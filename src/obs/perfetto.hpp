@@ -1,0 +1,47 @@
+// Chrome/Perfetto trace_event JSON export.
+//
+// Any run with tracing enabled can be opened in ui.perfetto.dev (or
+// chrome://tracing): one thread track per node plus a "control" track for
+// cluster-scope events (scheduler dispatch, partition cuts). Most events
+// render as instants; crash→restart windows render as duration slices so a
+// node's downtime is visible as a solid block on its track.
+//
+// Times are exported in microseconds (trace_event's unit), i.e. simulated
+// seconds * 1e6.
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "obs/event.hpp"
+#include "obs/tracer.hpp"
+
+namespace obs {
+
+/// Write `events` (record order) as one complete trace_event JSON document.
+void write_perfetto(const std::vector<Event>& events, std::ostream& os);
+
+/// Convenience: export the tracer's ring.
+std::string perfetto_json(const Tracer& tracer);
+
+/// A streaming sink producing the same document incrementally — the "JSON
+/// sink" mode of the overhead bench: formatting cost is paid per event at
+/// record time, nothing is buffered beyond the ostream. finish() closes the
+/// document (also called by the destructor).
+class PerfettoSink : public Sink {
+ public:
+  explicit PerfettoSink(std::ostream& os);
+  ~PerfettoSink() override;
+
+  void on_event(const Event& e) override;
+
+  /// Close the JSON document; further events are ignored. Idempotent.
+  void finish();
+
+ private:
+  std::ostream& os_;
+  bool first_ = true;
+  bool finished_ = false;
+};
+
+}  // namespace obs

@@ -1,0 +1,100 @@
+#include "obs/tracer.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace obs {
+
+std::string_view event_type_name(EventType t) {
+  switch (t) {
+    case EventType::kSchedulerDispatch:   return "sched.dispatch";
+    case EventType::kNetSend:             return "net.send";
+    case EventType::kNetDeliver:          return "net.deliver";
+    case EventType::kNetDropPartition:    return "net.drop_partition";
+    case EventType::kNetDropRandom:       return "net.drop_random";
+    case EventType::kNetDropCrashed:      return "net.drop_crashed";
+    case EventType::kBroadcastOriginate:  return "broadcast.originate";
+    case EventType::kBroadcastSend:       return "broadcast.send";
+    case EventType::kBroadcastDeliver:    return "broadcast.deliver";
+    case EventType::kBroadcastDuplicate:  return "broadcast.duplicate";
+    case EventType::kAntiEntropyDigest:   return "anti_entropy.digest";
+    case EventType::kAntiEntropyRepair:   return "anti_entropy.repair";
+    case EventType::kMergeTailAppend:     return "merge.tail_append";
+    case EventType::kMergeMidInsert:      return "merge.mid_insert";
+    case EventType::kMergeUndo:           return "merge.undo";
+    case EventType::kMergeRedo:           return "merge.redo";
+    case EventType::kCheckpointTake:      return "checkpoint.take";
+    case EventType::kCheckpointInvalidate:return "checkpoint.invalidate";
+    case EventType::kCrash:               return "node.crash";
+    case EventType::kRestart:             return "node.restart";
+    case EventType::kPartitionOpen:       return "partition.open";
+    case EventType::kPartitionHeal:       return "partition.heal";
+  }
+  return "unknown";
+}
+
+Tracer::Tracer(std::size_t ring_capacity)
+    : capacity_(ring_capacity == 0 ? 1 : ring_capacity),
+      type_counts_(kNumEventTypes, 0) {
+  buf_.reserve(capacity_);
+}
+
+void Tracer::record(const Event& e) {
+  ++recorded_;
+  ++type_counts_[static_cast<std::size_t>(e.type)];
+  if (buf_.size() < capacity_) {
+    buf_.push_back(e);
+    head_ = buf_.size() % capacity_;
+    full_ = buf_.size() == capacity_ && head_ == 0;
+  } else {
+    buf_[head_] = e;
+    head_ = (head_ + 1) % capacity_;
+    full_ = true;
+  }
+  for (Sink* s : sinks_) s->on_event(e);
+}
+
+std::vector<Event> Tracer::ring() const {
+  std::vector<Event> out;
+  out.reserve(ring_size());
+  if (!full_) {
+    out.assign(buf_.begin(), buf_.begin() + head_);
+    return out;
+  }
+  out.insert(out.end(), buf_.begin() + head_, buf_.end());
+  out.insert(out.end(), buf_.begin(), buf_.begin() + head_);
+  return out;
+}
+
+std::vector<Event> Tracer::slice_around(std::uint64_t ts_logical,
+                                        sim::NodeId ts_node,
+                                        std::size_t context) const {
+  const std::vector<Event> all = ring();
+  std::vector<char> keep(all.size(), 0);
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    if (all[i].ts_logical != ts_logical || all[i].ts_node != ts_node ||
+        (ts_logical == 0 && all[i].ts_logical == 0)) {
+      continue;
+    }
+    const std::size_t lo = i >= context ? i - context : 0;
+    const std::size_t hi = std::min(all.size(), i + context + 1);
+    for (std::size_t j = lo; j < hi; ++j) keep[j] = 1;
+  }
+  std::vector<Event> out;
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    if (keep[i]) out.push_back(all[i]);
+  }
+  return out;
+}
+
+std::string serialize(const std::vector<Event>& events) {
+  std::ostringstream os;
+  for (const Event& e : events) {
+    os << event_type_name(e.type) << " t=" << e.time << " n=" << e.node
+       << " ts=" << e.ts_logical << ':' << e.ts_node << " a=" << e.a
+       << " b=" << e.b << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace obs

@@ -1,0 +1,109 @@
+// Structured event tracing: bounded in-memory ring + pluggable sinks.
+//
+// Components hold an `obs::Tracer*` that defaults to nullptr; the disabled
+// path is a single pointer test (`if (tracer_) tracer_->record(...)`), so
+// tracing costs one predictable branch when off. When on, every event goes
+// into a bounded ring (the always-available recent-history window used by
+// the checker's counter-example dumps) and to every attached sink (metrics
+// derivation, streaming JSON export, determinism capture).
+//
+// Recording never changes protocol behavior: the tracer draws no random
+// numbers, schedules no events, and the components emit the same calls in
+// the same order for a given (seed, configuration) — which is what makes
+// the trace stream itself a determinism witness.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "obs/event.hpp"
+
+namespace obs {
+
+/// Receives every recorded event, in record order. Sinks are non-owning
+/// observers; they must not re-enter the tracer.
+class Sink {
+ public:
+  virtual ~Sink() = default;
+  virtual void on_event(const Event& e) = 0;
+};
+
+/// A sink that keeps every event (unbounded) — determinism regressions and
+/// post-run exports that need more history than the ring retains.
+class VectorSink : public Sink {
+ public:
+  void on_event(const Event& e) override { events_.push_back(e); }
+  const std::vector<Event>& events() const { return events_; }
+
+ private:
+  std::vector<Event> events_;
+};
+
+/// Cluster-level tracing configuration (wired through Cluster::Config and
+/// harness::Scenario).
+struct TraceOptions {
+  bool enabled = false;
+  /// Ring capacity in events; oldest events are overwritten when full.
+  std::size_t ring_capacity = 8192;
+};
+
+class Tracer {
+ public:
+  explicit Tracer(std::size_t ring_capacity = 8192);
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Record one event: ring + all sinks. O(1) amortized.
+  void record(const Event& e);
+
+  /// Convenience overload building the Event in place.
+  void record(EventType type, double time, sim::NodeId node,
+              std::uint64_t ts_logical = 0, sim::NodeId ts_node = 0,
+              std::uint64_t a = 0, std::uint64_t b = 0) {
+    record(Event{type, time, node, ts_logical, ts_node, a, b});
+  }
+
+  /// Attach a sink (non-owning; must outlive the tracer's last record).
+  void add_sink(Sink* sink) { sinks_.push_back(sink); }
+
+  /// Events recorded over the tracer's lifetime (>= ring().size()).
+  std::uint64_t recorded() const { return recorded_; }
+  /// Events that fell off the ring (recorded - retained).
+  std::uint64_t evicted() const {
+    return recorded_ - static_cast<std::uint64_t>(ring_size());
+  }
+  /// Per-type lifetime counts, indexed by EventType.
+  const std::vector<std::uint64_t>& type_counts() const { return type_counts_; }
+
+  std::size_t ring_capacity() const { return capacity_; }
+  std::size_t ring_size() const { return full_ ? capacity_ : head_; }
+
+  /// Ring contents, oldest first.
+  std::vector<Event> ring() const;
+
+  /// Ring events involving update (ts_logical, ts_node), each with up to
+  /// `context` neighboring events either side — the counter-example window
+  /// the checker dump prints. Overlapping windows are coalesced; events stay
+  /// in record order and appear once.
+  std::vector<Event> slice_around(std::uint64_t ts_logical,
+                                  sim::NodeId ts_node,
+                                  std::size_t context = 6) const;
+
+ private:
+  std::size_t capacity_;
+  std::vector<Event> buf_;
+  std::size_t head_ = 0;  ///< Next write position.
+  bool full_ = false;
+  std::uint64_t recorded_ = 0;
+  std::vector<std::uint64_t> type_counts_;
+  std::vector<Sink*> sinks_;
+};
+
+/// Canonical line-oriented serialization of an event stream: one event per
+/// line, "<name> t=<time> n=<node> ts=<logical>:<node> a=<a> b=<b>". The
+/// determinism regression compares these bytes across same-seed runs.
+std::string serialize(const std::vector<Event>& events);
+
+}  // namespace obs

@@ -18,6 +18,9 @@
 
 #include "core/execution.hpp"
 #include "net/broadcast.hpp"
+#include "obs/lifecycle.hpp"
+#include "obs/metrics.hpp"
+#include "obs/tracer.hpp"
 #include "shard/node.hpp"
 #include "sim/crash.hpp"
 #include "sim/network.hpp"
@@ -44,17 +47,54 @@ class Cluster {
     /// network refuses delivery to down nodes; submissions reaching them
     /// are rejected and counted, never silently executed.
     sim::CrashSchedule crashes;
+    /// Structured event tracing (obs/). Off by default: every component
+    /// keeps a null tracer pointer and pays one branch per would-be event.
+    /// On: events flow into the tracer ring + sinks, and a LifecycleTracker
+    /// derives replication-latency/undo-churn/divergence metrics. Tracing
+    /// never perturbs the protocol (no RNG draws; the extra partition
+    /// open/heal marker events are scheduler no-ops).
+    obs::TraceOptions trace;
     std::uint64_t seed = 1;
   };
 
   explicit Cluster(Config config) : config_(config), master_rng_(config.seed) {
+    if (config_.trace.enabled) {
+      tracer_ = std::make_unique<obs::Tracer>(config_.trace.ring_capacity);
+      lifecycle_ = std::make_unique<obs::LifecycleTracker>(config_.num_nodes);
+      tracer_->add_sink(lifecycle_.get());
+      scheduler_.set_observer([this](sim::Time t, std::uint64_t id) {
+        tracer_->record(obs::EventType::kSchedulerDispatch, t,
+                        obs::kControlNode, 0, 0, id);
+      });
+    }
     network_ = std::make_unique<sim::Network>(
         scheduler_, config.network, master_rng_.fork_seed());
+    if (tracer_) {
+      network_->set_observer([this](sim::NodeId src, sim::NodeId dst,
+                                    std::uint64_t id,
+                                    sim::Network::MessageFate fate) {
+        tracer_->record(fate_event_type(fate), scheduler_.now(), src, 0, 0,
+                        dst, id);
+      });
+      // Partition lifecycle markers: cuts are config, not messages, so no
+      // component sees them open/heal — mark the boundaries explicitly.
+      const auto& cuts = config_.network.partitions.events();
+      for (std::size_t k = 0; k < cuts.size(); ++k) {
+        scheduler_.schedule_at(cuts[k].start, [this, k] {
+          tracer_->record(obs::EventType::kPartitionOpen, scheduler_.now(),
+                          obs::kControlNode, 0, 0, k);
+        });
+        scheduler_.schedule_at(cuts[k].end, [this, k] {
+          tracer_->record(obs::EventType::kPartitionHeal, scheduler_.now(),
+                          obs::kControlNode, 0, 0, k);
+        });
+      }
+    }
     for (std::size_t i = 0; i < config.num_nodes; ++i) {
       nodes_.push_back(std::make_unique<NodeT>(
           static_cast<core::NodeId>(i), *network_, config.num_nodes,
           config.broadcast, config.checkpoint_interval,
-          master_rng_.fork_seed(), config.compaction));
+          master_rng_.fork_seed(), config.compaction, tracer_.get()));
     }
     for (auto& n : nodes_) n->start();
     for (const sim::CrashEvent& ev : config_.crashes.events()) {
@@ -215,10 +255,64 @@ class Cluster {
   /// aggregate rejected_submissions this yields the availability ratio.
   std::uint64_t scheduled_submissions() const { return scheduled_submissions_; }
 
+  /// The execution tracer, or nullptr when Config::trace.enabled is false.
+  obs::Tracer* tracer() { return tracer_.get(); }
+  const obs::Tracer* tracer() const { return tracer_.get(); }
+  /// Trace-derived per-update lifecycle metrics (nullptr when not tracing).
+  const obs::LifecycleTracker* lifecycle() const { return lifecycle_.get(); }
+
+  /// One unified snapshot: engine + broadcast + network counters, cluster
+  /// workload/availability numbers, and (when tracing) tracer totals and
+  /// the derived lifecycle histograms. Serializable via
+  /// MetricsRegistry::to_json and comparable across runs.
+  obs::MetricsRegistry metrics() const {
+    obs::MetricsRegistry reg;
+    aggregate_engine_stats().export_to(reg, "engine");
+    for (const auto& n : nodes_) {
+      n->broadcast_stats().export_to(reg, "broadcast");
+    }
+    const sim::NetworkStats& ns = network_->stats();
+    reg.add_counter("net.sent", ns.sent);
+    reg.add_counter("net.delivered", ns.delivered);
+    reg.add_counter("net.dropped_partition", ns.dropped_partition);
+    reg.add_counter("net.dropped_random", ns.dropped_random);
+    reg.add_counter("net.dropped_crashed", ns.dropped_crashed);
+    reg.add_counter("cluster.nodes", nodes_.size());
+    reg.add_counter("cluster.scheduled_submissions", scheduled_submissions_);
+    reg.add_counter("cluster.updates_originated", total_originated());
+    reg.set_gauge("cluster.sim_time", scheduler_.now());
+    if (tracer_) {
+      reg.add_counter("trace.events_recorded", tracer_->recorded());
+      reg.add_counter("trace.events_evicted", tracer_->evicted());
+    }
+    if (lifecycle_) lifecycle_->export_to(reg);
+    return reg;
+  }
+
  private:
+  static obs::EventType fate_event_type(sim::Network::MessageFate fate) {
+    switch (fate) {
+      case sim::Network::MessageFate::kSent:
+        return obs::EventType::kNetSend;
+      case sim::Network::MessageFate::kDelivered:
+        return obs::EventType::kNetDeliver;
+      case sim::Network::MessageFate::kDroppedPartition:
+        return obs::EventType::kNetDropPartition;
+      case sim::Network::MessageFate::kDroppedRandom:
+        return obs::EventType::kNetDropRandom;
+      case sim::Network::MessageFate::kDroppedCrashed:
+        return obs::EventType::kNetDropCrashed;
+    }
+    return obs::EventType::kNetSend;  // unreachable
+  }
+
   Config config_;
   sim::Rng master_rng_;
   sim::Scheduler scheduler_;
+  // Tracing sits above the nodes (they hold raw pointers into it) and is
+  // declared before them so it outlives their destructors.
+  std::unique_ptr<obs::Tracer> tracer_;
+  std::unique_ptr<obs::LifecycleTracker> lifecycle_;
   std::unique_ptr<sim::Network> network_;
   std::vector<std::unique_ptr<NodeT>> nodes_;
   std::uint64_t scheduled_submissions_ = 0;

@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "obs/metrics.hpp"
+
 namespace shard {
 
 std::string EngineStats::summary() const {
@@ -18,6 +20,25 @@ std::string EngineStats::summary() const {
        << " recovery_lag=" << recovery_lag;
   }
   return os.str();
+}
+
+void EngineStats::export_to(obs::MetricsRegistry& reg,
+                            const std::string& prefix) const {
+  reg.add_counter(prefix + ".decisions_run", decisions_run);
+  reg.add_counter(prefix + ".tail_appends", tail_appends);
+  reg.add_counter(prefix + ".mid_inserts", mid_inserts);
+  reg.add_counter(prefix + ".undone_updates", undone_updates);
+  reg.add_counter(prefix + ".redone_updates", redone_updates);
+  reg.add_counter(prefix + ".checkpoints_taken", checkpoints_taken);
+  reg.add_counter(prefix + ".checkpoints_invalidated",
+                  checkpoints_invalidated);
+  reg.add_counter(prefix + ".entries_folded", entries_folded);
+  reg.add_counter(prefix + ".crashes", crashes);
+  reg.add_counter(prefix + ".recoveries", recoveries);
+  reg.add_counter(prefix + ".rejected_submissions", rejected_submissions);
+  reg.add_counter(prefix + ".catch_up_updates", catch_up_updates);
+  reg.set_gauge(prefix + ".downtime", downtime);
+  reg.set_gauge(prefix + ".recovery_lag", recovery_lag);
 }
 
 }  // namespace shard

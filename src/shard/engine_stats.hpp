@@ -4,6 +4,10 @@
 #include <cstdint>
 #include <string>
 
+namespace obs {
+class MetricsRegistry;
+}
+
 namespace shard {
 
 /// Observability for one node's merge engine. The thrashing experiment (E8),
@@ -35,6 +39,12 @@ struct EngineStats {
   double recovery_lag = 0.0;  ///< Total restart -> caught-up time.
 
   std::string summary() const;
+
+  /// Fold every field into `reg` under "<prefix>.<field>" (counters add,
+  /// so calling once per node aggregates; the two durations land as
+  /// gauges, which overwrite — export aggregated stats for those).
+  void export_to(obs::MetricsRegistry& reg,
+                 const std::string& prefix = "engine") const;
 };
 
 }  // namespace shard

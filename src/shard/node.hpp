@@ -26,6 +26,7 @@
 #include "core/model.hpp"
 #include "core/timestamp.hpp"
 #include "net/broadcast.hpp"
+#include "obs/tracer.hpp"
 #include "shard/update_log.hpp"
 #include "sim/crash.hpp"
 
@@ -64,16 +65,20 @@ class Node {
 
   Node(core::NodeId id, sim::Network& network, std::size_t cluster_size,
        net::BroadcastOptions broadcast_options, std::size_t checkpoint_interval,
-       std::uint64_t seed, bool enable_compaction = false)
+       std::uint64_t seed, bool enable_compaction = false,
+       obs::Tracer* tracer = nullptr)
       : id_(id),
         clock_(id),
         log_(checkpoint_interval),
         peer_announcements_(cluster_size),
         enable_compaction_(enable_compaction),
+        tracer_(tracer),
         sched_(&network.scheduler()),
         broadcast_(network, id, cluster_size, broadcast_options, seed,
                    [this](const typename net::ReliableBroadcast<Envelope>::Wire&
                               wire) { on_deliver(wire); }) {
+    log_.set_tracer(tracer_, id_, [this] { return sched_->now(); });
+    broadcast_.set_tracer(tracer_);
     broadcast_.set_announce_hooks(
         [this] { return promise(); },
         [this](core::NodeId src, std::uint64_t logical, core::NodeId node,
@@ -110,6 +115,10 @@ class Node {
     rec.ts = clock_.tick();
     rec.decided_time = now;
     originated_.push_back(rec);
+    if (tracer_) {
+      tracer_->record(obs::EventType::kBroadcastOriginate, now, id_,
+                      rec.ts.logical, rec.ts.node, broadcast_.own_issued() + 1);
+    }
     // Broadcast (delivers locally first, merging into our own log).
     broadcast_.broadcast(Envelope{rec.ts, originated_.back().update});
     return originated_.back();
@@ -173,6 +182,7 @@ class Node {
     st.rejected_submissions += pending_.size();
     pending_.clear();
     broadcast_.set_down(true);
+    if (tracer_) tracer_->record(obs::EventType::kCrash, now, id_);
   }
 
   /// Restart a crashed node at `now`.
@@ -202,6 +212,10 @@ class Node {
     auto& st = log_.mutable_stats();
     ++st.recoveries;
     st.downtime += now - down_since_;
+    if (tracer_) {
+      tracer_->record(obs::EventType::kRestart, now, id_, 0, 0,
+                      static_cast<std::uint64_t>(mode));
+    }
     restart_time_ = now;
     catch_up_target_ = catch_up_target;
     catching_up_ = true;
@@ -368,6 +382,10 @@ class Node {
     rec.serializable = true;
     rec.decided_time = now;
     originated_.push_back(rec);
+    if (tracer_) {
+      tracer_->record(obs::EventType::kBroadcastOriginate, now, id_,
+                      rec.ts.logical, rec.ts.node, broadcast_.own_issued() + 1);
+    }
     broadcast_.broadcast(Envelope{rec.ts, originated_.back().update});
   }
 
@@ -387,6 +405,7 @@ class Node {
   bool enable_compaction_ = false;
   /// Timestamps of compacted-away entries, in order (prefix bookkeeping).
   std::vector<core::Timestamp> folded_ts_;
+  obs::Tracer* tracer_ = nullptr;  ///< optional execution tracing
   sim::Scheduler* sched_;
   net::ReliableBroadcast<Envelope> broadcast_;
 };

@@ -30,10 +30,13 @@
 #include <algorithm>
 #include <cassert>
 #include <cstddef>
+#include <functional>
+#include <utility>
 #include <vector>
 
 #include "core/model.hpp"
 #include "core/timestamp.hpp"
+#include "obs/tracer.hpp"
 #include "shard/engine_stats.hpp"
 
 namespace shard {
@@ -77,10 +80,12 @@ class UpdateLog {
 
     if (pos == entries_.size()) {
       // Fast path: in-order arrival; apply directly on the current state.
+      const core::Timestamp ts = entry.ts;
       entries_.push_back(std::move(entry));
       App::apply(entries_.back().update, state_);
       ++stats_.tail_appends;
       ++stats_.redone_updates;
+      trace(obs::EventType::kMergeTailAppend, ts);
       maybe_checkpoint();
       return pos;
     }
@@ -90,9 +95,13 @@ class UpdateLog {
     const std::size_t displaced = entries_.size() - pos;
     stats_.undone_updates += displaced;
     ++stats_.mid_inserts;
+    const core::Timestamp ts = entry.ts;
+    trace(obs::EventType::kMergeMidInsert, ts, displaced);
+    trace(obs::EventType::kMergeUndo, ts, displaced);
     entries_.insert(pos_it, std::move(entry));
     invalidate_checkpoints_after(pos);
     recompute_from_checkpoint(pos);
+    trace(obs::EventType::kMergeRedo, ts, entries_.size() - pos);
     return pos;
   }
 
@@ -121,6 +130,16 @@ class UpdateLog {
 
   const EngineStats& stats() const { return stats_; }
   EngineStats& mutable_stats() { return stats_; }
+
+  /// Attach the execution tracer. `node` stamps events with the owning
+  /// replica; `now` supplies simulated time (the log itself is clockless —
+  /// standalone uses may omit it and events carry t=0).
+  void set_tracer(obs::Tracer* tracer, sim::NodeId node,
+                  std::function<sim::Time()> now = {}) {
+    tracer_ = tracer;
+    trace_node_ = node;
+    trace_now_ = std::move(now);
+  }
 
   /// Recompute the state from scratch (i.e. from the compaction base) —
   /// test oracle for the checkpointed incremental maintenance.
@@ -216,6 +235,13 @@ class UpdateLog {
   }
 
  private:
+  void trace(obs::EventType type, const core::Timestamp& ts,
+             std::uint64_t a = 0) const {
+    if (!tracer_) return;
+    tracer_->record(type, trace_now_ ? trace_now_() : 0.0, trace_node_,
+                    ts.logical, ts.node, a);
+  }
+
   std::size_t index_of_first_at_or_after(const core::Timestamp& ts) const {
     const auto it = std::lower_bound(
         entries_.begin(), entries_.end(), ts,
@@ -228,6 +254,8 @@ class UpdateLog {
     if (entries_.size() % checkpoint_interval_ == 0) {
       checkpoints_.push_back(state_);
       ++stats_.checkpoints_taken;
+      trace(obs::EventType::kCheckpointTake, entries_.back().ts,
+            checkpoints_.size() - 1);
     }
   }
 
@@ -242,6 +270,8 @@ class UpdateLog {
     const std::size_t keep = pos / checkpoint_interval_ + 1;
     if (checkpoints_.size() > keep) {
       stats_.checkpoints_invalidated += checkpoints_.size() - keep;
+      trace(obs::EventType::kCheckpointInvalidate, entries_[pos].ts,
+            checkpoints_.size() - keep);
       checkpoints_.resize(keep);
     }
   }
@@ -280,6 +310,10 @@ class UpdateLog {
   std::vector<State> checkpoints_;
   State state_;
   EngineStats stats_;
+  // Optional execution tracing (obs/): off is one branch per merge.
+  obs::Tracer* tracer_ = nullptr;
+  sim::NodeId trace_node_ = 0;
+  std::function<sim::Time()> trace_now_;
 };
 
 }  // namespace shard

@@ -6,6 +6,10 @@
 
 namespace sim {
 
+const char* to_string(RecoveryMode mode) {
+  return mode == RecoveryMode::kDurable ? "durable" : "amnesia";
+}
+
 CrashSchedule& CrashSchedule::add(CrashEvent event) {
   if (!(event.start < event.end)) {
     throw std::invalid_argument("CrashSchedule: empty down-window");
@@ -52,7 +56,7 @@ std::string CrashSchedule::describe() const {
     const CrashEvent& ev = events_[i];
     if (i > 0) os << "; ";
     os << "node " << ev.node << " down [" << ev.start << "," << ev.end << ") "
-       << (ev.mode == RecoveryMode::kDurable ? "durable" : "amnesia");
+       << to_string(ev.mode);
   }
   return os.str();
 }

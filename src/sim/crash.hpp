@@ -40,6 +40,9 @@ enum class RecoveryMode {
   kAmnesia,  ///< volatile state lost; resync everything from peers/outbox
 };
 
+/// "durable" / "amnesia" — shared by describe() and the trace exporters.
+const char* to_string(RecoveryMode mode);
+
 /// One down-window: `node` crashes at `start` and restarts at `end` with
 /// `mode`. While down the node executes nothing, receives nothing, and
 /// rejects submissions.

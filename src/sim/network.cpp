@@ -21,6 +21,7 @@ std::uint64_t Network::send(NodeId src, NodeId dst, std::any payload) {
   // running protocol stack to transmit or receive with.
   if (node_down(src) || node_down(dst)) {
     ++stats_.dropped_crashed;
+    if (observer_) observer_(src, dst, 0, MessageFate::kDroppedCrashed);
     return 0;
   }
   // A cut active at send time swallows the message. The paper's broadcast
@@ -28,16 +29,19 @@ std::uint64_t Network::send(NodeId src, NodeId dst, std::any payload) {
   // here is exactly the failure the correctness conditions must tolerate.
   if (!config_.partitions.connected(src, dst, sched_.now())) {
     ++stats_.dropped_partition;
+    if (observer_) observer_(src, dst, 0, MessageFate::kDroppedPartition);
     return 0;
   }
   if (config_.drop_probability > 0.0 &&
       rng_.bernoulli(config_.drop_probability)) {
     ++stats_.dropped_random;
+    if (observer_) observer_(src, dst, 0, MessageFate::kDroppedRandom);
     return 0;
   }
   const std::uint64_t id = next_msg_id_++;
   Message msg{src, dst, id, std::move(payload)};
   const Time latency = config_.delay.sample(rng_);
+  if (observer_) observer_(src, dst, id, MessageFate::kSent);
   sched_.schedule_after(latency, [this, msg = std::move(msg)]() {
     // Deliver even if a partition started after the send: the datagram was
     // already in flight. (Cut-at-send-time is the standard simplification;
@@ -46,9 +50,15 @@ std::uint64_t Network::send(NodeId src, NodeId dst, std::any payload) {
     // and is lost — anti-entropy recovers it after the restart.
     if (node_down(msg.dst)) {
       ++stats_.dropped_crashed;
+      if (observer_) {
+        observer_(msg.src, msg.dst, msg.id, MessageFate::kDroppedCrashed);
+      }
       return;
     }
     ++stats_.delivered;
+    if (observer_) {
+      observer_(msg.src, msg.dst, msg.id, MessageFate::kDelivered);
+    }
     handlers_[msg.dst](msg);
   });
   return id;

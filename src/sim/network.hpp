@@ -49,6 +49,23 @@ class Network {
  public:
   using Handler = std::function<void(const Message&)>;
 
+  /// What became of one send attempt (reported to the observer; the
+  /// stats counters are the aggregate view of the same outcomes).
+  enum class MessageFate {
+    kSent,             ///< Accepted; delivery scheduled after sampled delay.
+    kDelivered,        ///< Handed to the destination's handler.
+    kDroppedPartition, ///< Lost to an active cut at send time.
+    kDroppedRandom,    ///< Lost to the random-drop coin.
+    kDroppedCrashed,   ///< An endpoint was down at send or delivery time.
+  };
+  /// Message-fate observer, called once per outcome (a sent message that
+  /// is later delivered reports twice: kSent, then kDelivered). `id` is 0
+  /// for messages dropped at send time (no id was allocated). Purely
+  /// observational; installing one changes no delivery behavior.
+  using Observer =
+      std::function<void(NodeId src, NodeId dst, std::uint64_t id,
+                         MessageFate fate)>;
+
   struct Config {
     Delay delay = Delay::constant(0.01);
     double drop_probability = 0.0;
@@ -95,6 +112,10 @@ class Network {
   const Config& config() const { return config_; }
   Scheduler& scheduler() { return sched_; }
 
+  /// Install (or clear, with nullptr) the message-fate observer. Used by
+  /// the tracer; costs one branch per outcome when unset.
+  void set_observer(Observer observer) { observer_ = std::move(observer); }
+
  private:
   Scheduler& sched_;
   Config config_;
@@ -102,6 +123,7 @@ class Network {
   std::vector<Handler> handlers_;
   std::vector<char> down_;  ///< down_[n]: node n is currently crashed
   NetworkStats stats_;
+  Observer observer_;
   std::uint64_t next_msg_id_ = 1;
 };
 

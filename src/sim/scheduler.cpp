@@ -51,6 +51,7 @@ bool Scheduler::step() {
     assert(ev.t >= now_);
     now_ = ev.t;
     ++executed_;
+    if (observer_) observer_(ev.t, ev.id);
     ev.action();
     return true;
   }

@@ -27,6 +27,11 @@ class Scheduler {
   using Action = std::function<void()>;
   /// Identifies a scheduled event; usable with `cancel`.
   using EventId = std::uint64_t;
+  /// Dispatch observer: called once per executed event, after now() has
+  /// advanced to the event's time and before its action runs. Purely
+  /// observational — it must not schedule or cancel events — so installing
+  /// one never changes the (time, seq) execution order.
+  using Observer = std::function<void(Time t, EventId id)>;
 
   Scheduler() = default;
   Scheduler(const Scheduler&) = delete;
@@ -64,6 +69,10 @@ class Scheduler {
   /// Total events executed since construction.
   std::size_t events_executed() const { return executed_; }
 
+  /// Install (or clear, with nullptr) the dispatch observer. Used by the
+  /// tracer; costs one branch per dispatch when unset.
+  void set_observer(Observer observer) { observer_ = std::move(observer); }
+
  private:
   struct Event {
     Time t = 0.0;
@@ -87,6 +96,7 @@ class Scheduler {
   EventId next_id_ = 1;
   Time now_ = 0.0;
   std::size_t executed_ = 0;
+  Observer observer_;
 
   bool is_cancelled(EventId id);
 };

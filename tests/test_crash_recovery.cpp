@@ -18,6 +18,7 @@
 #include "apps/airline/airline.hpp"
 #include "harness/scenario.hpp"
 #include "harness/workload.hpp"
+#include "obs/tracer.hpp"
 #include "shard/cluster.hpp"
 #include "sim/crash.hpp"
 
@@ -324,7 +325,15 @@ TEST(CrashRecovery, SameSeedWithCrashesIsByteIdentical) {
     sc.partitions.split_halves(4, 2, 6.0, 10.0);
     sc.crashes.crash(1, 3.0, 6.5, sim::RecoveryMode::kDurable)
         .crash(3, 8.0, 11.0, sim::RecoveryMode::kAmnesia);
+    // Tracing on: the serialized event stream (every scheduler dispatch,
+    // message fate, merge, crash...) joins the compared bytes, so any
+    // nondeterminism anywhere in the stack fails this test — and any
+    // behavior change *caused by* enabling tracing would show up as a
+    // diff in the execution trace the other tiers capture untraced.
+    sc.trace.enabled = true;
     Cluster cluster(sc.cluster_config<Air>(0xD37E));
+    obs::VectorSink events;
+    cluster.tracer()->add_sink(&events);
     harness::AirlineWorkload w;
     w.duration = 14.0;
     w.request_rate = 5.0;
@@ -339,12 +348,16 @@ TEST(CrashRecovery, SameSeedWithCrashesIsByteIdentical) {
     for (std::size_t n = 0; n < cluster.num_nodes(); ++n) {
       os << cluster.node(n).broadcast_stats().summary() << '\n';
     }
+    os << obs::serialize(events.events());
+    os << cluster.metrics().to_json() << '\n';
     return os.str();
   };
   const std::string a = run();
   const std::string b = run();
   EXPECT_EQ(a, b);
   EXPECT_NE(a.find("crashes=2"), std::string::npos);
+  EXPECT_NE(a.find("node.crash"), std::string::npos);
+  EXPECT_NE(a.find("node.restart"), std::string::npos);
 }
 
 }  // namespace
