@@ -1,0 +1,174 @@
+#!/usr/bin/env python3
+"""Compare a bench JSON emission against its committed baseline.
+
+Usage:
+    compare_bench.py e20 bench/baselines/BENCH_e20.json BENCH_e20.json
+    compare_bench.py e10 bench/baselines/BENCH_e10.json BENCH_e10.json
+
+The gate is designed to be machine-independent:
+
+* e20 (submit-scaling harness): the primary signals are the deterministic
+  retained-footprint counters (exact for a given seed/scale, allowed to
+  drift by the tolerance so intentional policy tweaks don't need a baseline
+  dance) and the *flatness* ratios — last-decile / first-decile wall time
+  per point and large-scale / small-scale per-submit time overall. Flat is
+  the O(window) claim; absolute wall times are machine noise and are only
+  reported.
+
+* e10 (google-benchmark substrate microbenchmarks): absolute ns/op are
+  machine-dependent, so the gate compares the checkpointed-vs-naive
+  mid-insert *ratios* within one run against the same ratios in the
+  baseline run.
+
+Exit status 0 = within tolerance, 1 = regression, 2 = usage/parse error.
+"""
+
+import json
+import sys
+
+DEFAULT_TOLERANCE = 0.15
+
+# Flatness ratios get an absolute floor as well: on small/noisy runs a
+# baseline of 0.9 must not make 1.1 a "regression".
+FLATNESS_FLOOR = 2.0
+
+E20_COUNTERS = [
+    "retained.log_entries",
+    "retained.checkpoints",
+    "retained.repair_store",
+    "retained.prefix_slots",
+]
+
+
+def fail(msg):
+    print(f"REGRESSION: {msg}")
+    return 1
+
+
+def within(current, baseline, tol):
+    """Symmetric relative check with a tiny absolute slack for near-zero."""
+    slack = max(abs(baseline) * tol, 2.0)
+    return abs(current - baseline) <= slack
+
+
+def compare_e20(base, cur, tol):
+    rc = 0
+    base_points = {p["n"]: p for p in base["points"]}
+    # Decile wall windows at small scales are a few ms — pure scheduler
+    # noise — so the tail_ratio gate only applies at the largest scale.
+    gate_tail_at = max(p["n"] for p in cur["points"])
+    for point in cur["points"]:
+        n = point["n"]
+        bp = base_points.get(n)
+        if bp is None:
+            print(f"note: scale n={n} has no baseline point; skipping")
+            continue
+        counters = point["metrics"]["counters"]
+        bcounters = bp["metrics"]["counters"]
+        for name in E20_COUNTERS:
+            c, b = counters.get(name, 0), bcounters.get(name, 0)
+            if not within(c, b, tol):
+                rc |= fail(f"n={n} {name}: {c} vs baseline {b} (tol {tol:.0%})")
+            else:
+                print(f"ok: n={n} {name}: {c} (baseline {b})")
+        tail = point["tail_ratio"]
+        btail = bp["tail_ratio"]
+        bound = max(FLATNESS_FLOOR, btail * (1 + tol))
+        if n != gate_tail_at:
+            print(f"info: n={n} tail_ratio {tail:.3f} (small scale; not gated)")
+        elif tail > bound:
+            rc |= fail(f"n={n} tail_ratio {tail:.3f} > bound {bound:.3f} "
+                       f"(baseline {btail:.3f})")
+        else:
+            print(f"ok: n={n} tail_ratio {tail:.3f} (bound {bound:.3f})")
+        spr = point["slots_per_record"]
+        bspr = bp["slots_per_record"]
+        sbound = max(bspr * (1 + tol), bspr + 0.5)
+        if spr > sbound:
+            rc |= fail(f"n={n} slots_per_record {spr:.3f} > bound "
+                       f"{sbound:.3f} (baseline {bspr:.3f})")
+        else:
+            print(f"ok: n={n} slots_per_record {spr:.3f} (bound {sbound:.3f})")
+        print(f"info: n={n} per_submit_us {point['per_submit_us']:.2f} "
+              f"(baseline {bp['per_submit_us']:.2f}; not gated)")
+    flat, bflat = cur["flatness_ratio"], base["flatness_ratio"]
+    fbound = max(FLATNESS_FLOOR, bflat * (1 + tol))
+    if flat > fbound:
+        rc |= fail(f"flatness_ratio {flat:.3f} > bound {fbound:.3f} "
+                   f"(baseline {bflat:.3f})")
+    else:
+        print(f"ok: flatness_ratio {flat:.3f} (bound {fbound:.3f})")
+    return rc
+
+
+def e10_times(doc):
+    # Fixed-iteration benchmarks get "/iterations:N" appended to the name;
+    # strip it so lookups are stable if the iteration count changes.
+    return {b["name"].split("/iterations:")[0]: b["cpu_time"]
+            for b in doc["benchmarks"]
+            if b.get("run_type", "iteration") == "iteration"}
+
+
+def e10_ratios(times):
+    """checkpointed / naive cpu-time ratios for the mid-insert family."""
+    ratios = {}
+    for interval in (16, 64):
+        for size in (2048, 8192):
+            naive = times.get(f"BM_LogMidInsert/0/{size}")
+            ckpt = times.get(f"BM_LogMidInsert/{interval}/{size}")
+            if naive and ckpt:
+                ratios[f"mid_insert_ckpt{interval}_vs_naive/{size}"] = \
+                    ckpt / naive
+    return ratios
+
+
+def compare_e10(base, cur, tol):
+    rc = 0
+    bratios = e10_ratios(e10_times(base))
+    cratios = e10_ratios(e10_times(cur))
+    if not cratios:
+        print("REGRESSION: no BM_LogMidInsert ratios found in current run")
+        return 1
+    for name, ratio in sorted(cratios.items()):
+        bratio = bratios.get(name)
+        if bratio is None:
+            print(f"note: {name} has no baseline; skipping")
+            continue
+        bound = max(bratio * (1 + tol), bratio + 0.25)
+        if ratio > bound:
+            rc |= fail(f"{name}: {ratio:.3f} > bound {bound:.3f} "
+                       f"(baseline {bratio:.3f})")
+        else:
+            print(f"ok: {name}: {ratio:.3f} (bound {bound:.3f})")
+    return rc
+
+
+def main(argv):
+    if len(argv) < 4:
+        print(__doc__)
+        return 2
+    kind, base_path, cur_path = argv[1], argv[2], argv[3]
+    tol = DEFAULT_TOLERANCE
+    if len(argv) > 5 and argv[4] == "--tolerance":
+        tol = float(argv[5])
+    try:
+        with open(base_path) as f:
+            base = json.load(f)
+        with open(cur_path) as f:
+            cur = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"error loading inputs: {e}")
+        return 2
+    if kind == "e20":
+        rc = compare_e20(base, cur, tol)
+    elif kind == "e10":
+        rc = compare_e10(base, cur, tol)
+    else:
+        print(f"unknown kind {kind!r} (want e10 or e20)")
+        return 2
+    print("PASS" if rc == 0 else "FAIL")
+    return rc
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -7,15 +7,24 @@
 // origin was down (availability), how long restarted nodes lag behind the
 // cluster frontier (recovery lag), how much they re-merge to catch up, and
 // how long after the last failure the cluster needs to reconverge
-// (convergence lag). Emits one JSON document — the machine-readable
-// counterpart of the E12 availability table.
+// (convergence lag).
+//
+// Each sweep point is one obs::MetricsRegistry: the per-seed
+// Cluster::metrics() snapshots merged (counters and gauges summed across
+// seeds) plus derived e18.* availability/lag gauges. The emitted JSON embeds
+// each registry via MetricsRegistry::to_json — the machine-readable
+// counterpart of the E12 availability table, in the same schema as every
+// other metrics consumer.
 #include <algorithm>
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "analysis/execution_checker.hpp"
 #include "apps/airline/airline.hpp"
 #include "harness/scenario.hpp"
 #include "harness/workload.hpp"
+#include "obs/metrics.hpp"
 #include "shard/cluster.hpp"
 #include "sim/crash.hpp"
 
@@ -26,28 +35,44 @@ using Air = al::BasicAirline<20, 900, 300>;
 
 struct Point {
   int crash_events = 0;
-  std::uint64_t scheduled = 0;
-  std::uint64_t rejected = 0;
-  std::uint64_t crashes = 0;
-  std::uint64_t amnesia_recoveries = 0;
-  std::uint64_t catch_up_updates = 0;
-  double downtime = 0.0;
-  double recovery_lag = 0.0;
-  double convergence_lag = 0.0;
-  std::uint64_t txs = 0;
   bool checker_clean = true;
+  std::string metrics_json;
 };
+
+/// Merge `src` into `acc`: counters and gauges sum element-wise, so the
+/// accumulated registry reads as "totals across all seeds of this point".
+void merge_into(obs::MetricsRegistry& acc, const obs::MetricsRegistry& src) {
+  for (const auto& [name, value] : src.counters()) {
+    acc.add_counter(name, value);
+  }
+  for (const auto& [name, value] : src.gauges()) {
+    const auto it = acc.gauges().find(name);
+    acc.set_gauge(name, (it == acc.gauges().end() ? 0.0 : it->second) + value);
+  }
+}
+
+/// Indent an embedded JSON document so the output stays readable.
+void print_indented(const std::string& json, const char* pad) {
+  std::printf("%s", pad);
+  for (const char c : json) {
+    std::putchar(c);
+    if (c == '\n') std::printf("%s", pad);
+  }
+}
 
 }  // namespace
 
 int main() {
   constexpr double kHorizon = 30.0;
   const std::uint64_t kSeeds[] = {181, 182, 183};
+  const std::size_t runs = std::size(kSeeds);
   std::vector<Point> points;
 
   for (const int crash_events : {0, 2, 4, 8, 12}) {
     Point pt;
     pt.crash_events = crash_events;
+    obs::MetricsRegistry reg;
+    double convergence_lag = 0.0;
     for (const std::uint64_t seed : kSeeds) {
       sim::Rng rng(seed);
       harness::Scenario sc = harness::wan(4);
@@ -75,59 +100,52 @@ int main() {
         t += 0.25;
         cluster.run_until(t);
       }
-      pt.convergence_lag += t - all_clear;
+      convergence_lag += t - all_clear;
 
       const auto exec = cluster.execution();
-      pt.txs += exec.size();
       pt.checker_clean = pt.checker_clean &&
                          analysis::check_prefix_subsequence_condition(exec).ok() &&
                          cluster.converged();
-      pt.scheduled += cluster.scheduled_submissions();
-      const shard::EngineStats agg = cluster.aggregate_engine_stats();
-      pt.rejected += agg.rejected_submissions;
-      pt.crashes += agg.crashes;
-      pt.catch_up_updates += agg.catch_up_updates;
-      pt.downtime += agg.downtime;
-      pt.recovery_lag += agg.recovery_lag;
-      for (std::size_t n = 0; n < cluster.num_nodes(); ++n) {
-        pt.amnesia_recoveries +=
-            cluster.node(n).broadcast_stats().amnesia_resets;
-      }
+      reg.add_counter("e18.txs", exec.size());
+      merge_into(reg, cluster.metrics());
     }
+
+    // Derived sweep-point gauges, computed from the merged counters so the
+    // registry is self-describing.
+    const std::uint64_t scheduled =
+        reg.counters().at("cluster.scheduled_submissions");
+    const std::uint64_t rejected =
+        reg.counters().at("engine.rejected_submissions");
+    const std::uint64_t crashes = reg.counters().at("engine.crashes");
+    reg.add_counter("e18.crash_events_requested",
+                    static_cast<std::uint64_t>(crash_events));
+    reg.add_counter("e18.runs", runs);
+    reg.add_counter("e18.checker_clean", pt.checker_clean ? 1 : 0);
+    reg.set_gauge("e18.availability",
+                  scheduled == 0 ? 1.0
+                                 : 1.0 - static_cast<double>(rejected) /
+                                             static_cast<double>(scheduled));
+    reg.set_gauge("e18.mean_recovery_lag",
+                  crashes == 0 ? 0.0
+                               : reg.gauges().at("engine.recovery_lag") /
+                                     static_cast<double>(crashes));
+    reg.set_gauge("e18.mean_convergence_lag",
+                  convergence_lag / static_cast<double>(runs));
+    pt.metrics_json = reg.to_json();
     points.push_back(pt);
   }
 
-  const std::size_t runs = std::size(kSeeds);
   std::printf("{\n  \"experiment\": \"e18_crash_recovery\",\n");
   std::printf("  \"horizon\": %.1f, \"nodes\": 4, \"seeds\": %zu,\n", kHorizon,
               runs);
   std::printf("  \"points\": [\n");
   for (std::size_t i = 0; i < points.size(); ++i) {
     const Point& p = points[i];
-    const double availability =
-        p.scheduled == 0
-            ? 1.0
-            : 1.0 - static_cast<double>(p.rejected) /
-                        static_cast<double>(p.scheduled);
-    const double mean_lag =
-        p.crashes == 0 ? 0.0
-                       : p.recovery_lag / static_cast<double>(p.crashes);
-    std::printf(
-        "    {\"crash_events_requested\": %d, \"crashes\": %llu, "
-        "\"amnesia_recoveries\": %llu, \"txs\": %llu, "
-        "\"scheduled_submissions\": %llu, \"rejected_submissions\": %llu, "
-        "\"availability\": %.4f, \"total_downtime\": %.2f, "
-        "\"mean_recovery_lag\": %.3f, \"catch_up_updates\": %llu, "
-        "\"mean_convergence_lag\": %.3f, \"checker_clean\": %s}%s\n",
-        p.crash_events, static_cast<unsigned long long>(p.crashes),
-        static_cast<unsigned long long>(p.amnesia_recoveries),
-        static_cast<unsigned long long>(p.txs),
-        static_cast<unsigned long long>(p.scheduled),
-        static_cast<unsigned long long>(p.rejected), availability, p.downtime,
-        mean_lag, static_cast<unsigned long long>(p.catch_up_updates),
-        p.convergence_lag / static_cast<double>(runs),
-        p.checker_clean ? "true" : "false",
-        i + 1 < points.size() ? "," : "");
+    std::printf("    {\"crash_events_requested\": %d, \"checker_clean\": %s,\n",
+                p.crash_events, p.checker_clean ? "true" : "false");
+    std::printf("     \"metrics\":\n");
+    print_indented(p.metrics_json, "      ");
+    std::printf("\n    }%s\n", i + 1 < points.size() ? "," : "");
   }
   std::printf("  ]\n}\n");
   return 0;

@@ -81,7 +81,7 @@ int main() {
   // The audit with a complete prefix: its report equals the true total.
   const auto audit = cluster.submit_now(0, bk::Request::audit());
   std::printf("audit (saw %zu/%llu transactions) reports bank total: $%s\n",
-              audit.prefix.size(),
+              audit.prefix.count(),
               static_cast<unsigned long long>(cluster.total_originated() - 1),
               audit.external_actions[0].subject.c_str());
   std::printf("true bank total: $%lld\n",

@@ -25,7 +25,17 @@ struct Scenario {
   sim::CrashSchedule crashes;
   bool causal_broadcast = true;
   double anti_entropy_interval = 0.5;
+  /// Bounded anti-entropy repair: cap on wire payloads per repair reply
+  /// (0 = unlimited; see net::BroadcastOptions::max_repairs_per_message).
+  std::size_t max_repairs_per_message = 0;
+  /// Prune repair-store entries every peer already holds (O(window) store;
+  /// incompatible with amnesia crash schedules — Cluster validates).
+  bool prune_repair_store = false;
   std::size_t checkpoint_interval = 32;
+  /// Geometric checkpoint bound per node (0 = keep every snapshot).
+  std::size_t max_checkpoints = 0;
+  /// Fold cluster-stable log prefixes into the base state ([SL]).
+  bool compaction = false;
   /// Structured event tracing (obs/); disabled by default so existing
   /// scenarios run with the null-tracer fast path.
   obs::TraceOptions trace;
@@ -42,7 +52,11 @@ struct Scenario {
     cfg.crashes = crashes;
     cfg.broadcast.causal = causal_broadcast;
     cfg.broadcast.anti_entropy_interval = anti_entropy_interval;
+    cfg.broadcast.max_repairs_per_message = max_repairs_per_message;
+    cfg.broadcast.prune_repair_store = prune_repair_store;
     cfg.checkpoint_interval = checkpoint_interval;
+    cfg.max_checkpoints = max_checkpoints;
+    cfg.compaction = compaction;
     cfg.trace = trace;
     cfg.seed = seed;
     return cfg;

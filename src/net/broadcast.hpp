@@ -32,6 +32,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/prefix.hpp"
 #include "net/broadcast_stats.hpp"
 #include "obs/tracer.hpp"
 #include "sim/network.hpp"
@@ -51,6 +52,19 @@ struct BroadcastOptions {
   sim::Time anti_entropy_interval = 0.5;
   /// Uniform jitter added to each period so nodes don't gossip in lockstep.
   sim::Time anti_entropy_jitter = 0.1;
+  /// Cap on wire payloads per repair reply; 0 = unlimited. A capped reply
+  /// is flagged truncated and the requester immediately re-digests, so
+  /// repair after a long partition proceeds in bounded batches instead of
+  /// one giant burst. Every batch extends the requester's contiguous
+  /// prefix, so the continuation chain terminates; a lost batch falls back
+  /// to the periodic digest.
+  std::size_t max_repairs_per_message = 0;
+  /// Drop repair-store entries every live peer is known (via received
+  /// digests) to already hold — the store then tracks the repair *window*
+  /// instead of all history. Incompatible with amnesia recovery, which
+  /// relies on peers retaining everything an amnesiac node may re-request
+  /// and on the node's own complete stable outbox (Cluster validates).
+  bool prune_repair_store = false;
 };
 
 /// One endpoint of the cluster-wide broadcast. `Payload` is the application
@@ -135,6 +149,48 @@ class ReliableBroadcast {
     return delivered_count_;
   }
 
+  /// Per-origin counts of the contiguously MERGED prefix: seqs 1..k of each
+  /// origin have been delivered to the application here. In causal mode the
+  /// delivery vector is exactly that; in non-causal mode delivery can outrun
+  /// sequence order (delivered_count_ may count {1,2,5}), so the contiguous
+  /// received prefix is the honest bound. The stability machinery
+  /// (compaction, serializable promises) must use THIS, not
+  /// delivered_vector(): "I merged everything m issued" is a statement about
+  /// the contiguous prefix, and using a mere count lets a low-timestamp
+  /// straggler arrive below a compaction cut.
+  const std::vector<std::uint64_t>& merged_prefix() const {
+    return options_.causal ? delivered_count_ : contiguous_have_;
+  }
+
+  /// The delivered set as an interned prefix reference (core/prefix.hpp),
+  /// produced in O(#nodes). Causal mode delivers per-origin contiguously,
+  /// so the delivery vector IS the set; non-causal mode delivers every
+  /// accepted wire immediately, so the set is the contiguous received
+  /// prefix plus the out-of-order extras.
+  core::PrefixRef delivered_prefix() const {
+    core::PrefixRef p;
+    if (options_.causal) {
+      p.contiguous = delivered_count_;
+    } else {
+      p.contiguous = contiguous_have_;
+      for (std::size_t o = 0; o < seen_extra_.size(); ++o) {
+        for (const std::uint64_t seq : seen_extra_[o]) {
+          p.extras.emplace_back(static_cast<sim::NodeId>(o), seq);
+        }
+      }
+      std::sort(p.extras.begin(), p.extras.end());
+    }
+    return p;
+  }
+
+  /// Wire messages currently retained in the repair store (all origins) —
+  /// the E20 memory proxy that pruning keeps O(window).
+  std::size_t store_retained() const {
+    std::size_t n = 0;
+    for (const auto& s : store_) n += s.size();
+    return n;
+  }
+
   /// Total payloads delivered to the application at this node.
   std::uint64_t total_delivered() const {
     std::uint64_t n = 0;
@@ -178,6 +234,10 @@ class ReliableBroadcast {
   /// node's first post-restart digest is all-zeros, so peers resend
   /// everything they hold).
   void restart_amnesia() {
+    // Amnesia recovery needs the complete stable outbox; a pruned store
+    // would have discarded part of it. Cluster config validation rejects
+    // the combination before any node exists.
+    assert(!options_.prune_repair_store);
     std::vector<Wire> outbox = std::move(store_[self_]);
     for (auto& s : store_) s.clear();
     for (auto& e : seen_extra_) e.clear();
@@ -199,6 +259,7 @@ class ReliableBroadcast {
     Wire wire;                 // kWire
     std::vector<std::uint64_t> digest;  // kDigest: sender's contiguous counts
     std::vector<Wire> repairs;          // kRepair
+    bool repair_truncated = false;      // kRepair: capped; more available
     std::uint64_t announce_clock = 0;   // kAnnounce: promise logical
     sim::NodeId announce_node = 0;      // kAnnounce: promise tiebreak
     std::uint64_t announce_issued = 0;  // kAnnounce
@@ -223,6 +284,13 @@ class ReliableBroadcast {
         break;
       case PacketType::kRepair:
         for (const Wire& w : p.repairs) accept(w);
+        // A truncated batch means the sender holds more than the cap let
+        // through; re-digest immediately (with the just-advanced counts)
+        // instead of waiting out the anti-entropy period.
+        if (p.repair_truncated) {
+          ++stats_.continuation_digests;
+          send_digest_to(m.src);
+        }
         break;
       case PacketType::kAnnounce:
         if (announce_fn_) {
@@ -261,11 +329,16 @@ class ReliableBroadcast {
   }
 
   /// Record the wire message in the repair store and advance the contiguous
-  /// "have" summary (which is what digests exchange).
+  /// "have" summary (which is what digests exchange). The store is indexed
+  /// relative to store_base_ (seqs at or below it were pruned because every
+  /// peer already holds them — nobody can ever re-request those).
   void remember(const Wire& w) {
-    auto& store = store_[w.origin];
-    if (w.origin_seq > store.size()) store.resize(w.origin_seq);
-    store[w.origin_seq - 1] = w;
+    const std::uint64_t base = store_base_[w.origin];
+    if (w.origin_seq > base) {
+      auto& store = store_[w.origin];
+      if (w.origin_seq - base > store.size()) store.resize(w.origin_seq - base);
+      store[w.origin_seq - 1 - base] = w;
+    }
     auto& extras = seen_extra_[w.origin];
     extras.insert(w.origin_seq);
     while (extras.contains(contiguous_have_[w.origin] + 1)) {
@@ -345,28 +418,31 @@ class ReliableBroadcast {
     sim::NodeId peer =
         static_cast<sim::NodeId>(rng_.uniform_int(0, static_cast<std::int64_t>(n) - 2));
     if (peer >= self_) ++peer;
-    Packet p;
-    p.type = PacketType::kDigest;
-    p.digest = contiguous_have_;
     ++stats_.anti_entropy_rounds;
-    if (tracer_) {
-      tracer_->record(obs::EventType::kAntiEntropyDigest,
-                      net_.scheduler().now(), self_, 0, 0, peer);
-    }
-    net_.send(self_, peer, std::any(std::move(p)));
+    send_digest_to(peer);
   }
 
   void answer_digest(sim::NodeId requester,
                      const std::vector<std::uint64_t>& have) {
+    if (options_.prune_repair_store) note_peer_have(requester, have);
     Packet reply;
     reply.type = PacketType::kRepair;
-    for (sim::NodeId origin = 0; origin < store_.size(); ++origin) {
+    const std::size_t cap = options_.max_repairs_per_message;
+    for (sim::NodeId origin = 0;
+         origin < store_.size() && !reply.repair_truncated; ++origin) {
       const std::uint64_t their = origin < have.size() ? have[origin] : 0;
       // Send everything we hold above the requester's contiguous prefix.
-      // (They may hold some of it as extras; duplicates are dropped.)
-      for (std::uint64_t seq = their + 1; seq <= contiguous_have_[origin];
-           ++seq) {
-        reply.repairs.push_back(store_[origin][seq - 1]);
+      // (They may hold some of it as extras; duplicates are dropped. An
+      // out-of-date digest may ask below our pruned base — by the pruning
+      // invariant the requester already has those, so start at the base.)
+      for (std::uint64_t seq = std::max(their, store_base_[origin]) + 1;
+           seq <= contiguous_have_[origin]; ++seq) {
+        if (cap != 0 && reply.repairs.size() >= cap) {
+          reply.repair_truncated = true;
+          ++stats_.repairs_truncated;
+          break;
+        }
+        reply.repairs.push_back(store_[origin][seq - 1 - store_base_[origin]]);
       }
     }
     if (reply.repairs.empty()) return;
@@ -377,6 +453,47 @@ class ReliableBroadcast {
                       reply.repairs.size());
     }
     net_.send(self_, requester, std::any(std::move(reply)));
+  }
+
+  /// One digest to one peer (periodic rounds and repair continuations).
+  void send_digest_to(sim::NodeId peer) {
+    Packet p;
+    p.type = PacketType::kDigest;
+    p.digest = contiguous_have_;
+    if (tracer_) {
+      tracer_->record(obs::EventType::kAntiEntropyDigest,
+                      net_.scheduler().now(), self_, 0, 0, peer);
+    }
+    net_.send(self_, peer, std::any(std::move(p)));
+  }
+
+  /// Pruning bookkeeping: fold a received digest into the per-peer floor
+  /// (element-wise max — digests can arrive out of order) and discard every
+  /// store entry at or below min over live floors. Whatever is pruned, every
+  /// peer has acknowledged holding, so no future digest can request it.
+  void note_peer_have(sim::NodeId peer, const std::vector<std::uint64_t>& have) {
+    auto& floor = peer_have_[peer];
+    if (floor.size() < have.size()) floor.resize(have.size(), 0);
+    for (std::size_t o = 0; o < have.size(); ++o) {
+      floor[o] = std::max(floor[o], have[o]);
+    }
+    for (std::size_t origin = 0; origin < store_.size(); ++origin) {
+      std::uint64_t keep_from = contiguous_have_[origin];
+      for (sim::NodeId p = 0; p < peer_have_.size(); ++p) {
+        if (p == self_) continue;
+        const auto& ph = peer_have_[p];
+        keep_from = std::min(keep_from, origin < ph.size() ? ph[origin] : 0);
+      }
+      if (keep_from > store_base_[origin]) {
+        const std::uint64_t drop = keep_from - store_base_[origin];
+        auto& store = store_[origin];
+        store.erase(store.begin(),
+                    store.begin() + static_cast<std::ptrdiff_t>(
+                                        std::min<std::uint64_t>(drop, store.size())));
+        store_base_[origin] = keep_from;
+        stats_.store_pruned += drop;
+      }
+    }
   }
 
   sim::Network& net_;
@@ -396,8 +513,17 @@ class ReliableBroadcast {
   /// where they coincide; in non-causal mode delivery may outrun it).
   std::vector<std::uint64_t> contiguous_have_ =
       std::vector<std::uint64_t>(delivered_count_.size(), 0);
-  /// Repair store: every wire message received, per origin, by seq.
+  /// Repair store: wire messages received, per origin; store_[o][i] holds
+  /// seq store_base_[o] + i + 1 (the base is 0 unless pruning is on).
   std::vector<std::vector<Wire>> store_;
+  /// Seqs pruned from the front of each origin's store (every peer holds
+  /// them). Only advances when options_.prune_repair_store is set.
+  std::vector<std::uint64_t> store_base_ =
+      std::vector<std::uint64_t>(store_.size(), 0);
+  /// Per-peer pruning floors: the largest contiguous counts each peer has
+  /// ever digested to us (element-wise max; monotone).
+  std::vector<std::vector<std::uint64_t>> peer_have_ =
+      std::vector<std::vector<std::uint64_t>>(store_.size());
   /// Received-but-not-contiguous sequence numbers per origin.
   std::vector<std::unordered_set<std::uint64_t>> seen_extra_;
   /// Causal-mode holding buffer.

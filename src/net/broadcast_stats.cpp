@@ -12,6 +12,11 @@ std::string BroadcastStats::summary() const {
      << " dup=" << duplicates_dropped << " buffered=" << causally_buffered
      << " ae_rounds=" << anti_entropy_rounds
      << " ae_repairs=" << anti_entropy_repairs;
+  if (repairs_truncated > 0 || store_pruned > 0) {
+    os << " truncated=" << repairs_truncated
+       << " continuations=" << continuation_digests
+       << " pruned=" << store_pruned;
+  }
   if (rounds_skipped_down > 0 || amnesia_resets > 0) {
     os << " down_rounds=" << rounds_skipped_down
        << " amnesia_resets=" << amnesia_resets
@@ -28,6 +33,9 @@ void BroadcastStats::export_to(obs::MetricsRegistry& reg,
   reg.add_counter(prefix + ".causally_buffered", causally_buffered);
   reg.add_counter(prefix + ".anti_entropy_rounds", anti_entropy_rounds);
   reg.add_counter(prefix + ".anti_entropy_repairs", anti_entropy_repairs);
+  reg.add_counter(prefix + ".repairs_truncated", repairs_truncated);
+  reg.add_counter(prefix + ".continuation_digests", continuation_digests);
+  reg.add_counter(prefix + ".store_pruned", store_pruned);
   reg.add_counter(prefix + ".rounds_skipped_down", rounds_skipped_down);
   reg.add_counter(prefix + ".amnesia_resets", amnesia_resets);
   reg.add_counter(prefix + ".outbox_replays", outbox_replays);

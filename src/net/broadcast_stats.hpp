@@ -19,6 +19,12 @@ struct BroadcastStats {
   std::uint64_t causally_buffered = 0; ///< Arrivals parked awaiting deps.
   std::uint64_t anti_entropy_rounds = 0;   ///< Digests sent.
   std::uint64_t anti_entropy_repairs = 0;  ///< Payloads resent to peers.
+  std::uint64_t repairs_truncated = 0;     ///< Repair replies capped by
+                                           ///< max_repairs_per_message.
+  std::uint64_t continuation_digests = 0;  ///< Digests sent immediately on
+                                           ///< receiving a truncated batch.
+  std::uint64_t store_pruned = 0;          ///< Repair-store entries dropped
+                                           ///< because every peer holds them.
   std::uint64_t rounds_skipped_down = 0;   ///< Gossip ticks while crashed.
   std::uint64_t amnesia_resets = 0;        ///< Volatile-state wipes (restarts).
   std::uint64_t outbox_replays = 0;        ///< Own stable payloads re-accepted

@@ -39,6 +39,10 @@ class Cluster {
     sim::Network::Config network;
     net::BroadcastOptions broadcast;
     std::size_t checkpoint_interval = 32;
+    /// Bound on state snapshots per node: above it, UpdateLog thins
+    /// checkpoints geometrically (dense near the tail, sparse near the
+    /// base) so memory is O(log n) snapshots. 0 keeps every snapshot.
+    std::size_t max_checkpoints = 0;
     /// Discard obsolete information ([SL]): fold cluster-stable log
     /// prefixes into the base state.
     bool compaction = false;
@@ -58,6 +62,18 @@ class Cluster {
   };
 
   explicit Cluster(Config config) : config_(config), master_rng_(config.seed) {
+    // Repair-store pruning discards wire messages every peer acknowledged;
+    // amnesia recovery relies on peers retaining everything an amnesiac
+    // node may re-request, so the combination would break repair. Reject it
+    // up front rather than asserting deep inside the broadcast layer.
+    if (config_.broadcast.prune_repair_store) {
+      for (const sim::CrashEvent& ev : config_.crashes.events()) {
+        if (ev.mode == sim::RecoveryMode::kAmnesia) {
+          throw std::invalid_argument(
+              "prune_repair_store is incompatible with amnesia recovery");
+        }
+      }
+    }
     if (config_.trace.enabled) {
       tracer_ = std::make_unique<obs::Tracer>(config_.trace.ring_capacity);
       lifecycle_ = std::make_unique<obs::LifecycleTracker>(config_.num_nodes);
@@ -94,7 +110,8 @@ class Cluster {
       nodes_.push_back(std::make_unique<NodeT>(
           static_cast<core::NodeId>(i), *network_, config.num_nodes,
           config.broadcast, config.checkpoint_interval,
-          master_rng_.fork_seed(), config.compaction, tracer_.get()));
+          master_rng_.fork_seed(), config.compaction, tracer_.get(),
+          config.max_checkpoints));
     }
     for (auto& n : nodes_) n->start();
     for (const sim::CrashEvent& ev : config_.crashes.events()) {
@@ -189,8 +206,20 @@ class Cluster {
     return total;
   }
 
+  /// Maps (origin, 1-based broadcast seq) to that broadcast's timestamp:
+  /// origin o's seq-th broadcast is its (seq-1)-th originated record. This
+  /// is the lazy half of prefix interning — Records carry O(#nodes)
+  /// references (core::PrefixRef); only the analysis layer, through this
+  /// resolver, ever materializes the O(history) timestamp sets.
+  core::PrefixRef::Resolver prefix_resolver() const {
+    return [this](core::NodeId origin, std::uint64_t origin_seq) {
+      return nodes_.at(origin)->originated().at(origin_seq - 1).ts;
+    };
+  }
+
   /// Assemble the formal execution: all transactions from all origins in
-  /// global timestamp order, prefixes mapped from timestamps to indices.
+  /// global timestamp order, interned prefixes expanded (via
+  /// prefix_resolver) and mapped from timestamps to indices.
   core::Execution<App> execution() const {
     // Collect (timestamp -> record) across nodes; std::map orders by ts.
     std::map<core::Timestamp, const typename NodeT::Record*> by_ts;
@@ -203,6 +232,7 @@ class Cluster {
     std::size_t next = 0;
     for (const auto& [ts, rec] : by_ts) index_of.emplace(ts, next++);
 
+    const core::PrefixRef::Resolver resolve = prefix_resolver();
     core::Execution<App> exec;
     for (const auto& [ts, rec] : by_ts) {
       core::TxInstance<App> tx;
@@ -212,9 +242,10 @@ class Cluster {
       tx.request = rec->request;
       tx.update = rec->update;
       tx.external_actions = rec->external_actions;
-      tx.prefix.reserve(rec->prefix.size());
-      for (const core::Timestamp& pts : rec->prefix) {
-        tx.prefix.push_back(index_of.at(pts));
+      const std::vector<core::Timestamp> pts = rec->prefix.expand(resolve);
+      tx.prefix.reserve(pts.size());
+      for (const core::Timestamp& p : pts) {
+        tx.prefix.push_back(index_of.at(p));
       }
       exec.append(std::move(tx));
     }
@@ -240,6 +271,7 @@ class Cluster {
       agg.redone_updates += s.redone_updates;
       agg.checkpoints_taken += s.checkpoints_taken;
       agg.checkpoints_invalidated += s.checkpoints_invalidated;
+      agg.checkpoints_thinned += s.checkpoints_thinned;
       agg.entries_folded += s.entries_folded;
       agg.crashes += s.crashes;
       agg.recoveries += s.recoveries;
@@ -281,6 +313,20 @@ class Cluster {
     reg.add_counter("cluster.scheduled_submissions", scheduled_submissions_);
     reg.add_counter("cluster.updates_originated", total_originated());
     reg.set_gauge("cluster.sim_time", scheduler_.now());
+    // Retention footprint (the E20 O(window)-vs-O(history) proxies): log
+    // entries and state snapshots at the engine, wire messages in the
+    // repair stores, and prefix slots across all originated records.
+    std::size_t entries = 0, checkpoints = 0, store = 0, slots = 0;
+    for (const auto& n : nodes_) {
+      entries += n->entries_retained();
+      checkpoints += n->checkpoints_retained();
+      store += n->repair_store_retained();
+      slots += n->prefix_slots_retained();
+    }
+    reg.add_counter("retained.log_entries", entries);
+    reg.add_counter("retained.checkpoints", checkpoints);
+    reg.add_counter("retained.repair_store", store);
+    reg.add_counter("retained.prefix_slots", slots);
     if (tracer_) {
       reg.add_counter("trace.events_recorded", tracer_->recorded());
       reg.add_counter("trace.events_evicted", tracer_->evicted());

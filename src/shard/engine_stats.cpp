@@ -13,6 +13,9 @@ std::string EngineStats::summary() const {
      << " redone=" << redone_updates << " ckpt=" << checkpoints_taken
      << " ckpt_inval=" << checkpoints_invalidated
      << " folded=" << entries_folded;
+  if (checkpoints_thinned > 0) {
+    os << " ckpt_thinned=" << checkpoints_thinned;
+  }
   if (crashes > 0) {
     os << " crashes=" << crashes << " recoveries=" << recoveries
        << " rejected=" << rejected_submissions
@@ -32,6 +35,7 @@ void EngineStats::export_to(obs::MetricsRegistry& reg,
   reg.add_counter(prefix + ".checkpoints_taken", checkpoints_taken);
   reg.add_counter(prefix + ".checkpoints_invalidated",
                   checkpoints_invalidated);
+  reg.add_counter(prefix + ".checkpoints_thinned", checkpoints_thinned);
   reg.add_counter(prefix + ".entries_folded", entries_folded);
   reg.add_counter(prefix + ".crashes", crashes);
   reg.add_counter(prefix + ".recoveries", recoveries);

@@ -22,6 +22,9 @@ struct EngineStats {
                                      ///< from checkpoints).
   std::uint64_t checkpoints_taken = 0;
   std::uint64_t checkpoints_invalidated = 0;
+  std::uint64_t checkpoints_thinned = 0;  ///< Snapshots dropped by the
+                                          ///< geometric max_checkpoints bound
+                                          ///< (UpdateLog), not by mid-inserts.
   std::uint64_t entries_folded = 0;  ///< Compaction ([SL]): discarded entries.
 
   // Crash/recovery (E18). A submission reaching a down node is *rejected*,

@@ -24,6 +24,7 @@
 
 #include "core/execution.hpp"
 #include "core/model.hpp"
+#include "core/prefix.hpp"
 #include "core/timestamp.hpp"
 #include "net/broadcast.hpp"
 #include "obs/tracer.hpp"
@@ -52,9 +53,12 @@ class Node {
     core::NodeId origin = 0;
     sim::Time real_time = 0.0;
     Request request;
-    /// Timestamps of every transaction merged here at decision time — the
-    /// prefix subsequence (paper section 3.1).
-    std::vector<core::Timestamp> prefix;
+    /// The prefix subsequence (paper section 3.1): every transaction merged
+    /// here at decision time, interned as per-origin delivered counts
+    /// (core/prefix.hpp) — O(#nodes) per record instead of O(history).
+    /// Expand via Cluster::prefix_resolver() to recover the explicit
+    /// timestamp set.
+    core::PrefixRef prefix;
     Update update;
     std::vector<core::ExternalAction> external_actions;
     /// Mixed-mode: true if this ran with the serializable (complete-prefix)
@@ -66,10 +70,10 @@ class Node {
   Node(core::NodeId id, sim::Network& network, std::size_t cluster_size,
        net::BroadcastOptions broadcast_options, std::size_t checkpoint_interval,
        std::uint64_t seed, bool enable_compaction = false,
-       obs::Tracer* tracer = nullptr)
+       obs::Tracer* tracer = nullptr, std::size_t max_checkpoints = 0)
       : id_(id),
         clock_(id),
-        log_(checkpoint_interval),
+        log_(checkpoint_interval, max_checkpoints),
         peer_announcements_(cluster_size),
         enable_compaction_(enable_compaction),
         tracer_(tracer),
@@ -102,11 +106,11 @@ class Node {
     rec.real_time = now;
     rec.request = request;
     // The decision part observes the current merged state; its prefix
-    // subsequence is exactly the set of updates merged so far (including
-    // any compacted-away prefix — folding changes storage, not knowledge).
-    rec.prefix = folded_ts_;
-    const auto retained = log_.known_timestamps();
-    rec.prefix.insert(rec.prefix.end(), retained.begin(), retained.end());
+    // subsequence is exactly the set of updates merged so far — which is
+    // the set the broadcast layer has delivered, interned in O(#nodes).
+    // Compaction needs no extra bookkeeping: folding changes storage, not
+    // knowledge, and the delivered counts already cover folded entries.
+    rec.prefix = broadcast_.delivered_prefix();
     core::DecisionResult<Update> decision = App::decide(request, log_.state());
     rec.update = std::move(decision.update);
     rec.external_actions = std::move(decision.external_actions);
@@ -221,7 +225,6 @@ class Node {
     catching_up_ = true;
     if (mode == sim::RecoveryMode::kAmnesia) {
       log_.reset_to_initial();
-      folded_ts_.clear();
       for (auto& a : peer_announcements_) a = Announcement{};
       // Clears volatile broadcast state, then replays the stable outbox
       // (re-merging our own updates into the fresh log via on_deliver).
@@ -248,6 +251,22 @@ class Node {
   std::uint64_t updates_known() const { return log_.total_merged(); }
   /// Log entries currently retained (the storage compaction saves).
   std::size_t entries_retained() const { return log_.size(); }
+  /// Wire messages held in the broadcast repair store (pruning shrinks it).
+  std::size_t repair_store_retained() const {
+    return broadcast_.store_retained();
+  }
+  /// State snapshots held by the merge engine (max_checkpoints bounds it).
+  std::size_t checkpoints_retained() const {
+    return log_.checkpoints_retained();
+  }
+  /// Prefix slots retained across every originated record — the E20
+  /// memory proxy that interning keeps O(#records * #nodes) instead of
+  /// O(#records * history).
+  std::size_t prefix_slots_retained() const {
+    std::size_t n = 0;
+    for (const Record& r : originated_) n += r.prefix.slots();
+    return n;
+  }
 
  private:
   struct PendingSerial {
@@ -321,7 +340,12 @@ class Node {
   void maybe_compact() {
     const auto [own_logical, own_node] = promise();
     core::Timestamp stable{own_logical, own_node};
-    const auto& delivered = broadcast_.delivered_vector();
+    // merged_prefix, not delivered_vector: only a contiguous per-origin
+    // prefix proves "everything m issued by then is merged here" (the
+    // non-causal delivery count can include later seqs while an earlier,
+    // lower-timestamped one is still in flight — folding past it would
+    // let an arrival land below the compaction cut).
+    const auto& delivered = broadcast_.merged_prefix();
     for (core::NodeId m = 0; m < peer_announcements_.size(); ++m) {
       if (m == id_) continue;
       const Announcement& a = peer_announcements_[m];
@@ -329,11 +353,9 @@ class Node {
       stable = std::min(stable, a.promise);
     }
     if (!(log_.base_cut() < stable)) return;
-    // Remember the folded timestamps: knowledge (prefix recording) must
-    // survive even though the updates' storage is discarded.
-    for (const core::Timestamp& ts : log_.known_timestamps_before(stable)) {
-      folded_ts_.push_back(ts);
-    }
+    // Knowledge (prefix recording) survives even though the updates'
+    // storage is discarded: the interned prefixes reference delivered
+    // counts, which folding never rewinds.
     log_.compact_before(stable);
   }
 
@@ -344,7 +366,10 @@ class Node {
   /// by that announcement has been merged here. Then the entries with
   /// ts < ts_p form the complete prefix of position ts_p, now and forever.
   bool promises_cover(const core::Timestamp& ts_p) const {
-    const auto& delivered = broadcast_.delivered_vector();
+    // Contiguous merged prefix for the same reason as maybe_compact: a
+    // complete prefix needs every issued update merged, not merely an
+    // equal count of (possibly later) ones.
+    const auto& delivered = broadcast_.merged_prefix();
     for (core::NodeId m = 0; m < peer_announcements_.size(); ++m) {
       if (m == id_) continue;
       const Announcement& a = peer_announcements_[m];
@@ -369,12 +394,11 @@ class Node {
     rec.real_time = p.enqueue_time;  // initiation time (timed executions)
     rec.request = p.request;
     rec.ts = p.reserved_ts;
-    // The complete prefix: exactly the merged entries with ts < ts_p
-    // (compacted entries are all below any live reservation: our own
-    // promise pins the stability point at or below ts_p).
-    rec.prefix = folded_ts_;
-    const auto retained = log_.known_timestamps_before(p.reserved_ts);
-    rec.prefix.insert(rec.prefix.end(), retained.begin(), retained.end());
+    // The complete prefix: exactly the merged entries with ts < ts_p. The
+    // interned reference records everything delivered plus the reserved cut;
+    // expansion filters to timestamps below it (core::PrefixRef::cut).
+    rec.prefix = broadcast_.delivered_prefix();
+    rec.prefix.cut = p.reserved_ts;
     const State view = log_.state_before(p.reserved_ts);
     core::DecisionResult<Update> decision = App::decide(p.request, view);
     rec.update = std::move(decision.update);
@@ -403,8 +427,6 @@ class Node {
   sim::Time restart_time_ = 0.0;
   std::uint64_t catch_up_target_ = 0;
   bool enable_compaction_ = false;
-  /// Timestamps of compacted-away entries, in order (prefix bookkeeping).
-  std::vector<core::Timestamp> folded_ts_;
   obs::Tracer* tracer_ = nullptr;  ///< optional execution tracing
   sim::Scheduler* sched_;
   net::ReliableBroadcast<Envelope> broadcast_;

@@ -52,15 +52,29 @@ class UpdateLog {
     Update update;
   };
 
+  /// A state snapshot: `state` is the fold of the first `pos` retained
+  /// entries over the base. Explicit positions (instead of the old implicit
+  /// j*interval scheme) are what let compaction shift snapshots in place
+  /// and the geometric mode keep a sparse set.
+  struct Checkpoint {
+    std::size_t pos = 0;
+    State state;
+  };
+
   /// `checkpoint_interval` = number of log entries between state snapshots;
   /// 0 disables checkpoints (every mid-insert replays from the base — the
-  /// naive strategy, kept for the E10 ablation).
-  explicit UpdateLog(std::size_t checkpoint_interval = 32)
+  /// naive strategy, kept for the E10 ablation). `max_checkpoints` bounds
+  /// the snapshot count: when exceeded, snapshots are geometrically thinned
+  /// (dense near the tail, sparse near the base), keeping O(log n) `State`
+  /// copies instead of O(n/interval); 0 keeps every snapshot.
+  explicit UpdateLog(std::size_t checkpoint_interval = 32,
+                     std::size_t max_checkpoints = 0)
       : checkpoint_interval_(checkpoint_interval),
+        max_checkpoints_(max_checkpoints),
         base_(App::initial()),
         state_(base_) {
     // Checkpoint 0 is always the base state.
-    checkpoints_.push_back(base_);
+    checkpoints_.push_back(Checkpoint{0, base_});
   }
 
   /// Merge an entry, preserving timestamp order. Duplicate timestamps are
@@ -100,7 +114,7 @@ class UpdateLog {
     trace(obs::EventType::kMergeUndo, ts, displaced);
     entries_.insert(pos_it, std::move(entry));
     invalidate_checkpoints_after(pos);
-    recompute_from_checkpoint(pos);
+    recompute_from_checkpoint();
     trace(obs::EventType::kMergeRedo, ts, entries_.size() - pos);
     return pos;
   }
@@ -162,24 +176,28 @@ class UpdateLog {
       base_cut_ = cut;
       return 0;
     }
-    for (std::size_t i = 0; i < n; ++i) App::apply(entries_[i].update, base_);
+    // Advance the base from the newest snapshot at or below the fold point
+    // — O(entries since that snapshot), not O(folded prefix).
+    std::size_t j = checkpoints_.size() - 1;
+    while (checkpoints_[j].pos > n) --j;
+    base_ = std::move(checkpoints_[j].state);
+    for (std::size_t i = checkpoints_[j].pos; i < n; ++i) {
+      App::apply(entries_[i].update, base_);
+    }
     entries_.erase(entries_.begin(), entries_.begin() + n);
     base_cut_ = cut;
     folded_count_ += n;
     stats_.entries_folded += n;
-    // Rebuild checkpoints over the retained suffix.
-    checkpoints_.clear();
-    checkpoints_.push_back(base_);
-    State s = base_;
-    for (std::size_t i = 0; i < entries_.size(); ++i) {
-      App::apply(entries_[i].update, s);
-      if (checkpoint_interval_ != 0 &&
-          (i + 1) % checkpoint_interval_ == 0) {
-        checkpoints_.push_back(s);
-      }
+    // Snapshots above the fold point still describe valid suffix states —
+    // shift their positions instead of rebuilding them by replay.
+    std::vector<Checkpoint> kept;
+    kept.push_back(Checkpoint{0, base_});
+    for (Checkpoint& cp : checkpoints_) {
+      if (cp.pos <= n) continue;  // folded into (or below) the new base
+      kept.push_back(Checkpoint{cp.pos - n, std::move(cp.state)});
     }
+    checkpoints_ = std::move(kept);
     // state_ is unchanged by folding (same updates, same order).
-    assert(s == state_);
     return n;
   }
 
@@ -195,8 +213,11 @@ class UpdateLog {
     folded_count_ = 0;
     state_ = base_;
     checkpoints_.clear();
-    checkpoints_.push_back(base_);
+    checkpoints_.push_back(Checkpoint{0, base_});
   }
+
+  /// State snapshots currently held (>= 1: the base is always one).
+  std::size_t checkpoints_retained() const { return checkpoints_.size(); }
 
   /// Entries folded into the base so far.
   std::size_t folded_count() const { return folded_count_; }
@@ -210,17 +231,12 @@ class UpdateLog {
   /// checkpoint at or before the cut.
   State state_before(const core::Timestamp& ts) const {
     const std::size_t cut = index_of_first_at_or_after(ts);
-    std::size_t start = 0;
-    State s = base_;
-    if (checkpoint_interval_ != 0) {
-      const std::size_t j =
-          std::min(cut / checkpoint_interval_, checkpoints_.size() - 1);
-      start = j * checkpoint_interval_;
-      s = checkpoints_[j];
-    } else {
-      s = base_;
+    std::size_t j = checkpoints_.size() - 1;
+    while (checkpoints_[j].pos > cut) --j;
+    State s = checkpoints_[j].state;
+    for (std::size_t i = checkpoints_[j].pos; i < cut; ++i) {
+      App::apply(entries_[i].update, s);
     }
-    for (std::size_t i = start; i < cut; ++i) App::apply(entries_[i].update, s);
     return s;
   }
 
@@ -251,24 +267,20 @@ class UpdateLog {
 
   void maybe_checkpoint() {
     if (checkpoint_interval_ == 0) return;
-    if (entries_.size() % checkpoint_interval_ == 0) {
-      checkpoints_.push_back(state_);
+    if (entries_.size() - checkpoints_.back().pos >= checkpoint_interval_) {
+      checkpoints_.push_back(Checkpoint{entries_.size(), state_});
       ++stats_.checkpoints_taken;
       trace(obs::EventType::kCheckpointTake, entries_.back().ts,
             checkpoints_.size() - 1);
+      thin_checkpoints();
     }
   }
 
   /// Drop snapshots that cover positions > pos (their prefix changed).
   void invalidate_checkpoints_after(std::size_t pos) {
-    if (checkpoint_interval_ == 0) {
-      checkpoints_.resize(1);
-      return;
-    }
-    // checkpoints_[j] = state after the first j*interval entries; valid while
-    // j*interval <= pos.
-    const std::size_t keep = pos / checkpoint_interval_ + 1;
-    if (checkpoints_.size() > keep) {
+    std::size_t keep = checkpoints_.size();
+    while (keep > 1 && checkpoints_[keep - 1].pos > pos) --keep;
+    if (keep < checkpoints_.size()) {
       stats_.checkpoints_invalidated += checkpoints_.size() - keep;
       trace(obs::EventType::kCheckpointInvalidate, entries_[pos].ts,
             checkpoints_.size() - keep);
@@ -276,38 +288,61 @@ class UpdateLog {
     }
   }
 
-  /// Rebuild state_ by replaying from the nearest snapshot at or before
-  /// `pos`; also re-takes checkpoints passed on the way.
-  void recompute_from_checkpoint(std::size_t pos) {
-    std::size_t start = 0;
-    if (checkpoint_interval_ != 0) {
-      const std::size_t j = std::min(pos / checkpoint_interval_,
-                                     checkpoints_.size() - 1);
-      start = j * checkpoint_interval_;
-      state_ = checkpoints_[j];
-      checkpoints_.resize(j + 1);
-    } else {
-      state_ = base_;
-    }
+  /// Rebuild state_ by replaying from the newest surviving snapshot (at or
+  /// below the insertion point after invalidation); also re-takes
+  /// checkpoints passed on the way.
+  void recompute_from_checkpoint() {
+    const std::size_t start = checkpoints_.back().pos;
+    state_ = checkpoints_.back().state;
+    std::size_t last_cp = start;
     for (std::size_t i = start; i < entries_.size(); ++i) {
       App::apply(entries_[i].update, state_);
       ++stats_.redone_updates;
-      if (checkpoint_interval_ != 0 && (i + 1) % checkpoint_interval_ == 0) {
-        checkpoints_.push_back(state_);
+      if (checkpoint_interval_ != 0 &&
+          (i + 1) - last_cp >= checkpoint_interval_) {
+        checkpoints_.push_back(Checkpoint{i + 1, state_});
+        last_cp = i + 1;
         ++stats_.checkpoints_taken;
+        thin_checkpoints();
       }
     }
   }
 
+  /// Geometric bounded-count mode: once the snapshot count exceeds
+  /// max_checkpoints_, walk from the newest snapshot toward the base and
+  /// keep only snapshots whose gap to the last kept one is at least
+  /// `interval`, doubling the required gap per kept snapshot. Recent
+  /// positions (where mid-inserts land) stay densely covered; O(log n)
+  /// snapshots survive overall. The base (pos 0) is always kept.
+  void thin_checkpoints() {
+    if (max_checkpoints_ == 0 || checkpoints_.size() <= max_checkpoints_) {
+      return;
+    }
+    std::vector<Checkpoint> kept;
+    kept.push_back(std::move(checkpoints_.back()));
+    std::size_t gap = std::max<std::size_t>(checkpoint_interval_, 1);
+    for (std::size_t i = checkpoints_.size() - 1; i-- > 1;) {
+      if (kept.back().pos - checkpoints_[i].pos >= gap) {
+        kept.push_back(std::move(checkpoints_[i]));
+        gap *= 2;
+      } else {
+        ++stats_.checkpoints_thinned;
+      }
+    }
+    kept.push_back(std::move(checkpoints_.front()));
+    std::reverse(kept.begin(), kept.end());
+    checkpoints_ = std::move(kept);
+  }
+
   std::size_t checkpoint_interval_;
+  std::size_t max_checkpoints_;
   /// Folded prefix: the state of every discarded entry, and the timestamp
   /// below which nothing can ever arrive again.
   State base_;
   core::Timestamp base_cut_{};
   std::size_t folded_count_ = 0;
   std::vector<Entry> entries_;
-  /// checkpoints_[j] = state after the first j*checkpoint_interval_ entries.
-  std::vector<State> checkpoints_;
+  std::vector<Checkpoint> checkpoints_;
   State state_;
   EngineStats stats_;
   // Optional execution tracing (obs/): off is one branch per merge.

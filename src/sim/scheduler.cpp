@@ -1,8 +1,6 @@
 #include "sim/scheduler.hpp"
 
-#include <algorithm>
 #include <cassert>
-#include <stdexcept>
 
 namespace sim {
 
@@ -25,22 +23,19 @@ Scheduler::EventId Scheduler::schedule_at(Time t, Action action) {
 bool Scheduler::cancel(EventId id) {
   if (id == 0 || id >= next_id_) return false;
   // Only record ids that might still be pending.
-  cancelled_.push_back(id);
-  cancelled_dirty_ = true;
+  cancelled_.insert(id);
   // We cannot know cheaply whether the event already ran; callers use the
   // return value only as a hint. Track liveness conservatively by probing.
   return true;
 }
 
 bool Scheduler::is_cancelled(EventId id) {
-  if (cancelled_.empty()) return false;
-  if (cancelled_dirty_) {
-    std::sort(cancelled_.begin(), cancelled_.end());
-    cancelled_.erase(std::unique(cancelled_.begin(), cancelled_.end()),
-                     cancelled_.end());
-    cancelled_dirty_ = false;
-  }
-  return std::binary_search(cancelled_.begin(), cancelled_.end(), id);
+  const auto it = cancelled_.find(id);
+  if (it == cancelled_.end()) return false;
+  // Each event is popped at most once, so this tombstone is spent: drop it
+  // to keep the set proportional to pending cancellations.
+  cancelled_.erase(it);
+  return true;
 }
 
 bool Scheduler::step() {

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <functional>
 #include <queue>
+#include <unordered_set>
 #include <vector>
 
 #include "sim/delay.hpp"
@@ -88,10 +89,12 @@ class Scheduler {
   };
 
   // Cancelled events stay in the heap and are skipped on pop; `cancelled_`
-  // holds their ids until then. This keeps cancel() O(log n) amortized.
+  // holds their ids until then (erased when the tombstone is consumed, so
+  // the set tracks *pending* cancellations, not history). Hash lookup keeps
+  // both cancel() and the per-pop check O(1) — cancel-heavy chaos runs used
+  // to pay O(log cancelled) per pop re-sorting a vector.
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
-  std::vector<EventId> cancelled_;  // sorted on demand
-  bool cancelled_dirty_ = false;
+  std::unordered_set<EventId> cancelled_;
   std::uint64_t next_seq_ = 0;
   EventId next_id_ = 1;
   Time now_ = 0.0;

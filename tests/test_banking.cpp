@@ -164,7 +164,7 @@ TEST_P(BankingCluster, AuditAtQuiescenceSeesTrueTotal) {
   cluster.run_until(w.duration);
   cluster.settle();
   const auto& rec = cluster.submit_now(0, Request::audit());
-  EXPECT_EQ(rec.prefix.size(), cluster.total_originated() - 1);
+  EXPECT_EQ(rec.prefix.count(), cluster.total_originated() - 1);
   EXPECT_EQ(rec.external_actions[0].subject,
             std::to_string(cluster.node(0).state().total()));
 }

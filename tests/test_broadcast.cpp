@@ -179,6 +179,86 @@ TEST(Broadcast, GossipOnlyModePropagatesWithoutFlood) {
             0u);
 }
 
+TEST(Broadcast, BoundedRepairConvergesViaContinuationDigests) {
+  // A long partition accumulates 30 missing payloads on each side; with a
+  // cap of 3 per repair reply, recovery proceeds as a chain of truncated
+  // batches and immediate continuation digests instead of one giant burst.
+  sim::Network::Config cfg;
+  cfg.partitions.split_halves(4, 2, 0.0, 10.0);
+  net::BroadcastOptions opts;
+  opts.anti_entropy_interval = 0.5;
+  opts.max_repairs_per_message = 3;
+  Harness h(4, cfg, opts);
+  for (int i = 0; i < 30; ++i) {
+    h.nodes[static_cast<std::size_t>(i % 2)]->broadcast("L" +
+                                                        std::to_string(i));
+    h.nodes[static_cast<std::size_t>(2 + i % 2)]->broadcast(
+        "R" + std::to_string(i));
+  }
+  h.sched.run_until(60.0);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(h.delivered[i].size(), 60u) << "node " << i;
+  }
+  std::uint64_t truncated = 0, continuations = 0;
+  for (const auto& n : h.nodes) {
+    truncated += n->stats().repairs_truncated;
+    continuations += n->stats().continuation_digests;
+  }
+  EXPECT_GT(truncated, 0u);
+  EXPECT_GT(continuations, 0u);
+}
+
+TEST(Broadcast, RepairStorePruningTracksTheWindow) {
+  // Without pruning every node retains every wire message forever (the
+  // store IS the history); with pruning, messages every peer has digested
+  // are discarded, so at quiescence the store is (nearly) empty.
+  const auto run = [](bool prune) {
+    net::BroadcastOptions opts;
+    opts.anti_entropy_interval = 0.2;
+    opts.prune_repair_store = prune;
+    Harness h(3, {}, opts);
+    for (int i = 0; i < 40; ++i) {
+      h.nodes[static_cast<std::size_t>(i % 3)]->broadcast(
+          "m" + std::to_string(i));
+    }
+    h.sched.run_until(30.0);
+    std::size_t retained = 0;
+    std::uint64_t pruned = 0;
+    for (const auto& n : h.nodes) {
+      EXPECT_EQ(n->total_delivered(), 40u);
+      retained += n->store_retained();
+      pruned += n->stats().store_pruned;
+    }
+    return std::make_pair(retained, pruned);
+  };
+  const auto [retained_off, pruned_off] = run(false);
+  EXPECT_EQ(retained_off, 3 * 40u);
+  EXPECT_EQ(pruned_off, 0u);
+  const auto [retained_on, pruned_on] = run(true);
+  EXPECT_LT(retained_on, 3 * 40u);
+  EXPECT_GT(pruned_on, 0u);
+}
+
+TEST(Broadcast, PrunedStoreStillRepairsAPartitionedPeer) {
+  // Pruning keys off received digests, so a partitioned peer (which cannot
+  // digest) implicitly pins the store: after the heal everything it lacks
+  // is still repairable.
+  sim::Network::Config cfg;
+  cfg.partitions.split_halves(3, 1, 0.0, 8.0);  // {0} vs {1, 2}
+  net::BroadcastOptions opts;
+  opts.anti_entropy_interval = 0.3;
+  opts.prune_repair_store = true;
+  Harness h(3, cfg, opts);
+  for (int i = 0; i < 12; ++i) {
+    h.nodes[static_cast<std::size_t>(1 + i % 2)]->broadcast(
+        "p" + std::to_string(i));
+  }
+  h.sched.run_until(40.0);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(h.delivered[i].size(), 12u) << "node " << i;
+  }
+}
+
 TEST(Broadcast, DeliveredVectorTracksPerOriginCounts) {
   net::BroadcastOptions opts;
   opts.anti_entropy_interval = 0.0;

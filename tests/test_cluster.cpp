@@ -116,14 +116,30 @@ TEST(Cluster, NodeSubmitRecordsPrefixAndExternalActions) {
   auto sc = harness::lan(2);
   shard::Cluster<Air> cluster(sc.cluster_config<Air>(31));
   const auto& rec1 = cluster.submit_now(0, Request::request(1));
-  EXPECT_TRUE(rec1.prefix.empty());
+  EXPECT_EQ(rec1.prefix.count(), 0u);
   EXPECT_TRUE(rec1.external_actions.empty());
   const auto& rec2 = cluster.submit_now(0, Request::move_up());
-  ASSERT_EQ(rec2.prefix.size(), 1u);
-  EXPECT_EQ(rec2.prefix[0], rec1.ts);
+  ASSERT_EQ(rec2.prefix.count(), 1u);
+  const auto pts = rec2.prefix.expand(cluster.prefix_resolver());
+  ASSERT_EQ(pts.size(), 1u);
+  EXPECT_EQ(pts[0], rec1.ts);
   ASSERT_EQ(rec2.external_actions.size(), 1u);
   EXPECT_EQ(rec2.external_actions[0].kind, "grant-seat");
   EXPECT_LT(rec1.ts, rec2.ts);
+}
+
+TEST(Cluster, PruneRepairStoreRejectsAmnesiaRecovery) {
+  // Pruning discards wire messages every peer acknowledged; an amnesiac
+  // restart relies on peers (and its own outbox) retaining everything, so
+  // the combination is rejected at construction.
+  auto bad = harness::crashy_node(3, 2.0, 4.0, sim::RecoveryMode::kAmnesia);
+  bad.prune_repair_store = true;
+  EXPECT_THROW(shard::Cluster<Air>(bad.cluster_config<Air>(7)),
+               std::invalid_argument);
+  // Durable recovery keeps its log; pruning remains safe.
+  auto ok = harness::crashy_node(3, 2.0, 4.0, sim::RecoveryMode::kDurable);
+  ok.prune_repair_store = true;
+  EXPECT_NO_THROW(shard::Cluster<Air>(ok.cluster_config<Air>(7)));
 }
 
 TEST(Cluster, IsolatedNodeStillServesLocally) {

@@ -145,6 +145,71 @@ TEST(UpdateLog, CheckpointsReduceRedoWork) {
   EXPECT_LT(redo_ckpt, redo_naive);
 }
 
+TEST(UpdateLog, CompactionShiftsCheckpointsIncrementally) {
+  Log log(4);
+  for (std::size_t i = 0; i < 20; ++i) {
+    log.insert({Timestamp{i + 1, 0},
+                req(static_cast<apps::airline::Person>(i % 7 + 1))});
+  }
+  // Base + snapshots at 4, 8, 12, 16, 20.
+  EXPECT_EQ(log.checkpoints_retained(), 6u);
+  const auto before = log.state();
+  // Fold ts < 10 (entries 1..9). Snapshots above the fold point must be
+  // shifted, not rebuilt: no redo work is charged for surviving suffix.
+  const auto redo_before = log.stats().redone_updates;
+  EXPECT_EQ(log.compact_before(Timestamp{10, 0}), 9u);
+  EXPECT_EQ(log.stats().redone_updates, redo_before);
+  EXPECT_EQ(log.size(), 11u);
+  EXPECT_EQ(log.folded_count(), 9u);
+  // Base + shifted snapshots formerly at 12, 16, 20 (now 3, 7, 11).
+  EXPECT_EQ(log.checkpoints_retained(), 4u);
+  EXPECT_EQ(log.state(), before);
+  EXPECT_EQ(log.state(), log.recompute_naive());
+  // Merging continues correctly against the shifted snapshots — including
+  // a mid-insert that replays from one of them.
+  log.insert({Timestamp{25, 0}, req(9)});
+  log.insert({Timestamp{15, 1}, cancel(2)});
+  EXPECT_EQ(log.state(), log.recompute_naive());
+  EXPECT_EQ(log.total_merged(), 22u);
+}
+
+TEST(UpdateLog, GeometricThinningBoundsSnapshots) {
+  // max_checkpoints = 4 with interval 4 over 200 tail appends: unbounded
+  // mode would retain ~50 snapshots; geometric thinning keeps a handful,
+  // dense near the tail and sparse near the base.
+  Log log(4, 4);
+  for (std::size_t i = 0; i < 200; ++i) {
+    log.insert({Timestamp{i + 1, 0},
+                req(static_cast<apps::airline::Person>(i % 7 + 1))});
+  }
+  EXPECT_LE(log.checkpoints_retained(), 10u);
+  EXPECT_GT(log.stats().checkpoints_thinned, 0u);
+  EXPECT_EQ(log.state(), log.recompute_naive());
+  // Mid-inserts at early positions fall back to the sparse snapshots (or
+  // the base) and must still converge to the naive replay.
+  log.insert({Timestamp{10, 1}, cancel(3)});
+  EXPECT_EQ(log.state(), log.recompute_naive());
+  log.insert({Timestamp{150, 1}, up(5)});
+  EXPECT_EQ(log.state(), log.recompute_naive());
+}
+
+TEST(UpdateLog, ThinningComposesWithCompaction) {
+  Log log(4, 4);
+  for (std::size_t i = 0; i < 100; ++i) {
+    log.insert({Timestamp{i + 1, 0},
+                req(static_cast<apps::airline::Person>(i % 5 + 1))});
+  }
+  EXPECT_GT(log.compact_before(Timestamp{60, 0}), 0u);
+  EXPECT_EQ(log.state(), log.recompute_naive());
+  for (std::size_t i = 100; i < 160; ++i) {
+    log.insert({Timestamp{i + 1, 0},
+                req(static_cast<apps::airline::Person>(i % 5 + 1))});
+  }
+  log.insert({Timestamp{80, 1}, cancel(2)});
+  EXPECT_EQ(log.state(), log.recompute_naive());
+  EXPECT_LE(log.checkpoints_retained(), 10u);
+}
+
 TEST(UpdateLog, StatsCountCheckpoints) {
   Log log(4);
   for (std::size_t i = 0; i < 12; ++i) {
