@@ -39,18 +39,6 @@ struct Point {
   std::string metrics_json;
 };
 
-/// Merge `src` into `acc`: counters and gauges sum element-wise, so the
-/// accumulated registry reads as "totals across all seeds of this point".
-void merge_into(obs::MetricsRegistry& acc, const obs::MetricsRegistry& src) {
-  for (const auto& [name, value] : src.counters()) {
-    acc.add_counter(name, value);
-  }
-  for (const auto& [name, value] : src.gauges()) {
-    const auto it = acc.gauges().find(name);
-    acc.set_gauge(name, (it == acc.gauges().end() ? 0.0 : it->second) + value);
-  }
-}
-
 /// Indent an embedded JSON document so the output stays readable.
 void print_indented(const std::string& json, const char* pad) {
   std::printf("%s", pad);
@@ -107,7 +95,7 @@ int main() {
                          analysis::check_prefix_subsequence_condition(exec).ok() &&
                          cluster.converged();
       reg.add_counter("e18.txs", exec.size());
-      merge_into(reg, cluster.metrics());
+      reg.merge_from(cluster.metrics());
     }
 
     // Derived sweep-point gauges, computed from the merged counters so the

@@ -4,8 +4,13 @@
 // transaction index but says nothing about *how* the system got there —
 // which merges, drops, crashes and repairs surrounded the offending update.
 // This pass joins the two observability worlds: it maps each violating
-// transaction index back to its globally-unique timestamp and dumps the
-// tracer's ring window around every event that mentions that update.
+// transaction index back to its globally-unique timestamp, prints the
+// update's CAUSAL CHAIN (originate -> fan-out -> per-replica deliver ->
+// merge, joined by obs::CausalGraph over the retained ring), its
+// provenance timeline when a LifecycleTracker is supplied, and finally the
+// ring window around every event that mentions the update — chain first,
+// because "which path did this update take" is the question a violated
+// theorem poses.
 #pragma once
 
 #include <cstddef>
@@ -14,6 +19,8 @@
 
 #include "analysis/report.hpp"
 #include "core/execution.hpp"
+#include "obs/causal.hpp"
+#include "obs/lifecycle.hpp"
 #include "obs/tracer.hpp"
 
 namespace analysis {
@@ -21,25 +28,44 @@ namespace analysis {
 /// Render the trace context for every transaction a report's violations
 /// attribute (CheckReport::violating_txs). Empty string when the report is
 /// clean. `context` = events of surrounding context kept on each side of
-/// every matching trace event (obs::Tracer::slice_around).
+/// every matching trace event (obs::Tracer::slice_around). `lifecycle`,
+/// when non-null, adds the update's per-replica provenance timeline —
+/// lifecycle state covers the whole run, so it survives ring eviction.
 template <core::Application App>
 std::string trace_dump(const CheckReport& report,
                        const core::Execution<App>& exec,
-                       const obs::Tracer& tracer, std::size_t context = 6) {
+                       const obs::Tracer& tracer, std::size_t context = 6,
+                       const obs::LifecycleTracker* lifecycle = nullptr) {
   if (report.ok()) return {};
   std::ostringstream os;
   os << "trace context for "
      << (report.title().empty() ? "check" : report.title()) << ":\n";
+  const std::vector<obs::Event> ring = tracer.ring();
+  const obs::CausalGraph graph = obs::CausalGraph::build(ring);
   for (std::size_t i : report.violating_txs()) {
     if (i >= exec.size()) continue;
     const core::Timestamp& ts = exec.tx(i).ts;
     os << "-- tx " << i << " ts=" << ts.logical << ":" << ts.node << " --\n";
+    const std::vector<std::size_t> chain =
+        graph.update_chain(ts.logical, ts.node);
+    if (!chain.empty()) {
+      os << "causal chain (" << chain.size() << " events in ring):\n";
+      for (const std::size_t k : chain) {
+        os << "  [" << k << "] " << obs::serialize({ring[k]});
+      }
+    }
+    if (lifecycle != nullptr) {
+      obs::ProvenanceTimeline tl;
+      if (lifecycle->timeline(ts.logical, ts.node, tl)) {
+        os << "provenance:\n" << tl.render();
+      }
+    }
     const std::vector<obs::Event> slice =
         tracer.slice_around(ts.logical, ts.node, context);
     if (slice.empty()) {
       os << "(no events for this update retained in the trace ring)\n";
     } else {
-      os << obs::serialize(slice);
+      os << "ring window:\n" << obs::serialize(slice);
     }
   }
   return os.str();

@@ -28,7 +28,13 @@ inline constexpr sim::NodeId kControlNode = 0xffffffffu;
 enum class EventType : std::uint8_t {
   // sim/scheduler — one per dispatched event (a = scheduler EventId).
   kSchedulerDispatch,
-  // sim/network — message fates (a = message id, b = destination).
+  // sim/network — message fates. Send-side events (send and send-time
+  // drops) are recorded at the source: node = src, a = dst. Delivery-side
+  // events (deliver, and the delivery-time crash drop) are recorded at the
+  // destination: node = dst, a = src — so each node's program order
+  // contains the deliveries it observed. b = message id for every fate of
+  // a message the network accepted (unique per send, joins send→deliver);
+  // b = 0 for send-time drops, where no message ever entered the network.
   kNetSend,
   kNetDeliver,
   kNetDropPartition,
@@ -73,6 +79,9 @@ struct Event {
   sim::NodeId ts_node = 0;
   std::uint64_t a = 0;  ///< Type-specific detail (see EventType comments).
   std::uint64_t b = 0;  ///< Second detail slot.
+
+  /// Field-wise equality — what the trace-diff bisector compares.
+  friend bool operator==(const Event&, const Event&) = default;
 };
 
 }  // namespace obs

@@ -1,14 +1,51 @@
 #include "obs/lifecycle.hpp"
 
 #include <algorithm>
+#include <sstream>
 
 namespace obs {
+
+std::string ProvenanceTimeline::render() const {
+  std::ostringstream os;
+  os << "update " << ts_logical << ':' << ts_node;
+  if (originate_at >= 0.0) {
+    os << " originated at t=" << originate_at << " on node " << ts_node
+       << ", flood fan-out " << fanout << '\n';
+  } else {
+    os << " (originate not observed)\n";
+  }
+  for (std::size_t n = 0; n < per_node.size(); ++n) {
+    const Cell& c = per_node[n];
+    os << "  node " << n << ':';
+    if (c.deliver < 0.0 && c.merge < 0.0) {
+      os << " never delivered\n";
+      continue;
+    }
+    const auto rel = [this](double t) {
+      return originate_at >= 0.0 ? t - originate_at : t;
+    };
+    const char* unit = originate_at >= 0.0 ? "+" : "t=";
+    if (c.deliver >= 0.0) os << " deliver " << unit << rel(c.deliver);
+    if (c.merge >= 0.0) {
+      os << " merge " << unit << rel(c.merge);
+      if (c.displaced > 0) os << " (displaced " << c.displaced << ")";
+    } else {
+      os << " merge MISSING";
+    }
+    os << '\n';
+  }
+  return os.str();
+}
 
 std::size_t LifecycleTracker::index_of(const TsKey& key) {
   const auto [it, inserted] = index_.emplace(key, index_.size());
   if (inserted) {
     originate_at_.push_back(-1.0);
     merge_count_.push_back(0);
+    deliver_count_.push_back(0);
+    fanout_.push_back(0);
+    remote_seen_.push_back(0);
+    cells_.resize(cells_.size() + cluster_size_);
   }
   return it->second;
 }
@@ -21,14 +58,59 @@ void LifecycleTracker::on_event(const Event& e) {
         originate_at_[idx] = e.time;
         originate_time_.emplace(TsKey{e.ts_logical, e.ts_node}, e.time);
       }
+      // The delivery path sees only (origin, origin_seq); register the
+      // join key here, where both namings of the update are in hand.
+      seq_index_.emplace(std::make_pair(static_cast<std::uint64_t>(e.node),
+                                        e.a),
+                         idx);
       break;
     }
+    case EventType::kBroadcastSend: {
+      // Flood fan-out at the origin: a = origin_seq, b = peers reached.
+      const auto it = seq_index_.find(
+          std::make_pair(static_cast<std::uint64_t>(e.node), e.a));
+      if (it != seq_index_.end()) {
+        fanout_[it->second] += e.b;
+        fanout_degree_.add(static_cast<double>(e.b));
+      }
+      break;
+    }
+    case EventType::kBroadcastDeliver:
+      note_deliver(e);
+      break;
     case EventType::kMergeTailAppend:
     case EventType::kMergeMidInsert:
       note_merge(e);
       break;
     default:
       break;
+  }
+}
+
+void LifecycleTracker::note_deliver(const Event& e) {
+  if (e.node >= cluster_size_) return;
+  // node = deliverer, a = origin, b = origin_seq.
+  const auto it = seq_index_.find(std::make_pair(e.a, e.b));
+  if (it == seq_index_.end()) return;
+  const std::size_t idx = it->second;
+  auto& bits = delivered_[e.node];
+  const std::size_t word = idx / 64, bit = idx % 64;
+  if (word >= bits.size()) bits.resize(word + 1, 0);
+  if (bits[word] & (1ull << bit)) return;  // amnesia re-delivery: known
+  bits[word] |= 1ull << bit;
+
+  cells_[idx * cluster_size_ + e.node].deliver = e.time;
+  const double origin_t = originate_at_[idx];
+  if (origin_t >= 0.0) {
+    const double lat = e.time - origin_t;
+    deliver_latency_.add(lat);
+    if (e.node != e.a && !remote_seen_[idx]) {
+      remote_seen_[idx] = 1;
+      first_deliver_.add(lat);
+    }
+    if (++deliver_count_[idx] == cluster_size_) last_deliver_.add(lat);
+  } else {
+    ++deliver_count_[idx];
   }
 }
 
@@ -41,9 +123,15 @@ void LifecycleTracker::note_merge(const Event& e) {
   if (bits[word] & (1ull << bit)) return;  // re-merge after amnesia: known
   bits[word] |= 1ull << bit;
 
+  ProvenanceTimeline::Cell& cell = cells_[idx * cluster_size_ + e.node];
+  cell.merge = e.time;
   if (e.type == EventType::kMergeMidInsert) {
+    cell.displaced = e.a;
     total_churn_ += e.a;
     churn_.add(static_cast<double>(e.a));
+    if (originate_at_[idx] >= 0.0) {
+      mid_insert_latency_.add(e.time - originate_at_[idx]);
+    }
   } else {
     churn_.add(0.0);
   }
@@ -53,6 +141,22 @@ void LifecycleTracker::note_merge(const Event& e) {
       latency_.add(e.time - originate_at_[idx]);
     }
   }
+}
+
+bool LifecycleTracker::timeline(std::uint64_t ts_logical, sim::NodeId ts_node,
+                                ProvenanceTimeline& out) const {
+  const auto it = index_.find({ts_logical, ts_node});
+  if (it == index_.end()) return false;
+  const std::size_t idx = it->second;
+  out.ts_logical = ts_logical;
+  out.ts_node = ts_node;
+  out.originate_at = originate_at_[idx];
+  out.fanout = fanout_[idx];
+  out.per_node.assign(cells_.begin() + static_cast<std::ptrdiff_t>(
+                                           idx * cluster_size_),
+                      cells_.begin() + static_cast<std::ptrdiff_t>(
+                                           (idx + 1) * cluster_size_));
+  return true;
 }
 
 std::uint64_t LifecycleTracker::divergence() const {
@@ -82,6 +186,15 @@ void LifecycleTracker::export_to(MetricsRegistry& reg) const {
   reg.histogram("lifecycle.replication_latency", Histogram::latency()) =
       latency_;
   reg.histogram("lifecycle.undo_churn", Histogram::counts()) = churn_;
+  reg.histogram("causal.deliver_latency", Histogram::latency()) =
+      deliver_latency_;
+  reg.histogram("causal.first_deliver_latency", Histogram::latency()) =
+      first_deliver_;
+  reg.histogram("causal.last_deliver_latency", Histogram::latency()) =
+      last_deliver_;
+  reg.histogram("causal.mid_insert_latency", Histogram::latency()) =
+      mid_insert_latency_;
+  reg.histogram("causal.fanout_degree", Histogram::counts()) = fanout_degree_;
 }
 
 }  // namespace obs

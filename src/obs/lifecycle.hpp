@@ -19,6 +19,7 @@
 
 #include <cstdint>
 #include <map>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -28,10 +29,35 @@
 
 namespace obs {
 
+/// One update's replication history, replica by replica: when it
+/// originated, how wide the flood fan-out was, and — per node — when the
+/// broadcast first delivered it, when the log merged it, and how many
+/// already-merged entries that merge displaced. Times are absolute
+/// simulated time; negative means "not (yet) observed".
+struct ProvenanceTimeline {
+  std::uint64_t ts_logical = 0;
+  sim::NodeId ts_node = 0;  ///< Also the originating node.
+  double originate_at = -1.0;
+  std::uint64_t fanout = 0;  ///< Datagrams sent by the origin's flood.
+
+  struct Cell {
+    double deliver = -1.0;  ///< First broadcast delivery at this node.
+    double merge = -1.0;    ///< First merge into this node's log.
+    std::uint64_t displaced = 0;  ///< Entries displaced by that merge.
+  };
+  std::vector<Cell> per_node;  ///< Indexed by node id.
+
+  /// Human-readable table, one line per node, latencies relative to the
+  /// originate time. What the checker dump prints as provenance.
+  std::string render() const;
+};
+
 class LifecycleTracker : public Sink {
  public:
   explicit LifecycleTracker(std::size_t cluster_size)
-      : cluster_size_(cluster_size), merged_(cluster_size) {}
+      : cluster_size_(cluster_size),
+        merged_(cluster_size),
+        delivered_(cluster_size) {}
 
   void on_event(const Event& e) override;
 
@@ -49,7 +75,24 @@ class LifecycleTracker : public Sink {
   /// now. O(nodes^2 * updates/64); computed on demand.
   std::uint64_t divergence() const;
 
-  /// Fold everything into the registry under "lifecycle.*".
+  /// Replication-path latency breakdowns (also exported as "causal.*"):
+  /// originate -> first delivery at each replica (origin's local delivery
+  /// contributes 0), originate -> first REMOTE delivery, originate -> last
+  /// replica's delivery, and originate -> merge for out-of-order
+  /// (mid-insert) merges — the tail the paper's reordering machinery pays.
+  const Histogram& deliver_latency() const { return deliver_latency_; }
+  const Histogram& first_deliver_latency() const { return first_deliver_; }
+  const Histogram& last_deliver_latency() const { return last_deliver_; }
+  const Histogram& mid_insert_latency() const { return mid_insert_latency_; }
+  /// Datagrams per flood fan-out burst (broadcast.send's peer count).
+  const Histogram& fanout_degree() const { return fanout_degree_; }
+
+  /// Reconstruct the provenance timeline of one update. Returns false if
+  /// the stream never mentioned it.
+  bool timeline(std::uint64_t ts_logical, sim::NodeId ts_node,
+                ProvenanceTimeline& out) const;
+
+  /// Fold everything into the registry under "lifecycle.*" / "causal.*".
   void export_to(MetricsRegistry& reg) const;
 
  private:
@@ -57,18 +100,34 @@ class LifecycleTracker : public Sink {
 
   /// Dense index for an update's timestamp (assigned on first sighting).
   std::size_t index_of(const TsKey& key);
+  void note_deliver(const Event& e);
   void note_merge(const Event& e);
 
   std::size_t cluster_size_;
   std::map<TsKey, std::size_t> index_;       ///< ts -> dense update index.
+  /// (origin, origin_seq) -> dense index: broadcast.send/deliver events
+  /// carry the sequence pair, not the timestamp, so this is the join key
+  /// the delivery path uses.
+  std::map<std::pair<std::uint64_t, std::uint64_t>, std::size_t> seq_index_;
   std::vector<double> originate_at_;         ///< by update index (-1 unseen).
   std::map<TsKey, double> originate_time_;   ///< also keyed by ts for stats.
   std::vector<std::uint64_t> merge_count_;   ///< distinct nodes merged, by idx.
+  std::vector<std::uint64_t> deliver_count_; ///< distinct nodes delivered.
+  std::vector<std::uint64_t> fanout_;        ///< flood datagrams, by idx.
+  std::vector<char> remote_seen_;            ///< first remote deliver done.
   std::vector<std::vector<std::uint64_t>> merged_;  ///< per node: bitset by idx.
+  std::vector<std::vector<std::uint64_t>> delivered_;  ///< same, deliveries.
+  /// Per-(update, node) timeline cells, flat at idx * cluster_size + node.
+  std::vector<ProvenanceTimeline::Cell> cells_;
   std::uint64_t fully_replicated_ = 0;
   std::uint64_t total_churn_ = 0;
   Histogram latency_ = Histogram::latency();
   Histogram churn_ = Histogram::counts();
+  Histogram deliver_latency_ = Histogram::latency();
+  Histogram first_deliver_ = Histogram::latency();
+  Histogram last_deliver_ = Histogram::latency();
+  Histogram mid_insert_latency_ = Histogram::latency();
+  Histogram fanout_degree_ = Histogram::counts();
 };
 
 }  // namespace obs

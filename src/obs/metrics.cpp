@@ -102,6 +102,25 @@ void Histogram::add(double v) {
   ++counts_[i];
 }
 
+void Histogram::merge_from(const Histogram& other) {
+  if (bounds_ != other.bounds_) {
+    throw std::invalid_argument("Histogram::merge_from: bounds mismatch");
+  }
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    if (other.min_ < min_) min_ = other.min_;
+    if (other.max_ > max_) max_ = other.max_;
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+}
+
 double Histogram::quantile_bound(double q) const {
   if (count_ == 0) return 0.0;
   const double target = q * static_cast<double>(count_);
@@ -118,6 +137,18 @@ Histogram& MetricsRegistry::histogram(const std::string& name,
   auto it = histograms_.find(name);
   if (it == histograms_.end()) it = histograms_.emplace(name, proto).first;
   return it->second;
+}
+
+void MetricsRegistry::merge_from(const MetricsRegistry& other) {
+  for (const auto& [name, value] : other.counters_) {
+    counters_[name] += value;
+  }
+  for (const auto& [name, value] : other.gauges_) {
+    gauges_[name] += value;
+  }
+  for (const auto& [name, h] : other.histograms_) {
+    histogram(name, Histogram(h.bounds())).merge_from(h);
+  }
 }
 
 std::string MetricsRegistry::to_json() const {

@@ -32,6 +32,11 @@ class Histogram {
 
   void add(double v);
 
+  /// Accumulate another histogram with the same bounds (bucket-wise sum,
+  /// exact count/sum, min/max widened). Throws std::invalid_argument on a
+  /// bounds mismatch.
+  void merge_from(const Histogram& other);
+
   std::uint64_t count() const { return count_; }
   double sum() const { return sum_; }
   double min() const { return count_ == 0 ? 0.0 : min_; }
@@ -74,6 +79,11 @@ class MetricsRegistry {
   /// Insert-or-get; `proto` supplies the bounds on first touch.
   Histogram& histogram(const std::string& name,
                        const Histogram& proto = Histogram::latency());
+
+  /// Accumulate another registry into this one: counters and gauges sum
+  /// (a merged registry reads as "totals across runs"), histograms merge
+  /// bucket-wise. The multi-seed aggregation every sweep bench uses.
+  void merge_from(const MetricsRegistry& other);
 
   const std::map<std::string, std::uint64_t>& counters() const {
     return counters_;

@@ -11,22 +11,38 @@ namespace {
 /// trace_event "tid" for the synthetic control track.
 constexpr long long kControlTid = 1000000;
 
+/// True for the message fates that carry a live flow id: the send opens the
+/// arrow, the delivery (or the delivery-time crash drop — the message
+/// travelled and died at a down destination) closes it. b == 0 means no
+/// message entered the network, so there is nothing to draw.
+bool has_flow(const Event& e) {
+  return e.b != 0 && (e.type == EventType::kNetSend ||
+                      e.type == EventType::kNetDeliver ||
+                      e.type == EventType::kNetDropCrashed);
+}
+
 void emit_event(std::ostream& os, const Event& e) {
   // Crash/restart become a duration slice ("down") on the node's track so
-  // downtime is visible as a solid block; everything else is an instant.
+  // downtime is visible as a solid block; message-fate events with a flow
+  // id become minimal "X" slices (flow arrows can only bind to slices, not
+  // instants); everything else is an instant.
   const char* ph = "i";
   std::string_view name = event_type_name(e.type);
+  const bool flow = has_flow(e);
   if (e.type == EventType::kCrash) {
     ph = "B";
     name = "down";
   } else if (e.type == EventType::kRestart) {
     ph = "E";
     name = "down";
+  } else if (flow) {
+    ph = "X";
   }
   const long long tid =
       e.node == kControlNode ? kControlTid : static_cast<long long>(e.node);
   os << "{\"name\":\"" << name << "\",\"ph\":\"" << ph << "\"";
   if (ph[0] == 'i') os << ",\"s\":\"t\"";
+  if (ph[0] == 'X') os << ",\"dur\":1";
   os << ",\"ts\":" << std::fixed << std::setprecision(3) << e.time * 1e6
      << std::defaultfloat << ",\"pid\":0,\"tid\":" << tid;
   os << ",\"args\":{";
@@ -36,6 +52,18 @@ void emit_event(std::ostream& os, const Event& e) {
   }
   os << "\"ts\":\"" << e.ts_logical << ':' << e.ts_node << "\",\"a\":" << e.a
      << ",\"b\":" << e.b << "}}";
+  if (!flow) return;
+  // The companion flow event, bound to the slice just written by matching
+  // (ts, pid, tid): "s" opens the arrow at the send, "f" (binding to the
+  // enclosing slice, bp=e) lands it on the delivery. The network's unique
+  // message id is the flow id, so arrows pair up exactly like the causal
+  // graph's message edges.
+  const char* fph = e.type == EventType::kNetSend ? "s" : "f";
+  os << ",\n{\"name\":\"msg\",\"ph\":\"" << fph << "\"";
+  if (fph[0] == 'f') os << ",\"bp\":\"e\"";
+  os << ",\"id\":" << e.b << ",\"ts\":" << std::fixed << std::setprecision(3)
+     << e.time * 1e6 << std::defaultfloat << ",\"pid\":0,\"tid\":" << tid
+     << "}";
 }
 
 }  // namespace

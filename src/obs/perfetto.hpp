@@ -4,7 +4,10 @@
 // chrome://tracing): one thread track per node plus a "control" track for
 // cluster-scope events (scheduler dispatch, partition cuts). Most events
 // render as instants; crash→restart windows render as duration slices so a
-// node's downtime is visible as a solid block on its track.
+// node's downtime is visible as a solid block on its track; message fates
+// with a live message id render as minimal slices carrying flow events, so
+// every send→deliver pair draws as an arrow between node tracks (flow id =
+// the network's unique message id, the same key the causal graph joins on).
 //
 // Times are exported in microseconds (trace_event's unit), i.e. simulated
 // seconds * 1e6.

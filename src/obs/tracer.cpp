@@ -1,7 +1,10 @@
 #include "obs/tracer.hpp"
 
 #include <algorithm>
+#include <array>
+#include <charconv>
 #include <sstream>
+#include <string>
 
 namespace obs {
 
@@ -89,12 +92,79 @@ std::vector<Event> Tracer::slice_around(std::uint64_t ts_logical,
 
 std::string serialize(const std::vector<Event>& events) {
   std::ostringstream os;
+  std::array<char, 32> tbuf;
   for (const Event& e : events) {
-    os << event_type_name(e.type) << " t=" << e.time << " n=" << e.node
-       << " ts=" << e.ts_logical << ':' << e.ts_node << " a=" << e.a
-       << " b=" << e.b << '\n';
+    // Shortest decimal that round-trips the exact double — readable AND
+    // lossless, so serialized streams are faithful trace-diff inputs.
+    const auto [end, ec] =
+        std::to_chars(tbuf.data(), tbuf.data() + tbuf.size(), e.time);
+    os << event_type_name(e.type) << " t="
+       << std::string_view(tbuf.data(),
+                           static_cast<std::size_t>(end - tbuf.data()))
+       << " n=" << e.node << " ts=" << e.ts_logical << ':' << e.ts_node
+       << " a=" << e.a << " b=" << e.b << '\n';
   }
   return os.str();
+}
+
+bool event_type_from_name(std::string_view name, EventType& out) {
+  for (std::size_t i = 0; i < kNumEventTypes; ++i) {
+    const auto t = static_cast<EventType>(i);
+    if (event_type_name(t) == name) {
+      out = t;
+      return true;
+    }
+  }
+  return false;
+}
+
+namespace {
+
+/// Consume "<prefix><number>" from the front of `s`; true on success.
+template <typename T>
+bool eat_field(std::string_view& s, std::string_view prefix, T& out) {
+  if (s.substr(0, prefix.size()) != prefix) return false;
+  s.remove_prefix(prefix.size());
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), out);
+  if (ec != std::errc{}) return false;
+  s.remove_prefix(static_cast<std::size_t>(ptr - s.data()));
+  return true;
+}
+
+bool parse_line(std::string_view line, Event& e) {
+  const std::size_t sp = line.find(' ');
+  if (sp == std::string_view::npos) return false;
+  if (!event_type_from_name(line.substr(0, sp), e.type)) return false;
+  std::string_view rest = line.substr(sp);
+  return eat_field(rest, " t=", e.time) && eat_field(rest, " n=", e.node) &&
+         eat_field(rest, " ts=", e.ts_logical) &&
+         eat_field(rest, ":", e.ts_node) && eat_field(rest, " a=", e.a) &&
+         eat_field(rest, " b=", e.b) && rest.empty();
+}
+
+}  // namespace
+
+bool deserialize(std::string_view text, std::vector<Event>& out,
+                 std::size_t* error) {
+  std::size_t line_no = 0;
+  while (!text.empty()) {
+    const std::size_t nl = text.find('\n');
+    const std::string_view line =
+        nl == std::string_view::npos ? text : text.substr(0, nl);
+    text.remove_prefix(nl == std::string_view::npos ? text.size() : nl + 1);
+    if (line.empty()) {  // trailing newline / blank line
+      ++line_no;
+      continue;
+    }
+    Event e;
+    if (!parse_line(line, e)) {
+      if (error != nullptr) *error = line_no;
+      return false;
+    }
+    out.push_back(e);
+    ++line_no;
+  }
+  return true;
 }
 
 }  // namespace obs

@@ -102,8 +102,22 @@ class Tracer {
 };
 
 /// Canonical line-oriented serialization of an event stream: one event per
-/// line, "<name> t=<time> n=<node> ts=<logical>:<node> a=<a> b=<b>". The
-/// determinism regression compares these bytes across same-seed runs.
+/// line, "<name> t=<time> n=<node> ts=<logical>:<node> a=<a> b=<b>". Times
+/// use shortest-round-trip formatting (std::to_chars), so the encoding is
+/// exact: deserialize(serialize(x)) == x field-for-field. The determinism
+/// regression compares these bytes across same-seed runs, and the
+/// trace-diff tool exchanges streams through this format.
 std::string serialize(const std::vector<Event>& events);
+
+/// Inverse of event_type_name. Returns true and sets `out` on a known
+/// name; returns false (out untouched) otherwise.
+bool event_type_from_name(std::string_view name, EventType& out);
+
+/// Parse a serialize()d stream. Returns true and appends the parsed events
+/// to `out` on success; returns false at the first malformed line (events
+/// parsed before it remain appended, `error` — if non-null — gets the
+/// 0-based line number).
+bool deserialize(std::string_view text, std::vector<Event>& out,
+                 std::size_t* error = nullptr);
 
 }  // namespace obs

@@ -89,8 +89,16 @@ class Cluster {
       network_->set_observer([this](sim::NodeId src, sim::NodeId dst,
                                     std::uint64_t id,
                                     sim::Network::MessageFate fate) {
-        tracer_->record(fate_event_type(fate), scheduler_.now(), src, 0, 0,
-                        dst, id);
+        // Send-side fates belong to the source's program order; delivery
+        // and delivery-time crash drops (id != 0: the message travelled)
+        // belong to the destination's — so the causal graph threads each
+        // node's track through the deliveries it actually observed.
+        const obs::EventType type = fate_event_type(fate);
+        const bool at_dst =
+            type == obs::EventType::kNetDeliver ||
+            (type == obs::EventType::kNetDropCrashed && id != 0);
+        tracer_->record(type, scheduler_.now(), at_dst ? dst : src, 0, 0,
+                        at_dst ? src : dst, id);
       });
       // Partition lifecycle markers: cuts are config, not messages, so no
       // component sees them open/heal — mark the boundaries explicitly.

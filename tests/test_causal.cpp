@@ -1,0 +1,417 @@
+// Causal layer (obs/causal.hpp): happens-before graph construction, orphan
+// and cycle detection, per-update chains, ancestry queries, the trace-diff
+// bisector, and the exact serialize/deserialize round trip — unit-tested on
+// hand-built streams, then property-tested over the same randomized chaos
+// and crash-chaos seed ranges the guarantee-stack tiers use: on a COMPLETE
+// stream from a converged run, the graph must be acyclic with zero orphans
+// and every update must have a full originate→deliver→merge chain reaching
+// every replica.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "apps/airline/airline.hpp"
+#include "harness/scenario.hpp"
+#include "harness/workload.hpp"
+#include "obs/causal.hpp"
+#include "obs/lifecycle.hpp"
+#include "obs/tracer.hpp"
+#include "shard/cluster.hpp"
+#include "sim/crash.hpp"
+#include "sim/rng.hpp"
+
+namespace {
+
+namespace al = apps::airline;
+using Air = al::BasicAirline<15, 900, 300>;
+using obs::Event;
+using obs::EventType;
+
+// ------------------------------------------------------------ unit tests --
+
+TEST(CausalGraph, ProgramAndMessageEdges) {
+  // Two sends from node 0, delivered at node 1 (delivery-side events are
+  // recorded at the destination: node = dst, a = src, b = message id).
+  const std::vector<Event> ev = {
+      {EventType::kNetSend, 0.0, 0, 0, 0, 1, 5},
+      {EventType::kNetSend, 0.1, 0, 0, 0, 1, 6},
+      {EventType::kNetDeliver, 0.2, 1, 0, 0, 0, 5},
+      {EventType::kNetDeliver, 0.3, 1, 0, 0, 0, 6},
+  };
+  const obs::CausalGraph g = obs::CausalGraph::build(ev);
+  EXPECT_TRUE(g.validate().ok()) << g.validate().summary();
+  // 0->1 and 2->3 (program), 0->2 and 1->3 (message).
+  EXPECT_EQ(g.edges().size(), 4u);
+  const std::vector<std::size_t> parents = g.parent_edges(3);
+  ASSERT_EQ(parents.size(), 2u);
+  bool program = false, message = false;
+  for (const std::size_t k : parents) {
+    const obs::CausalEdge& e = g.edges()[k];
+    if (e.kind == obs::EdgeKind::kProgram) program = e.from == 2;
+    if (e.kind == obs::EdgeKind::kMessage) message = e.from == 1;
+  }
+  EXPECT_TRUE(program);
+  EXPECT_TRUE(message);
+}
+
+TEST(CausalGraph, DeliveryTimeCrashDropJoinsItsSend) {
+  const std::vector<Event> ev = {
+      {EventType::kNetSend, 0.0, 0, 0, 0, 1, 9},
+      {EventType::kNetDropCrashed, 0.2, 1, 0, 0, 0, 9},
+      // Send-time drop: no message existed (b = 0), so no edge and no
+      // orphan either.
+      {EventType::kNetDropCrashed, 0.3, 0, 0, 0, 1, 0},
+  };
+  const obs::CausalGraph g = obs::CausalGraph::build(ev);
+  EXPECT_TRUE(g.validate().ok()) << g.validate().summary();
+  bool found = false;
+  for (const obs::CausalEdge& e : g.edges()) {
+    if (e.kind == obs::EdgeKind::kMessage) {
+      EXPECT_EQ(e.from, 0u);
+      EXPECT_EQ(e.to, 1u);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(CausalGraph, OrphanNetDeliverDetected) {
+  const std::vector<Event> ev = {
+      {EventType::kNetDeliver, 0.0, 1, 0, 0, 0, 7},
+  };
+  const obs::CausalGraph g = obs::CausalGraph::build(ev);
+  EXPECT_FALSE(g.validate().ok());
+  ASSERT_EQ(g.validate().orphan_net_delivers.size(), 1u);
+  EXPECT_EQ(g.validate().orphan_net_delivers[0], 0u);
+}
+
+TEST(CausalGraph, UpdateChainJoinsOriginateDeliverMerge) {
+  // Update 5:2, origin_seq 1 at node 2: local deliver+merge, then remote
+  // deliver at node 1 whose mid-insert displaces 2 entries (undo + redo).
+  const std::vector<Event> ev = {
+      {EventType::kBroadcastOriginate, 1.0, 2, 5, 2, 1, 0},
+      {EventType::kBroadcastSend, 1.0, 2, 0, 0, 1, 3},
+      {EventType::kBroadcastDeliver, 1.0, 2, 0, 0, 2, 1},
+      {EventType::kMergeTailAppend, 1.0, 2, 5, 2, 0, 0},
+      {EventType::kBroadcastDeliver, 1.4, 1, 0, 0, 2, 1},
+      {EventType::kMergeMidInsert, 1.4, 1, 5, 2, 2, 0},
+      {EventType::kMergeUndo, 1.4, 1, 5, 2, 2, 0},
+      {EventType::kMergeRedo, 1.4, 1, 5, 2, 2, 0},
+  };
+  const obs::CausalGraph g = obs::CausalGraph::build(ev);
+  EXPECT_TRUE(g.validate().ok()) << g.validate().summary();
+
+  const std::vector<std::size_t> chain = g.update_chain(5, 2);
+  EXPECT_EQ(chain, (std::vector<std::size_t>{0, 1, 2, 3, 4, 5, 6, 7}));
+  EXPECT_TRUE(g.update_chain(9, 9).empty());
+
+  // Replicate edges 0->2, 0->4; merge edges 2->3, 4->5.
+  std::size_t replicate = 0, merge = 0;
+  for (const obs::CausalEdge& e : g.edges()) {
+    replicate += e.kind == obs::EdgeKind::kReplicate;
+    merge += e.kind == obs::EdgeKind::kMerge;
+  }
+  EXPECT_EQ(replicate, 2u);
+  EXPECT_EQ(merge, 2u);
+
+  // Path to node 1: originate plus node-1 chain events.
+  EXPECT_EQ(g.path_to_node(5, 2, 1),
+            (std::vector<std::size_t>{0, 4, 5, 6, 7}));
+  // Ancestry of the mid-insert: its deliver (4) and the originate (0).
+  EXPECT_EQ(g.ancestry(5), (std::vector<std::size_t>{0, 4}));
+}
+
+TEST(CausalGraph, OrphanAndUnmergedDetection) {
+  {
+    // A merge with no originate and no deliver anywhere.
+    const std::vector<Event> ev = {
+        {EventType::kMergeTailAppend, 0.0, 1, 5, 2, 0, 0},
+    };
+    const auto issues = obs::CausalGraph::build(ev).validate();
+    EXPECT_EQ(issues.orphan_merges.size(), 1u);
+  }
+  {
+    // A broadcast deliver whose originate is missing.
+    const std::vector<Event> ev = {
+        {EventType::kBroadcastDeliver, 0.0, 1, 0, 0, 2, 1},
+    };
+    const auto issues = obs::CausalGraph::build(ev).validate();
+    EXPECT_EQ(issues.orphan_broadcast_delivers.size(), 1u);
+  }
+  {
+    // Delivered but never merged: the synchronous deliver->merge contract
+    // was broken (or the stream is truncated).
+    const std::vector<Event> ev = {
+        {EventType::kBroadcastOriginate, 0.0, 2, 5, 2, 1, 0},
+        {EventType::kBroadcastDeliver, 0.4, 1, 0, 0, 2, 1},
+    };
+    const auto issues = obs::CausalGraph::build(ev).validate();
+    ASSERT_EQ(issues.unmerged_delivers.size(), 1u);
+    EXPECT_EQ(issues.unmerged_delivers[0], 1u);
+    EXPECT_NE(issues.summary().find("never merged"), std::string::npos);
+  }
+}
+
+TEST(CausalGraph, AmnesiaRedeliveryReMergeIsNotAnOrphan) {
+  // The same update delivered and merged twice at node 1 (stable-outbox
+  // replay after an amnesia restart): the second deliver re-arms the merge
+  // expectation, so the second merge is explained, not orphaned.
+  const std::vector<Event> ev = {
+      {EventType::kBroadcastOriginate, 0.0, 2, 5, 2, 1, 0},
+      {EventType::kBroadcastDeliver, 0.4, 1, 0, 0, 2, 1},
+      {EventType::kMergeTailAppend, 0.4, 1, 5, 2, 0, 0},
+      {EventType::kBroadcastDeliver, 2.0, 1, 0, 0, 2, 1},
+      {EventType::kMergeTailAppend, 2.0, 1, 5, 2, 0, 0},
+  };
+  const obs::CausalGraph g = obs::CausalGraph::build(ev);
+  EXPECT_TRUE(g.validate().ok()) << g.validate().summary();
+}
+
+// ------------------------------------------------------------ trace diff --
+
+TEST(TraceDiff, IdenticalStreamsDoNotDiverge) {
+  const std::vector<Event> a = {
+      {EventType::kNetSend, 0.0, 0, 0, 0, 1, 5},
+      {EventType::kNetDeliver, 0.2, 1, 0, 0, 0, 5},
+  };
+  const obs::TraceDivergence d = obs::trace_diff(a, a);
+  EXPECT_FALSE(d.diverged);
+  EXPECT_NE(obs::divergence_report(d, a, a).find("streams identical"),
+            std::string::npos);
+}
+
+TEST(TraceDiff, ReportsFirstDifferingIndexWithAncestry) {
+  const std::vector<Event> a = {
+      {EventType::kNetSend, 0.0, 0, 0, 0, 1, 5},
+      {EventType::kNetDeliver, 0.2, 1, 0, 0, 0, 5},
+  };
+  std::vector<Event> b = a;
+  b[1].time = 0.3;  // delivery happened later
+  const obs::TraceDivergence d = obs::trace_diff(a, b);
+  ASSERT_TRUE(d.diverged);
+  EXPECT_EQ(d.index, 1u);
+  const std::string report = obs::divergence_report(d, a, b);
+  EXPECT_NE(report.find("first divergence at index 1"), std::string::npos);
+  // The diverging deliver's causal ancestry includes its send.
+  EXPECT_NE(report.find("causal ancestry"), std::string::npos);
+  EXPECT_NE(report.find("net.send"), std::string::npos);
+}
+
+TEST(TraceDiff, StrictPrefixDivergesAtShorterLength) {
+  const std::vector<Event> a = {
+      {EventType::kNetSend, 0.0, 0, 0, 0, 1, 5},
+      {EventType::kNetDeliver, 0.2, 1, 0, 0, 0, 5},
+  };
+  const std::vector<Event> b(a.begin(), a.begin() + 1);
+  const obs::TraceDivergence d = obs::trace_diff(a, b);
+  ASSERT_TRUE(d.diverged);
+  EXPECT_EQ(d.index, 1u);
+  EXPECT_NE(obs::divergence_report(d, a, b).find("(stream ended)"),
+            std::string::npos);
+}
+
+// --------------------------------------------------- serialize round trip --
+
+TEST(TraceSerialize, RoundTripIsExact) {
+  // Doubles with no short decimal representation must survive exactly —
+  // the whole point of shortest-round-trip formatting.
+  std::vector<Event> events = {
+      {EventType::kNetSend, 0.1 + 0.2, 3, 17, 2, 1, 42},
+      {EventType::kMergeMidInsert, 1.0 / 3.0, 1, 9, 0, 3, 0},
+      {EventType::kPartitionOpen, 1e-17, obs::kControlNode, 0, 0, 0, 0},
+  };
+  const std::string text = obs::serialize(events);
+  std::vector<Event> back;
+  ASSERT_TRUE(obs::deserialize(text, back));
+  ASSERT_EQ(back.size(), events.size());
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(back[i], events[i]) << "event " << i;
+  }
+  // And the re-serialization is byte-identical.
+  EXPECT_EQ(obs::serialize(back), text);
+}
+
+TEST(TraceSerialize, DeserializeRejectsMalformedLines) {
+  std::vector<Event> out;
+  std::size_t bad = 0;
+  EXPECT_FALSE(obs::deserialize("nonsense t=0 n=0 ts=0:0 a=0 b=0\n", out,
+                                &bad));
+  EXPECT_EQ(bad, 0u);
+  out.clear();
+  EXPECT_FALSE(obs::deserialize(
+      "net.send t=0 n=0 ts=0:0 a=0 b=0\nnet.send t=oops n=0 ts=0:0 a=0 b=0\n",
+      out, &bad));
+  EXPECT_EQ(bad, 1u);
+  EXPECT_EQ(out.size(), 1u);  // the good line before the bad one survives
+  out.clear();
+  EXPECT_TRUE(obs::deserialize("", out));
+  EXPECT_TRUE(out.empty());
+}
+
+// ------------------------------------------------ chaos property testing --
+
+/// A random partition schedule (same shape as the chaos tier's).
+sim::PartitionSchedule random_partitions(sim::Rng& rng, std::size_t nodes,
+                                         double horizon, int events) {
+  sim::PartitionSchedule ps;
+  for (int e = 0; e < events; ++e) {
+    const double start = rng.uniform(0.0, horizon * 0.8);
+    const double len = rng.uniform(1.0, horizon * 0.4);
+    sim::PartitionEvent ev;
+    ev.start = start;
+    ev.end = start + len;
+    std::vector<sim::NodeId> left, right;
+    for (sim::NodeId n = 0; n < nodes; ++n) {
+      (rng.bernoulli(0.5) ? left : right).push_back(n);
+    }
+    if (left.empty() || right.empty()) continue;
+    ev.groups = {std::move(left), std::move(right)};
+    ps.add(std::move(ev));
+  }
+  return ps;
+}
+
+/// The causal invariants a COMPLETE stream from a converged run must
+/// satisfy, cross-checked against the execution and lifecycle state.
+void expect_causal_invariants(shard::Cluster<Air>& cluster,
+                              const std::vector<Event>& stream,
+                              std::size_t nodes) {
+  ASSERT_TRUE(cluster.converged());
+  const obs::CausalGraph g = obs::CausalGraph::build(stream);
+  EXPECT_EQ(g.num_events(), stream.size());
+
+  // Acyclic with zero orphans: every net.deliver has its send, every
+  // broadcast.deliver its originate, every merge its deliver, and every
+  // deliver its merge.
+  EXPECT_TRUE(g.validate().ok()) << g.validate().summary();
+  for (const obs::CausalEdge& e : g.edges()) {
+    ASSERT_LT(e.from, e.to);  // record order is a topological witness
+  }
+
+  // Every recorded transaction has a complete chain reaching every node.
+  const auto exec = cluster.execution();
+  for (std::size_t i = 0; i < exec.size(); ++i) {
+    const core::Timestamp& ts = exec.tx(i).ts;
+    ASSERT_FALSE(g.update_chain(ts.logical, ts.node).empty())
+        << "tx " << i << " has no causal chain";
+    for (std::size_t n = 0; n < nodes; ++n) {
+      ASSERT_FALSE(
+          g.path_to_node(ts.logical, ts.node, static_cast<sim::NodeId>(n))
+              .empty())
+          << "tx " << i << " has no path to node " << n;
+    }
+  }
+
+  // Lifecycle provenance agrees: every update delivered at and merged by
+  // every replica, with the causal.* histograms fully populated.
+  const obs::LifecycleTracker* lc = cluster.lifecycle();
+  ASSERT_NE(lc, nullptr);
+  EXPECT_EQ(lc->originated(), exec.size());
+  EXPECT_EQ(lc->fully_replicated(), lc->originated());
+  EXPECT_EQ(lc->deliver_latency().count(), nodes * lc->originated());
+  if (nodes > 1) {
+    EXPECT_EQ(lc->first_deliver_latency().count(), lc->originated());
+  }
+  EXPECT_EQ(lc->last_deliver_latency().count(), lc->originated());
+  for (std::size_t i = 0; i < exec.size(); ++i) {
+    const core::Timestamp& ts = exec.tx(i).ts;
+    obs::ProvenanceTimeline tl;
+    ASSERT_TRUE(lc->timeline(ts.logical, ts.node, tl));
+    EXPECT_GE(tl.originate_at, 0.0);
+    ASSERT_EQ(tl.per_node.size(), nodes);
+    for (const obs::ProvenanceTimeline::Cell& c : tl.per_node) {
+      EXPECT_GE(c.deliver, tl.originate_at);
+      EXPECT_GE(c.merge, c.deliver);
+    }
+  }
+
+  // The metrics snapshot carries the causal histograms.
+  const obs::MetricsRegistry reg = cluster.metrics();
+  EXPECT_EQ(reg.histograms().at("causal.deliver_latency").count(),
+            nodes * lc->originated());
+  EXPECT_TRUE(reg.histograms().count("causal.last_deliver_latency"));
+  EXPECT_TRUE(reg.histograms().count("causal.mid_insert_latency"));
+  EXPECT_TRUE(reg.histograms().count("causal.fanout_degree"));
+}
+
+class CausalChaos : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CausalChaos, InvariantsHoldUnderRandomFailures) {
+  sim::Rng rng(GetParam());
+  const auto nodes = static_cast<std::size_t>(rng.uniform_int(2, 6));
+  const double horizon = 25.0;
+
+  harness::Scenario sc;
+  sc.name = "causal-chaos";
+  sc.num_nodes = nodes;
+  sc.delay = sim::Delay::exponential(rng.uniform(0.005, 0.05),
+                                     rng.uniform(0.05, 0.3), 5.0);
+  sc.drop_probability = rng.uniform(0.0, 0.3);
+  sc.partitions = random_partitions(
+      rng, nodes, horizon, static_cast<int>(rng.uniform_int(0, 3)));
+  sc.anti_entropy_interval = rng.uniform(0.2, 0.8);
+  sc.trace.enabled = true;
+
+  shard::Cluster<Air> cluster(sc.cluster_config<Air>(GetParam() ^ 0xc4a0));
+  obs::VectorSink capture;
+  cluster.tracer()->add_sink(&capture);
+  harness::AirlineWorkload w;
+  w.duration = horizon;
+  w.request_rate = rng.uniform(1.0, 5.0);
+  w.mover_rate = rng.uniform(1.0, 6.0);
+  w.move_down_fraction = rng.uniform(0.1, 0.5);
+  w.cancel_fraction = rng.uniform(0.0, 0.3);
+  w.max_persons = 200;
+  harness::drive_airline(cluster, w, GetParam() ^ 0x5eed);
+
+  cluster.run_until(horizon);
+  cluster.settle();
+  expect_causal_invariants(cluster, capture.events(), nodes);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CausalChaos,
+                         ::testing::Range<std::uint64_t>(1000, 1012));
+
+class CausalCrashChaos : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CausalCrashChaos, InvariantsHoldUnderCrashesAndPartitions) {
+  sim::Rng rng(GetParam());
+  const auto nodes = static_cast<std::size_t>(rng.uniform_int(2, 6));
+  const double horizon = 25.0;
+
+  harness::Scenario sc;
+  sc.name = "causal-crash-chaos";
+  sc.num_nodes = nodes;
+  sc.delay = sim::Delay::exponential(rng.uniform(0.005, 0.05),
+                                     rng.uniform(0.05, 0.3), 5.0);
+  sc.drop_probability = rng.uniform(0.0, 0.25);
+  sc.partitions = random_partitions(
+      rng, nodes, horizon, static_cast<int>(rng.uniform_int(0, 3)));
+  sc.crashes = sim::CrashSchedule::random(
+      rng, nodes, horizon, static_cast<int>(rng.uniform_int(1, 4)),
+      /*min_down=*/1.0, /*max_down=*/6.0, /*amnesia_probability=*/0.5);
+  sc.anti_entropy_interval = rng.uniform(0.2, 0.8);
+  sc.trace.enabled = true;
+
+  shard::Cluster<Air> cluster(sc.cluster_config<Air>(GetParam() ^ 0xc4a5));
+  obs::VectorSink capture;
+  cluster.tracer()->add_sink(&capture);
+  harness::AirlineWorkload w;
+  w.duration = horizon;
+  w.request_rate = rng.uniform(1.0, 5.0);
+  w.mover_rate = rng.uniform(1.0, 6.0);
+  w.move_down_fraction = rng.uniform(0.1, 0.5);
+  w.cancel_fraction = rng.uniform(0.0, 0.3);
+  w.max_persons = 200;
+  harness::drive_airline(cluster, w, GetParam() ^ 0x5eed);
+
+  cluster.run_until(horizon);
+  cluster.settle();
+  expect_causal_invariants(cluster, capture.events(), nodes);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CausalCrashChaos,
+                         ::testing::Range<std::uint64_t>(3000, 3012));
+
+}  // namespace

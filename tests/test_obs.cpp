@@ -300,6 +300,40 @@ TEST(ObsEndToEnd, PerfettoExportContainsCrashWindowAndMergeEvents) {
   EXPECT_EQ(os2.str(), json);
 }
 
+TEST(ObsEndToEnd, PerfettoExportDrawsMessageFlows) {
+  obs::VectorSink sink;
+  const auto cluster = make_traced_chaos_cluster(&sink);
+  std::ostringstream os;
+  obs::write_perfetto(sink.events(), os);
+  const std::string json = os.str();
+  // Message fates with a live id render as minimal "X" slices carrying
+  // companion flow events, so send->deliver pairs draw as arrows.
+  EXPECT_NE(json.find("\"name\":\"net.send\",\"ph\":\"X\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"net.deliver\",\"ph\":\"X\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"msg\",\"ph\":\"s\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"msg\",\"ph\":\"f\",\"bp\":\"e\""),
+            std::string::npos);
+  // Flows close at a delivery or delivery-time crash drop; a handful of
+  // messages can still be in flight when the run settles (settle() stops
+  // at convergence, not scheduler exhaustion), so finishes can trail
+  // starts slightly but never exceed them.
+  const auto count_sub = [&json](const std::string& needle) {
+    std::size_t n = 0;
+    for (auto p = json.find(needle); p != std::string::npos;
+         p = json.find(needle, p + 1)) {
+      ++n;
+    }
+    return n;
+  };
+  const std::size_t starts = count_sub("\"ph\":\"s\"");
+  const std::size_t finishes = count_sub("\"ph\":\"f\"");
+  EXPECT_GT(finishes, 0u);
+  EXPECT_LE(finishes, starts);
+  EXPECT_GE(finishes + 64, starts);  // nearly all flows completed
+}
+
 TEST(ObsEndToEnd, TraceStreamIsDeterministic) {
   const auto run = [] {
     obs::VectorSink sink;
@@ -341,6 +375,26 @@ TEST(TraceDump, ViolationDumpsTraceWindowAroundOffendingUpdate) {
   const auto first = dump.find(want.str());
   ASSERT_NE(first, std::string::npos);
   EXPECT_EQ(dump.find(want.str(), first + 1), std::string::npos);
+}
+
+TEST(TraceDump, ViolationPrintsCausalChainAndProvenance) {
+  const auto cluster = make_traced_chaos_cluster();
+  const auto exec = cluster->execution();
+  ASSERT_GT(exec.size(), 0u);
+  analysis::CheckReport report("synthetic");
+  report.add_violation("tx 0: synthetic violation", 0);
+  const std::string dump = analysis::trace_dump(
+      report, exec, *cluster->tracer(), 6, cluster->lifecycle());
+  // The offending update's replication path, not just a ring window.
+  EXPECT_NE(dump.find("causal chain"), std::string::npos);
+  EXPECT_NE(dump.find("broadcast.originate"), std::string::npos);
+  EXPECT_NE(dump.find("ring window:"), std::string::npos);
+  // And the per-replica provenance timeline from the lifecycle tracker.
+  const core::Timestamp& ts = exec.tx(0).ts;
+  std::ostringstream want;
+  want << "provenance:\nupdate " << ts.logical << ':' << ts.node
+       << " originated";
+  EXPECT_NE(dump.find(want.str()), std::string::npos);
 }
 
 TEST(TraceDump, CheckerAttributesViolationsToTxIndices) {
