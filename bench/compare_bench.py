@@ -4,6 +4,7 @@
 Usage:
     compare_bench.py e20 bench/baselines/BENCH_e20.json BENCH_e20.json
     compare_bench.py e10 bench/baselines/BENCH_e10.json BENCH_e10.json
+    compare_bench.py e22 bench/baselines/BENCH_e22.json BENCH_e22.json
 
 The gate is designed to be machine-independent:
 
@@ -19,6 +20,13 @@ The gate is designed to be machine-independent:
   machine-dependent, so the gate compares the checkpointed-vs-naive
   mid-insert *ratios* within one run against the same ratios in the
   baseline run.
+
+* e22 (fault-matrix harness): every emitted number is a deterministic
+  function of (fault mode, seed) — simulated time, never wall-clock — so
+  the gate checks checker_clean exactly (any fault mode leaving the
+  checkers dirty is an instant failure) and the fault/availability
+  counters and lag gauges within the tolerance, allowing intentional
+  workload tweaks without a baseline dance.
 
 Exit status 0 = within tolerance, 1 = regression, 2 = usage/parse error.
 """
@@ -143,6 +151,61 @@ def compare_e10(base, cur, tol):
     return rc
 
 
+E22_COUNTERS = [
+    "e22.txs",
+    "engine.crashes",
+    "engine.recoveries",
+    "broadcast.stale_resets",
+    "broadcast.mid_broadcast_crashes",
+    "engine.rejected_submissions",
+]
+
+E22_GAUGES = [
+    "e22.availability",
+    "e22.mean_recovery_lag",
+    "e22.mean_convergence_lag",
+]
+
+
+def compare_e22(base, cur, tol):
+    rc = 0
+    base_rows = {r["mode"]: r for r in base["rows"]}
+    for row in cur["rows"]:
+        mode = row["mode"]
+        if not row["checker_clean"]:
+            rc |= fail(f"mode={mode} checker_clean is false")
+            continue
+        br = base_rows.get(mode)
+        if br is None:
+            print(f"note: mode={mode} has no baseline row; skipping")
+            continue
+        counters = row["metrics"]["counters"]
+        bcounters = br["metrics"]["counters"]
+        for name in E22_COUNTERS:
+            c, b = counters.get(name, 0), bcounters.get(name, 0)
+            if not within(c, b, tol):
+                rc |= fail(f"mode={mode} {name}: {c} vs baseline {b} "
+                           f"(tol {tol:.0%})")
+            else:
+                print(f"ok: mode={mode} {name}: {c} (baseline {b})")
+        gauges = row["metrics"]["gauges"]
+        bgauges = br["metrics"]["gauges"]
+        for name in E22_GAUGES:
+            g, b = gauges.get(name, 0.0), bgauges.get(name, 0.0)
+            # Simulated-time lags are deterministic but small; give them the
+            # same near-zero slack scale as the counters, shrunk to 0.25.
+            slack = max(abs(b) * tol, 0.25)
+            if abs(g - b) > slack:
+                rc |= fail(f"mode={mode} {name}: {g:.3f} vs baseline "
+                           f"{b:.3f} (slack {slack:.3f})")
+            else:
+                print(f"ok: mode={mode} {name}: {g:.3f} (baseline {b:.3f})")
+    missing = set(base_rows) - {r["mode"] for r in cur["rows"]}
+    if missing:
+        rc |= fail(f"fault modes missing from current run: {sorted(missing)}")
+    return rc
+
+
 def main(argv):
     if len(argv) < 4:
         print(__doc__)
@@ -163,8 +226,10 @@ def main(argv):
         rc = compare_e20(base, cur, tol)
     elif kind == "e10":
         rc = compare_e10(base, cur, tol)
+    elif kind == "e22":
+        rc = compare_e22(base, cur, tol)
     else:
-        print(f"unknown kind {kind!r} (want e10 or e20)")
+        print(f"unknown kind {kind!r} (want e10, e20 or e22)")
         return 2
     print("PASS" if rc == 0 else "FAIL")
     return rc

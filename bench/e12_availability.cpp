@@ -111,7 +111,7 @@ int main() {
         // A client is equally likely to sit near any node; a pinned
         // submission during an active cut would cross it with prob. 1/2
         // in our 2|2 split — count pinned-while-partitioned as the proxy.
-        if (sub.node == 0 && sc.partitions.partitioned_at(sub.time) &&
+        if (sub.node == 0 && sc.faults.partitioned_at(sub.time) &&
             routing != harness::Routing::kAnyNode) {
           ++crossers;
         }

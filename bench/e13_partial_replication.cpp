@@ -11,6 +11,7 @@
 #include "apps/banking/sharded.hpp"
 #include "harness/table.hpp"
 #include "shard/partial.hpp"
+#include "sim/fault_plan.hpp"
 #include "sim/rng.hpp"
 
 namespace {
@@ -37,7 +38,8 @@ RunResult run(std::size_t replication_factor, std::uint64_t seed) {
   cfg.num_groups = kGroups;
   cfg.replication_factor = replication_factor;
   cfg.network.delay = sim::Delay::exponential(0.02, 0.1, 2.0);
-  cfg.network.partitions.split_halves(kNodes, kNodes / 2, 4.0, 12.0);
+  cfg.network.partitions =
+      sim::FaultPlan{}.split_halves(kNodes, kNodes / 2, 4.0, 12.0).partitions();
   cfg.anti_entropy_interval = 0.3;
   cfg.seed = seed;
   shard::PartialCluster<ShardedBanking> cluster(cfg);

@@ -26,7 +26,7 @@
 #include "harness/workload.hpp"
 #include "obs/metrics.hpp"
 #include "shard/cluster.hpp"
-#include "sim/crash.hpp"
+#include "sim/fault_plan.hpp"
 
 namespace {
 
@@ -62,10 +62,10 @@ int main() {
     obs::MetricsRegistry reg;
     double convergence_lag = 0.0;
     for (const std::uint64_t seed : kSeeds) {
-      sim::Rng rng(seed);
       harness::Scenario sc = harness::wan(4);
-      sc.crashes = sim::CrashSchedule::random(rng, sc.num_nodes, kHorizon,
-                                              crash_events, 1.0, 5.0, 0.5);
+      sc.faults = sim::FaultPlan(seed);
+      sc.faults.random_crashes(sc.num_nodes, kHorizon, crash_events, 1.0,
+                               5.0, 0.5);
       shard::Cluster<Air> cluster(sc.cluster_config<Air>(seed ^ 0xe18));
       harness::AirlineWorkload w;
       w.duration = kHorizon;
@@ -79,9 +79,7 @@ int main() {
       // Convergence lag: simulated time past the last failure (workload
       // end, partition heal, or final restart — whichever is latest) until
       // every replica knows every update.
-      const double all_clear =
-          std::max({kHorizon, sc.partitions.last_heal_time(),
-                    sc.crashes.last_restart_time()});
+      const double all_clear = std::max(kHorizon, sc.faults.all_clear_time());
       cluster.run_until(all_clear);
       double t = all_clear;
       while (!cluster.converged() && t < all_clear + 1e4) {

@@ -42,8 +42,8 @@ constexpr int kReps = 5;
 
 harness::Scenario chaos_scenario(bool traced) {
   harness::Scenario sc = harness::wan(4);
-  sc.partitions.split_halves(4, 2, 6.0, 10.0);
-  sc.crashes.crash(1, 3.0, 6.5, sim::RecoveryMode::kDurable)
+  sc.faults.split_halves(4, 2, 6.0, 10.0)
+      .crash(1, 3.0, 6.5, sim::RecoveryMode::kDurable)
       .crash(3, 8.0, 11.0, sim::RecoveryMode::kAmnesia);
   sc.trace.enabled = traced;
   sc.trace.ring_capacity = 1 << 15;

@@ -65,8 +65,8 @@ int main() {
     // The canonical crash-chaos shape (partition + two crashes, one
     // amnesia) the chaos tiers and E19 use.
     harness::Scenario sc = harness::wan(4);
-    sc.partitions.split_halves(4, 2, 6.0, 10.0);
-    sc.crashes.crash(1, 3.0, 6.5, sim::RecoveryMode::kDurable)
+    sc.faults.split_halves(4, 2, 6.0, 10.0)
+        .crash(1, 3.0, 6.5, sim::RecoveryMode::kDurable)
         .crash(3, 8.0, 11.0, sim::RecoveryMode::kAmnesia);
     sc.trace.enabled = true;
 

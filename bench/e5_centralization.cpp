@@ -61,7 +61,7 @@ PolicyResult run(harness::Routing routing, std::uint64_t seed) {
   // was active (clients on the far side could not really have reached it).
   for (const auto& sub : schedule) {
     if (sub.node == 0 &&
-        sc.partitions.partitioned_at(sub.time)) {
+        sc.faults.partitioned_at(sub.time)) {
       ++r.pinned_during_partition;
     }
   }

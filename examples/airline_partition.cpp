@@ -24,7 +24,7 @@ int main() {
   // 4 nodes; a hard partition splits them 2|2 from t=5s to t=25s.
   harness::Scenario scenario = harness::partitioned_wan(4, 5.0, 25.0);
   std::printf("scenario: %s, %s\n", scenario.name.c_str(),
-              scenario.partitions.describe().c_str());
+              scenario.faults.describe().c_str());
   shard::Cluster<Air> cluster(scenario.cluster_config<Air>(/*seed=*/7));
 
   // Booking workload across all nodes, movers included.

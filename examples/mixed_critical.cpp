@@ -22,7 +22,7 @@ int main() {
   using bk::Banking;
 
   harness::Scenario sc = harness::partitioned_wan(4, 3.0, 15.0);
-  std::printf("scenario: %s\n", sc.partitions.describe().c_str());
+  std::printf("scenario: %s\n", sc.faults.describe().c_str());
   shard::Cluster<Banking> cluster(sc.cluster_config<Banking>(/*seed=*/19));
 
   for (bk::AccountId a = 0; a < 8; ++a) {

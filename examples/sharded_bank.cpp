@@ -10,6 +10,7 @@
 
 #include "apps/banking/sharded.hpp"
 #include "shard/partial.hpp"
+#include "sim/fault_plan.hpp"
 #include "sim/rng.hpp"
 
 int main() {
@@ -22,7 +23,8 @@ int main() {
   cfg.num_groups = 12;         // accounts
   cfg.replication_factor = 2;  // each account on 2 branches
   cfg.network.delay = sim::Delay::exponential(0.02, 0.08, 2.0);
-  cfg.network.partitions.split_halves(6, 3, 3.0, 10.0);
+  cfg.network.partitions =
+      sim::FaultPlan{}.split_halves(6, 3, 3.0, 10.0).partitions();
   cfg.anti_entropy_interval = 0.3;
   cfg.seed = 5;
   shard::PartialCluster<ShardedBanking> bank(cfg);

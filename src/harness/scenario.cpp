@@ -25,16 +25,16 @@ Scenario wan(std::size_t num_nodes) {
 Scenario partitioned_wan(std::size_t num_nodes, double t0, double t1) {
   Scenario s = wan(num_nodes);
   s.name = "partitioned-wan";
-  s.partitions.split_halves(static_cast<sim::NodeId>(num_nodes),
-                            static_cast<sim::NodeId>(num_nodes / 2), t0, t1);
+  s.faults.split_halves(static_cast<sim::NodeId>(num_nodes),
+                        static_cast<sim::NodeId>(num_nodes / 2), t0, t1);
   return s;
 }
 
 Scenario flaky_node(std::size_t num_nodes, double t0, double t1) {
   Scenario s = wan(num_nodes);
   s.name = "flaky-node";
-  s.partitions.isolate(static_cast<sim::NodeId>(num_nodes - 1),
-                       static_cast<sim::NodeId>(num_nodes), t0, t1);
+  s.faults.isolate(static_cast<sim::NodeId>(num_nodes - 1),
+                   static_cast<sim::NodeId>(num_nodes), t0, t1);
   return s;
 }
 
@@ -42,7 +42,16 @@ Scenario crashy_node(std::size_t num_nodes, double t0, double t1,
                      sim::RecoveryMode mode) {
   Scenario s = wan(num_nodes);
   s.name = "crashy-node";
-  s.crashes.crash(static_cast<sim::NodeId>(num_nodes - 1), t0, t1, mode);
+  s.faults.crash(static_cast<sim::NodeId>(num_nodes - 1), t0, t1, mode);
+  return s;
+}
+
+Scenario rolling_restart(std::size_t num_nodes, double t0, double down_for,
+                         double gap, sim::RecoveryMode mode) {
+  Scenario s = wan(num_nodes);
+  s.name = "rolling-restart";
+  s.faults.rolling_restart(static_cast<sim::NodeId>(num_nodes), t0, down_for,
+                           gap, mode);
   return s;
 }
 

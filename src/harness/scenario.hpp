@@ -9,9 +9,8 @@
 #include "net/broadcast.hpp"
 #include "obs/tracer.hpp"
 #include "shard/cluster.hpp"
-#include "sim/crash.hpp"
 #include "sim/delay.hpp"
-#include "sim/partition.hpp"
+#include "sim/fault_plan.hpp"
 
 namespace harness {
 
@@ -21,8 +20,10 @@ struct Scenario {
   std::size_t num_nodes = 3;
   sim::Delay delay = sim::Delay::constant(0.01);
   double drop_probability = 0.0;
-  sim::PartitionSchedule partitions;
-  sim::CrashSchedule crashes;
+  /// Every injected fault — partitions, crashes (durable / amnesia /
+  /// stale-disk), correlated rack losses, rolling restarts, mid-broadcast
+  /// crashes — as one composable, seeded plan (sim/fault_plan.hpp).
+  sim::FaultPlan faults;
   bool causal_broadcast = true;
   double anti_entropy_interval = 0.5;
   /// Bounded anti-entropy repair: cap on wire payloads per repair reply
@@ -48,8 +49,7 @@ struct Scenario {
     cfg.num_nodes = num_nodes;
     cfg.network.delay = delay;
     cfg.network.drop_probability = drop_probability;
-    cfg.network.partitions = partitions;
-    cfg.crashes = crashes;
+    cfg.faults = faults;
     cfg.broadcast.causal = causal_broadcast;
     cfg.broadcast.anti_entropy_interval = anti_entropy_interval;
     cfg.broadcast.max_repairs_per_message = max_repairs_per_message;
@@ -85,5 +85,13 @@ Scenario flaky_node(std::size_t num_nodes = 4, double t0 = 5.0,
 Scenario crashy_node(std::size_t num_nodes = 4, double t0 = 5.0,
                      double t1 = 25.0,
                      sim::RecoveryMode mode = sim::RecoveryMode::kDurable);
+
+/// Upgrade simulation: WAN conditions with the whole cluster restarted one
+/// node at a time — node i is down during [t0 + i*(down_for+gap),
+/// +down_for). The cluster keeps serving throughout; each node catches up
+/// on what it missed via anti-entropy before the next goes down.
+Scenario rolling_restart(std::size_t num_nodes = 5, double t0 = 5.0,
+                         double down_for = 3.0, double gap = 1.0,
+                         sim::RecoveryMode mode = sim::RecoveryMode::kDurable);
 
 }  // namespace harness

@@ -97,6 +97,13 @@ class ReliableBroadcast {
                                         std::uint64_t promise_logical,
                                         sim::NodeId promise_node,
                                         std::uint64_t issued)>;
+  /// Fault-injection probe at the write-ahead intention-log boundary: called
+  /// with the origin sequence number after the stable-outbox append (and
+  /// local delivery) but before the first flood send. Returning true means
+  /// "the node just crashed": the broadcast suppresses the flood — the wire
+  /// reaches peers only through post-restart anti-entropy, which is exactly
+  /// the guarantee under test (sim::MidBroadcastCrash).
+  using MidBroadcastCrashFn = std::function<bool(std::uint64_t origin_seq)>;
 
   ReliableBroadcast(sim::Network& network, sim::NodeId self,
                     std::size_t cluster_size, BroadcastOptions options,
@@ -132,6 +139,13 @@ class ReliableBroadcast {
     w.payload = std::move(payload);
     ++stats_.originated;
     accept(w);  // local delivery; also places it in the store for repair
+    // The intention record is now stable (outbox append above); a crash
+    // injected here leaves the update durable-but-unsent, the boundary the
+    // write-ahead intention log must survive.
+    if (mid_crash_hook_ && mid_crash_hook_(w.origin_seq)) {
+      ++stats_.mid_broadcast_crashes;
+      return w.origin_seq;
+    }
     if (options_.flood) {
       const std::size_t peers = net_.send_to_all(self_, make_packet(w));
       if (tracer_) {
@@ -224,6 +238,11 @@ class ReliableBroadcast {
   /// branch per potential event).
   void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
 
+  /// Arm the mid-broadcast crash probe (see MidBroadcastCrashFn).
+  void set_mid_broadcast_crash_hook(MidBroadcastCrashFn hook) {
+    mid_crash_hook_ = std::move(hook);
+  }
+
   /// Amnesia restart: all volatile broadcast state — delivery vectors,
   /// repair store of *other* nodes' payloads, causal holding buffer — is
   /// lost. What survives is the stable outbox: this node's own wire
@@ -250,6 +269,48 @@ class ReliableBroadcast {
       ++stats_.outbox_replays;
       accept(w);
     }
+  }
+
+  /// Stale-disk restart (sim::RecoveryMode::kStaleDisk): stable storage
+  /// survived the crash but lost its recent suffix — the node resumes from
+  /// a stale checkpoint whose per-origin delivered counts are `keep`.
+  /// Delivery knowledge, the repair store of other nodes' payloads, and the
+  /// causal buffer all rewind to that point; the truncated tail is
+  /// re-learned from peers through the ordinary digest/repair path. The one
+  /// exception is the node's own outbox: intention records are written (and
+  /// synced) before external actions fire, so the outbox is complete even
+  /// when the merged log is not — own wires past the stale point are
+  /// re-accepted below, re-announcing them to the cluster, and the complete
+  /// outbox stays available for peer repair.
+  void restart_stale(const std::vector<std::uint64_t>& keep) {
+    // Like amnesia, stale-disk recovery may re-request anything above the
+    // stale point, so the repair stores must be complete (Cluster validates
+    // the prune_repair_store combination up front).
+    assert(!options_.prune_repair_store);
+    assert(keep.size() == delivered_count_.size());
+    std::vector<Wire> outbox = std::move(store_[self_]);
+    store_[self_].clear();
+    for (std::size_t o = 0; o < store_.size(); ++o) {
+      if (o == self_) continue;
+      auto& s = store_[o];
+      if (s.size() > keep[o]) {
+        s.erase(s.begin() + static_cast<std::ptrdiff_t>(keep[o]), s.end());
+      }
+    }
+    delivered_count_ = keep;
+    contiguous_have_ = keep;
+    for (auto& e : seen_extra_) e.clear();
+    pending_.clear();
+    ++stats_.stale_resets;
+    set_down(false);
+    for (std::size_t i = keep[self_]; i < outbox.size(); ++i) {
+      ++stats_.outbox_replays;
+      accept(outbox[i]);
+    }
+    // accept() rebuilt only the replayed tail slots of the own-origin store;
+    // restore the complete stable outbox so any peer can still be repaired
+    // from any point.
+    store_[self_] = std::move(outbox);
   }
 
  private:
@@ -503,6 +564,7 @@ class ReliableBroadcast {
   DeliverFn deliver_;
   PromiseFn promise_fn_;
   AnnounceFn announce_fn_;
+  MidBroadcastCrashFn mid_crash_hook_;
   obs::Tracer* tracer_ = nullptr;  ///< optional; nullptr = tracing off
   bool down_ = false;  ///< crashed: no gossip, no sends (see set_down)
 

@@ -17,9 +17,12 @@ std::string BroadcastStats::summary() const {
        << " continuations=" << continuation_digests
        << " pruned=" << store_pruned;
   }
-  if (rounds_skipped_down > 0 || amnesia_resets > 0) {
+  if (rounds_skipped_down > 0 || amnesia_resets > 0 || stale_resets > 0 ||
+      mid_broadcast_crashes > 0) {
     os << " down_rounds=" << rounds_skipped_down
        << " amnesia_resets=" << amnesia_resets
+       << " stale_resets=" << stale_resets
+       << " mid_broadcast_crashes=" << mid_broadcast_crashes
        << " outbox_replays=" << outbox_replays;
   }
   return os.str();
@@ -39,6 +42,8 @@ void BroadcastStats::export_to(obs::MetricsRegistry& reg,
   reg.add_counter(prefix + ".rounds_skipped_down", rounds_skipped_down);
   reg.add_counter(prefix + ".amnesia_resets", amnesia_resets);
   reg.add_counter(prefix + ".outbox_replays", outbox_replays);
+  reg.add_counter(prefix + ".stale_resets", stale_resets);
+  reg.add_counter(prefix + ".mid_broadcast_crashes", mid_broadcast_crashes);
 }
 
 }  // namespace net

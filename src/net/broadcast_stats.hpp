@@ -28,7 +28,13 @@ struct BroadcastStats {
   std::uint64_t rounds_skipped_down = 0;   ///< Gossip ticks while crashed.
   std::uint64_t amnesia_resets = 0;        ///< Volatile-state wipes (restarts).
   std::uint64_t outbox_replays = 0;        ///< Own stable payloads re-accepted
-                                           ///< after an amnesia restart.
+                                           ///< after an amnesia or stale-disk
+                                           ///< restart.
+  std::uint64_t stale_resets = 0;          ///< Stale-disk rewinds (restarts
+                                           ///< from a stale checkpoint).
+  std::uint64_t mid_broadcast_crashes = 0; ///< Crashes injected between the
+                                           ///< stable-outbox append and the
+                                           ///< first flood send.
 
   std::string summary() const;
 

@@ -22,7 +22,7 @@
 #include "obs/metrics.hpp"
 #include "obs/tracer.hpp"
 #include "shard/node.hpp"
-#include "sim/crash.hpp"
+#include "sim/fault_plan.hpp"
 #include "sim/network.hpp"
 #include "sim/scheduler.hpp"
 
@@ -46,11 +46,14 @@ class Cluster {
     /// Discard obsolete information ([SL]): fold cluster-stable log
     /// prefixes into the base state.
     bool compaction = false;
-    /// Node crash/restart fault injection: each event crashes one node and
-    /// restarts it (durable or amnesia recovery — see sim/crash.hpp). The
-    /// network refuses delivery to down nodes; submissions reaching them
-    /// are rejected and counted, never silently executed.
-    sim::CrashSchedule crashes;
+    /// Fault injection, expressed as one composable plan (sim/fault_plan.hpp):
+    /// crash/restart windows (durable, amnesia, or stale-disk recovery),
+    /// partition cuts (folded into the network schedule at construction),
+    /// correlated rack power losses, rolling restarts, and mid-broadcast
+    /// crashes at the write-ahead intention-log boundary. The network
+    /// refuses delivery to down nodes; submissions reaching them are
+    /// rejected and counted, never silently executed.
+    sim::FaultPlan faults;
     /// Structured event tracing (obs/). Off by default: every component
     /// keeps a null tracer pointer and pays one branch per would-be event.
     /// On: events flow into the tracer ring + sinks, and a LifecycleTracker
@@ -61,19 +64,16 @@ class Cluster {
     std::uint64_t seed = 1;
   };
 
-  explicit Cluster(Config config) : config_(config), master_rng_(config.seed) {
-    // Repair-store pruning discards wire messages every peer acknowledged;
-    // amnesia recovery relies on peers retaining everything an amnesiac
-    // node may re-request, so the combination would break repair. Reject it
-    // up front rather than asserting deep inside the broadcast layer.
-    if (config_.broadcast.prune_repair_store) {
-      for (const sim::CrashEvent& ev : config_.crashes.events()) {
-        if (ev.mode == sim::RecoveryMode::kAmnesia) {
-          throw std::invalid_argument(
-              "prune_repair_store is incompatible with amnesia recovery");
-        }
-      }
+  explicit Cluster(Config config)
+      : config_(std::move(config)), master_rng_(config_.seed) {
+    // Fold the fault plan's partition cuts into the network's schedule: the
+    // plan is the single user-facing fault surface; the network keeps
+    // consulting its own config at send time.
+    for (const sim::PartitionEvent& ev :
+         config_.faults.partitions().events()) {
+      config_.network.partitions.add(ev);
     }
+    validate_faults();
     if (config_.trace.enabled) {
       tracer_ = std::make_unique<obs::Tracer>(config_.trace.ring_capacity);
       lifecycle_ = std::make_unique<obs::LifecycleTracker>(config_.num_nodes);
@@ -84,7 +84,7 @@ class Cluster {
       });
     }
     network_ = std::make_unique<sim::Network>(
-        scheduler_, config.network, master_rng_.fork_seed());
+        scheduler_, config_.network, master_rng_.fork_seed());
     if (tracer_) {
       network_->set_observer([this](sim::NodeId src, sim::NodeId dst,
                                     std::uint64_t id,
@@ -114,15 +114,15 @@ class Cluster {
         });
       }
     }
-    for (std::size_t i = 0; i < config.num_nodes; ++i) {
+    for (std::size_t i = 0; i < config_.num_nodes; ++i) {
       nodes_.push_back(std::make_unique<NodeT>(
-          static_cast<core::NodeId>(i), *network_, config.num_nodes,
-          config.broadcast, config.checkpoint_interval,
-          master_rng_.fork_seed(), config.compaction, tracer_.get(),
-          config.max_checkpoints));
+          static_cast<core::NodeId>(i), *network_, config_.num_nodes,
+          config_.broadcast, config_.checkpoint_interval,
+          master_rng_.fork_seed(), config_.compaction, tracer_.get(),
+          config_.max_checkpoints));
     }
     for (auto& n : nodes_) n->start();
-    for (const sim::CrashEvent& ev : config_.crashes.events()) {
+    for (const sim::CrashEvent& ev : config_.faults.crashes().events()) {
       if (ev.node >= nodes_.size()) throw std::out_of_range("crash: no such node");
       scheduler_.schedule_at(ev.start, [this, node = ev.node] {
         nodes_[node]->crash(scheduler_.now());
@@ -130,9 +130,11 @@ class Cluster {
       // The catch-up target (how much the node must re-merge to count as
       // recovered) is read at restart time, not schedule-construction time.
       scheduler_.schedule_at(ev.end, [this, ev] {
-        nodes_[ev.node]->restart(ev.mode, scheduler_.now(), total_originated());
+        nodes_[ev.node]->restart(ev.mode, scheduler_.now(), total_originated(),
+                                 ev.keep_fraction);
       });
     }
+    arm_mid_broadcast_crashes();
   }
 
   /// Schedule a request to be submitted at `node` at simulated time `t`.
@@ -179,9 +181,12 @@ class Cluster {
   /// convergence is not reached within `max_time` (which would indicate a
   /// protocol bug, a permanent partition, or a never-restarted node).
   void settle(sim::Time max_time = 1e6) {
+    // Mid-broadcast crashes are dynamic (they fire when the broadcast
+    // happens, if ever) and so not part of this bound; the convergence loop
+    // below steps past their restarts.
     const sim::Time heal =
         std::max(config_.network.partitions.last_heal_time(),
-                 config_.crashes.last_restart_time());
+                 config_.faults.last_restart_time());
     if (scheduler_.now() < heal) run_until(heal);
     const sim::Time step =
         config_.broadcast.anti_entropy_interval > 0.0
@@ -344,6 +349,71 @@ class Cluster {
   }
 
  private:
+  /// Reject fault/config combinations that would break recovery, up front
+  /// rather than asserting deep inside the broadcast layer:
+  ///  * repair-store pruning discards wire messages every peer acknowledged,
+  ///    but amnesia and stale-disk recovery rely on peers retaining
+  ///    everything a rewound node may re-request;
+  ///  * stale-disk recovery rewinds to a timestamp-prefix of the merged
+  ///    log, which induces contiguous per-origin delivered counts only
+  ///    under causal delivery.
+  void validate_faults() const {
+    const bool prune = config_.broadcast.prune_repair_store;
+    const bool causal = config_.broadcast.causal;
+    const auto check = [&](sim::RecoveryMode mode) {
+      if (prune && mode == sim::RecoveryMode::kAmnesia) {
+        throw std::invalid_argument(
+            "prune_repair_store is incompatible with amnesia recovery");
+      }
+      if (prune && mode == sim::RecoveryMode::kStaleDisk) {
+        throw std::invalid_argument(
+            "prune_repair_store is incompatible with stale-disk recovery");
+      }
+      if (!causal && mode == sim::RecoveryMode::kStaleDisk) {
+        throw std::invalid_argument(
+            "stale-disk recovery requires causal broadcast");
+      }
+    };
+    for (const sim::CrashEvent& ev : config_.faults.crashes().events()) {
+      check(ev.mode);
+    }
+    for (const sim::MidBroadcastCrash& mb :
+         config_.faults.mid_broadcast_crashes()) {
+      if (mb.node >= config_.num_nodes) {
+        throw std::out_of_range("mid-broadcast crash: no such node");
+      }
+      check(mb.mode);
+    }
+  }
+
+  /// Arm each node's broadcast-layer probe for the plan's mid-broadcast
+  /// crashes: when the node's origin seq matches an armed event, the node
+  /// crashes between the stable-outbox append and the first flood send and
+  /// a restart is scheduled `down_for` later.
+  void arm_mid_broadcast_crashes() {
+    for (std::size_t n = 0; n < nodes_.size(); ++n) {
+      std::map<std::uint64_t, sim::MidBroadcastCrash> armed;
+      for (const sim::MidBroadcastCrash& mb :
+           config_.faults.mid_broadcast_crashes()) {
+        if (mb.node == n) armed.emplace(mb.broadcast_seq, mb);
+      }
+      if (armed.empty()) continue;
+      nodes_[n]->set_mid_broadcast_crash_hook(
+          [this, n, armed = std::move(armed)](std::uint64_t seq) {
+            const auto it = armed.find(seq);
+            if (it == armed.end()) return false;
+            const sim::MidBroadcastCrash mb = it->second;
+            const sim::Time now = scheduler_.now();
+            nodes_[n]->crash(now);
+            scheduler_.schedule_at(now + mb.down_for, [this, n, mb] {
+              nodes_[n]->restart(mb.mode, scheduler_.now(),
+                                 total_originated(), mb.keep_fraction);
+            });
+            return true;
+          });
+    }
+  }
+
   static obs::EventType fate_event_type(sim::Network::MessageFate fate) {
     switch (fate) {
       case sim::Network::MessageFate::kSent:

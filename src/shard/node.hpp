@@ -203,6 +203,18 @@ class Node {
   ///    record carries its timestamp), so fresh transactions keep receiving
   ///    globally unique timestamps above everything this node ever issued
   ///    or merged.
+  ///  * kStaleDisk: stable storage survived but lost its recent suffix —
+  ///    the node resumes from a *stale* checkpoint holding only the oldest
+  ///    `keep_fraction` of its retained log. Correctness rests on two
+  ///    facts: dependencies always carry strictly smaller timestamps than
+  ///    their dependents (the Lamport tick is above everything merged), so
+  ///    a timestamp-prefix of the merged log is causally closed; and an
+  ///    origin's seqs appear in the merged log in increasing timestamp
+  ///    order, so the surviving prefix induces contiguous per-origin
+  ///    delivered counts — exactly the rewound vector handed to
+  ///    ReliableBroadcast::restart_stale. Requires causal broadcast (the
+  ///    Cluster validates); the truncated tail re-merges through outbox
+  ///    replay and anti-entropy, exercising deep undo/redo.
   ///
   /// `catch_up_target` is measurement-only omniscience supplied by the
   /// cluster: the number of updates originated cluster-wide by restart
@@ -210,7 +222,7 @@ class Node {
   /// catch_up_updates in EngineStats). It never influences protocol
   /// behavior. Idempotent (no-op if the node is up).
   void restart(sim::RecoveryMode mode, sim::Time now,
-               std::uint64_t catch_up_target = 0) {
+               std::uint64_t catch_up_target = 0, double keep_fraction = 1.0) {
     if (!down_) return;
     down_ = false;
     auto& st = log_.mutable_stats();
@@ -229,6 +241,20 @@ class Node {
       // Clears volatile broadcast state, then replays the stable outbox
       // (re-merging our own updates into the fresh log via on_deliver).
       broadcast_.restart_amnesia();
+    } else if (mode == sim::RecoveryMode::kStaleDisk) {
+      // Rewind to the stale checkpoint: keep the oldest keep_fraction of
+      // the retained entries and derive the matching per-origin delivered
+      // counts by walking the dropped suffix. Peer promises are monotone
+      // facts about peers and survive; the broadcast rewind re-announces
+      // our own truncated updates from the stable outbox.
+      const std::size_t keep_n = static_cast<std::size_t>(
+          keep_fraction * static_cast<double>(log_.size()));
+      std::vector<std::uint64_t> keep = broadcast_.delivered_vector();
+      for (std::size_t i = keep_n; i < log_.size(); ++i) {
+        --keep[log_.entry(i).ts.node];
+      }
+      log_.truncate_suffix(keep_n);
+      broadcast_.restart_stale(keep);
     } else {
       broadcast_.set_down(false);
     }
@@ -238,6 +264,15 @@ class Node {
   bool down() const { return down_; }
   /// Still re-merging updates missed before/during the last crash.
   bool catching_up() const { return catching_up_; }
+
+  /// Fault injection: arm the broadcast-layer probe that crashes this node
+  /// between the stable-outbox append and the first flood send (the
+  /// write-ahead intention-log boundary; sim::MidBroadcastCrash). The hook
+  /// receives the origin seq and returns true iff it crashed the node.
+  void set_mid_broadcast_crash_hook(
+      typename net::ReliableBroadcast<Envelope>::MidBroadcastCrashFn hook) {
+    broadcast_.set_mid_broadcast_crash_hook(std::move(hook));
+  }
 
   const State& state() const { return log_.state(); }
   const UpdateLog<App>& log() const { return log_; }

@@ -216,6 +216,31 @@ class UpdateLog {
     checkpoints_.push_back(Checkpoint{0, base_});
   }
 
+  /// Stale-disk recovery (sim/crash.hpp, RecoveryMode::kStaleDisk): the
+  /// stable log survived the crash but its suffix past `keep_n` retained
+  /// entries was lost with the disk — roll back to that stale point. The
+  /// compaction base (cluster-stable prefix) is older than any surviving
+  /// checkpoint and always survives; snapshots past the cut are dropped and
+  /// the working state is rebuilt from the newest surviving one. Truncated
+  /// updates are NOT forgotten by the cluster: they re-arrive through
+  /// outbox replay and anti-entropy and re-merge via the ordinary undo/redo
+  /// path. Counters survive (cumulative observability). Returns the number
+  /// of entries dropped.
+  std::size_t truncate_suffix(std::size_t keep_n) {
+    if (keep_n >= entries_.size()) return 0;
+    const std::size_t dropped = entries_.size() - keep_n;
+    entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(keep_n),
+                   entries_.end());
+    std::size_t keep_cp = checkpoints_.size();
+    while (keep_cp > 1 && checkpoints_[keep_cp - 1].pos > keep_n) --keep_cp;
+    checkpoints_.resize(keep_cp);
+    state_ = checkpoints_.back().state;
+    for (std::size_t i = checkpoints_.back().pos; i < entries_.size(); ++i) {
+      App::apply(entries_[i].update, state_);
+    }
+    return dropped;
+  }
+
   /// State snapshots currently held (>= 1: the base is always one).
   std::size_t checkpoints_retained() const { return checkpoints_.size(); }
 

@@ -7,7 +7,15 @@
 namespace sim {
 
 const char* to_string(RecoveryMode mode) {
-  return mode == RecoveryMode::kDurable ? "durable" : "amnesia";
+  switch (mode) {
+    case RecoveryMode::kDurable:
+      return "durable";
+    case RecoveryMode::kAmnesia:
+      return "amnesia";
+    case RecoveryMode::kStaleDisk:
+      return "stale-disk";
+  }
+  return "unknown";
 }
 
 CrashSchedule& CrashSchedule::add(CrashEvent event) {
@@ -24,9 +32,11 @@ CrashSchedule& CrashSchedule::add(CrashEvent event) {
   return *this;
 }
 
+// Definitions of the deprecated adapter surface; defining a deprecated
+// function does not itself warn.
 CrashSchedule& CrashSchedule::crash(NodeId node, Time start, Time end,
                                     RecoveryMode mode) {
-  return add(CrashEvent{node, start, end, mode});
+  return add(CrashEvent{node, start, end, mode, 1.0});
 }
 
 bool CrashSchedule::down(NodeId node, Time t) const {
@@ -57,6 +67,9 @@ std::string CrashSchedule::describe() const {
     if (i > 0) os << "; ";
     os << "node " << ev.node << " down [" << ev.start << "," << ev.end << ") "
        << to_string(ev.mode);
+    if (ev.mode == RecoveryMode::kStaleDisk) {
+      os << " keep=" << ev.keep_fraction;
+    }
   }
   return os.str();
 }

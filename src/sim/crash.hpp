@@ -22,6 +22,17 @@
 //     own transaction records (timestamps, updates, fired external
 //     actions), written before external actions fire so that decisions are
 //     never re-run and external actions never re-fired (section 1.2).
+//   * kStaleDisk — stable storage survives but lost its recent suffix (a
+//     disk that dropped un-synced writes): the node resumes from a *stale*
+//     checkpoint, keeping only a seeded fraction of its merged log, and
+//     re-merges the lost tail through outbox replay and anti-entropy —
+//     the deep undo/redo recovery path of section 3.3.
+//
+// NOTE: CrashSchedule (like PartitionSchedule) is retained as a thin
+// adapter for one release — new code should compose fault schedules
+// through sim::FaultPlan (sim/fault_plan.hpp), which owns seeding and
+// cross-fault correlation. The convenience builders below are marked
+// deprecated; FaultPlan produces CrashSchedule values via its accessors.
 #pragma once
 
 #include <cstdint>
@@ -36,11 +47,13 @@ namespace sim {
 
 /// How a node comes back from a crash (see file comment).
 enum class RecoveryMode {
-  kDurable,  ///< merged log survives; catch up on the missed suffix only
-  kAmnesia,  ///< volatile state lost; resync everything from peers/outbox
+  kDurable,    ///< merged log survives; catch up on the missed suffix only
+  kAmnesia,    ///< volatile state lost; resync everything from peers/outbox
+  kStaleDisk,  ///< log suffix lost; resume from a stale checkpoint + repair
 };
 
-/// "durable" / "amnesia" — shared by describe() and the trace exporters.
+/// "durable" / "amnesia" / "stale-disk" — shared by describe() and the
+/// trace exporters.
 const char* to_string(RecoveryMode mode);
 
 /// One down-window: `node` crashes at `start` and restarts at `end` with
@@ -51,6 +64,10 @@ struct CrashEvent {
   Time start = 0.0;
   Time end = 0.0;
   RecoveryMode mode = RecoveryMode::kDurable;
+  /// kStaleDisk only: the fraction of the merged log that survived the disk
+  /// failure (the rest is truncated at restart). FaultPlan::disk_failure
+  /// draws this from the plan's seeded RNG unless given explicitly.
+  double keep_fraction = 1.0;
 };
 
 /// A scriptable schedule of node crashes over the lifetime of a run,
@@ -66,6 +83,7 @@ class CrashSchedule {
   CrashSchedule& add(CrashEvent event);
 
   /// Convenience: crash `node` during [start, end).
+  [[deprecated("compose faults through sim::FaultPlan::crash")]]  //
   CrashSchedule& crash(NodeId node, Time start, Time end,
                        RecoveryMode mode = RecoveryMode::kDurable);
 
@@ -90,6 +108,7 @@ class CrashSchedule {
   /// (`amnesia_probability`). Windows that would overlap an earlier window
   /// of the same node are skipped, so the result may hold fewer than
   /// `count` events; the draw sequence is fixed, keeping runs reproducible.
+  [[deprecated("compose faults through sim::FaultPlan::random_crashes")]]  //
   static CrashSchedule random(Rng& rng, std::size_t nodes, Time horizon,
                               int count, Time min_down = 1.0,
                               Time max_down = 5.0,

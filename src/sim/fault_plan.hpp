@@ -1,0 +1,210 @@
+// Unified fault-injection plan (fault-injection v2).
+//
+// The first-generation fault model threaded three parallel, unrelated
+// surfaces through Cluster/Scenario: sim::CrashSchedule for node crashes,
+// sim::PartitionSchedule for link cuts, and the delay/drop config on the
+// network. Faults that span those surfaces — a rack losing power is a
+// partition AND a set of simultaneous crashes — had no home, and every
+// caller that wanted "random chaos" reimplemented seeded generation by
+// hand.
+//
+// FaultPlan is the single composable surface: one builder that owns the
+// seed, the correlation between fault classes, and the full fault
+// vocabulary of the paper's availability story (section 1.2 continued
+// operation, section 3.3 undo/redo recovery):
+//
+//   plan.crash(node, start, end[, mode])      — clean crash/restart window
+//   plan.disk_failure(node, start, end)       — restart from a *stale*
+//                                               checkpoint: the log suffix
+//                                               past a seeded point is lost
+//                                               and re-merged via undo/redo
+//                                               + anti-entropy repair
+//   plan.crash_mid_broadcast(node, seq, ...)  — crash between the stable
+//                                               outbox append and the first
+//                                               flood send, pinning the
+//                                               write-ahead intention-log
+//                                               boundary
+//   plan.partition(...) / cut / split_halves / isolate
+//   plan.rack_power_loss(rack, ...)           — correlated: partition the
+//                                               rack AND crash every node in
+//                                               it for the same window
+//   plan.rolling_restart(n, start, ...)       — upgrade simulation: restart
+//                                               one node at a time
+//   plan.random_partitions / random_crashes / FaultPlan::chaos(seed, ...)
+//
+// Cluster and Scenario accept one FaultPlan. The legacy CrashSchedule /
+// PartitionSchedule types remain for one release as thin adapters (fold
+// them in with adopt()); their convenience builders are deprecated.
+//
+// Everything is deterministic: the plan's RNG is seeded at construction and
+// consumed only by builder calls, so an identical call sequence yields an
+// identical plan — and identical runs, byte for byte.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/crash.hpp"
+#include "sim/partition.hpp"
+#include "sim/rng.hpp"
+
+namespace sim {
+
+/// A crash triggered when `node` performs its `broadcast_seq`-th broadcast
+/// (1-based, counting the node's own originated updates): the node goes
+/// down *after* appending the wire record to its stable outbox but *before*
+/// the first flood send. The update's decision has run and its external
+/// actions have fired, so by the write-ahead intention-log rule the record
+/// must survive and eventually merge everywhere — never re-running, never
+/// lost. The node restarts `down_for` after the crash with `mode`.
+struct MidBroadcastCrash {
+  NodeId node = 0;
+  std::uint64_t broadcast_seq = 1;
+  Time down_for = 2.0;
+  RecoveryMode mode = RecoveryMode::kDurable;
+  double keep_fraction = 1.0;  ///< kStaleDisk restarts only
+};
+
+/// Knobs for FaultPlan::chaos (seeded whole-plan generation).
+struct ChaosOptions {
+  int partition_events = 2;
+  int crash_events = 2;
+  Time min_down = 1.0;
+  Time max_down = 5.0;
+  /// Recovery-mode mix for random crashes: each crash is first a disk
+  /// failure with `disk_failure_probability`, else amnesia with
+  /// `amnesia_probability`, else a clean durable restart.
+  double amnesia_probability = 0.35;
+  double disk_failure_probability = 0.0;
+  /// Per partition event: probability that the cut is a rack power loss,
+  /// i.e. every node of the smaller side also crashes for the window.
+  double rack_loss_probability = 0.0;
+};
+
+/// One composable, seeded plan of every fault the simulation can inject.
+/// See the file comment for the vocabulary. Copyable; queries are O(events).
+class FaultPlan {
+ public:
+  /// The seed drives every random draw the builder makes (disk-failure
+  /// truncation points, random_* generation). Two plans built with the same
+  /// seed and the same call sequence are identical.
+  explicit FaultPlan(std::uint64_t seed = 0x5ABDF417u);
+
+  // --- crashes ---------------------------------------------------------
+
+  /// Crash `node` during [start, end); restart with `mode`. Throws
+  /// std::invalid_argument on an empty or per-node overlapping window.
+  FaultPlan& crash(NodeId node, Time start, Time end,
+                   RecoveryMode mode = RecoveryMode::kDurable);
+
+  /// Disk failure: crash `node` during [start, end) and restart from a
+  /// stale checkpoint — only a fraction of the merged log survives, the
+  /// truncated suffix is re-merged through undo/redo and anti-entropy.
+  /// The surviving fraction is drawn from the plan's RNG ([0.1, 0.9)).
+  FaultPlan& disk_failure(NodeId node, Time start, Time end);
+
+  /// Disk failure with an explicit surviving fraction in [0, 1] (no RNG
+  /// draw, so surrounding seeded draws are unaffected).
+  FaultPlan& disk_failure(NodeId node, Time start, Time end,
+                          double keep_fraction);
+
+  /// Crash `node` mid-broadcast at its `broadcast_seq`-th originated update
+  /// (see MidBroadcastCrash). Dynamic: fires when — and only if — the node
+  /// actually reaches that broadcast.
+  FaultPlan& crash_mid_broadcast(NodeId node, std::uint64_t broadcast_seq,
+                                 Time down_for = 2.0,
+                                 RecoveryMode mode = RecoveryMode::kDurable,
+                                 double keep_fraction = 1.0);
+
+  // --- partitions ------------------------------------------------------
+
+  /// Add a raw partition event.
+  FaultPlan& partition(PartitionEvent event);
+
+  /// Split the node set into the given connectivity groups during
+  /// [start, end).
+  FaultPlan& cut(std::vector<std::vector<NodeId>> groups, Time start,
+                 Time end);
+
+  /// Split nodes [0, n) into halves [0, m) and [m, n) during [start, end).
+  FaultPlan& split_halves(NodeId n, NodeId m, Time start, Time end);
+
+  /// Isolate one node from the other cluster_size-1 during [start, end).
+  FaultPlan& isolate(NodeId node, NodeId cluster_size, Time start, Time end);
+
+  // --- correlated / composite -----------------------------------------
+
+  /// Correlated failure: the `rack` loses power during [start, end). The
+  /// rack is partitioned from the rest of the cluster AND every node in it
+  /// crashes, for the same window; each restarts with `mode` when power
+  /// returns. Models the PAPERS.md observation that realistic failures are
+  /// topology-correlated, not independent coin flips.
+  FaultPlan& rack_power_loss(const std::vector<NodeId>& rack,
+                             NodeId cluster_size, Time start, Time end,
+                             RecoveryMode mode = RecoveryMode::kDurable);
+
+  /// Upgrade simulation: restart nodes 0..cluster_size-1 one at a time.
+  /// Node i is down during [start + i*(down_for+gap), +down_for); windows
+  /// never overlap, so the cluster keeps a quorum of live nodes throughout.
+  FaultPlan& rolling_restart(NodeId cluster_size, Time start, Time down_for,
+                             Time gap = 0.5,
+                             RecoveryMode mode = RecoveryMode::kDurable);
+
+  // --- seeded random generation ---------------------------------------
+
+  /// `events` random two-group cuts over [0, horizon) (each a random
+  /// nonempty proper subset vs the rest, lasting [horizon/10, horizon/3)).
+  FaultPlan& random_partitions(std::size_t nodes, Time horizon, int events);
+
+  /// `events` random crash windows over [0, horizon); down-times drawn
+  /// from [min_down, max_down), mode mixed as in ChaosOptions. Windows
+  /// that would overlap an earlier window of the same node are skipped
+  /// (the draw sequence is fixed, keeping runs reproducible).
+  FaultPlan& random_crashes(std::size_t nodes, Time horizon, int events,
+                            Time min_down = 1.0, Time max_down = 5.0,
+                            double amnesia_probability = 0.5,
+                            double disk_failure_probability = 0.0);
+
+  /// A whole random plan: partitions (with optional correlated rack
+  /// losses) plus independent crashes, per `opt`.
+  static FaultPlan chaos(std::uint64_t seed, std::size_t nodes, Time horizon,
+                         const ChaosOptions& opt = {});
+
+  // --- adapters (legacy-surface migration, one release) ----------------
+
+  /// Fold an existing CrashSchedule / PartitionSchedule into the plan.
+  FaultPlan& adopt(const CrashSchedule& crashes);
+  FaultPlan& adopt(const PartitionSchedule& partitions);
+
+  // --- queries ---------------------------------------------------------
+
+  bool down(NodeId node, Time t) const { return crashes_.down(node, t); }
+  bool connected(NodeId a, NodeId b, Time t) const {
+    return partitions_.connected(a, b, t);
+  }
+  bool partitioned_at(Time t) const { return partitions_.partitioned_at(t); }
+  Time last_heal_time() const { return partitions_.last_heal_time(); }
+  Time last_restart_time() const { return crashes_.last_restart_time(); }
+  /// Max of last heal and last scheduled restart. Mid-broadcast crashes are
+  /// dynamic (they fire when the broadcast happens, if ever) and are not
+  /// included; Cluster::settle()'s convergence loop covers them.
+  Time all_clear_time() const;
+  Time total_downtime() const { return crashes_.total_downtime(); }
+  bool empty() const;
+  std::string describe() const;
+
+  const CrashSchedule& crashes() const { return crashes_; }
+  const PartitionSchedule& partitions() const { return partitions_; }
+  const std::vector<MidBroadcastCrash>& mid_broadcast_crashes() const {
+    return mid_;
+  }
+
+ private:
+  Rng rng_;
+  CrashSchedule crashes_;
+  PartitionSchedule partitions_;
+  std::vector<MidBroadcastCrash> mid_;
+};
+
+}  // namespace sim

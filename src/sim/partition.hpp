@@ -9,6 +9,13 @@
 // anti-entropy recovers them after the heal, matching [GLBKSS]'s guarantee
 // that "barring permanent communication failures, every node will eventually
 // receive information about every transaction").
+//
+// NOTE: PartitionSchedule (like CrashSchedule) is retained as a thin adapter
+// for one release — new code should compose fault schedules through
+// sim::FaultPlan (sim/fault_plan.hpp), which owns seeding and cross-fault
+// correlation (rack power loss = partition + simultaneous crashes). The
+// convenience builders below are marked deprecated; FaultPlan produces
+// PartitionSchedule values via its accessors.
 #pragma once
 
 #include <cstdint>
@@ -44,9 +51,11 @@ class PartitionSchedule {
 
   /// Convenience: split nodes [0, n) into two halves [0, m) and [m, n)
   /// during [start, end).
+  [[deprecated("compose faults through sim::FaultPlan::split_halves")]]  //
   PartitionSchedule& split_halves(NodeId n, NodeId m, Time start, Time end);
 
   /// Convenience: isolate a single node during [start, end).
+  [[deprecated("compose faults through sim::FaultPlan::isolate")]]  //
   PartitionSchedule& isolate(NodeId node, NodeId cluster_size, Time start,
                              Time end);
 

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "net/broadcast.hpp"
+#include "sim/fault_plan.hpp"
 #include "sim/network.hpp"
 #include "sim/scheduler.hpp"
 
@@ -128,7 +129,7 @@ TEST(Broadcast, NonCausalModeDeliversInArrivalOrder) {
 
 TEST(Broadcast, AntiEntropyRecoversFromFullPartition) {
   sim::Network::Config cfg;
-  cfg.partitions.split_halves(4, 2, 0.0, 10.0);
+  cfg.partitions = sim::FaultPlan{}.split_halves(4, 2, 0.0, 10.0).partitions();
   net::BroadcastOptions opts;
   opts.anti_entropy_interval = 0.5;
   Harness h(4, cfg, opts);
@@ -184,7 +185,7 @@ TEST(Broadcast, BoundedRepairConvergesViaContinuationDigests) {
   // cap of 3 per repair reply, recovery proceeds as a chain of truncated
   // batches and immediate continuation digests instead of one giant burst.
   sim::Network::Config cfg;
-  cfg.partitions.split_halves(4, 2, 0.0, 10.0);
+  cfg.partitions = sim::FaultPlan{}.split_halves(4, 2, 0.0, 10.0).partitions();
   net::BroadcastOptions opts;
   opts.anti_entropy_interval = 0.5;
   opts.max_repairs_per_message = 3;
@@ -244,7 +245,8 @@ TEST(Broadcast, PrunedStoreStillRepairsAPartitionedPeer) {
   // digest) implicitly pins the store: after the heal everything it lacks
   // is still repairable.
   sim::Network::Config cfg;
-  cfg.partitions.split_halves(3, 1, 0.0, 8.0);  // {0} vs {1, 2}
+  cfg.partitions =
+      sim::FaultPlan{}.split_halves(3, 1, 0.0, 8.0).partitions();  // {0} vs {1, 2}
   net::BroadcastOptions opts;
   opts.anti_entropy_interval = 0.3;
   opts.prune_repair_store = true;

@@ -18,7 +18,7 @@
 #include "obs/lifecycle.hpp"
 #include "obs/tracer.hpp"
 #include "shard/cluster.hpp"
-#include "sim/crash.hpp"
+#include "sim/fault_plan.hpp"
 #include "sim/rng.hpp"
 
 namespace {
@@ -251,27 +251,6 @@ TEST(TraceSerialize, DeserializeRejectsMalformedLines) {
 
 // ------------------------------------------------ chaos property testing --
 
-/// A random partition schedule (same shape as the chaos tier's).
-sim::PartitionSchedule random_partitions(sim::Rng& rng, std::size_t nodes,
-                                         double horizon, int events) {
-  sim::PartitionSchedule ps;
-  for (int e = 0; e < events; ++e) {
-    const double start = rng.uniform(0.0, horizon * 0.8);
-    const double len = rng.uniform(1.0, horizon * 0.4);
-    sim::PartitionEvent ev;
-    ev.start = start;
-    ev.end = start + len;
-    std::vector<sim::NodeId> left, right;
-    for (sim::NodeId n = 0; n < nodes; ++n) {
-      (rng.bernoulli(0.5) ? left : right).push_back(n);
-    }
-    if (left.empty() || right.empty()) continue;
-    ev.groups = {std::move(left), std::move(right)};
-    ps.add(std::move(ev));
-  }
-  return ps;
-}
-
 /// The causal invariants a COMPLETE stream from a converged run must
 /// satisfy, cross-checked against the execution and lifecycle state.
 void expect_causal_invariants(shard::Cluster<Air>& cluster,
@@ -348,8 +327,9 @@ TEST_P(CausalChaos, InvariantsHoldUnderRandomFailures) {
   sc.delay = sim::Delay::exponential(rng.uniform(0.005, 0.05),
                                      rng.uniform(0.05, 0.3), 5.0);
   sc.drop_probability = rng.uniform(0.0, 0.3);
-  sc.partitions = random_partitions(
-      rng, nodes, horizon, static_cast<int>(rng.uniform_int(0, 3)));
+  sc.faults = sim::FaultPlan(GetParam() ^ 0x9afb);
+  sc.faults.random_partitions(nodes, horizon,
+                              static_cast<int>(rng.uniform_int(0, 3)));
   sc.anti_entropy_interval = rng.uniform(0.2, 0.8);
   sc.trace.enabled = true;
 
@@ -386,11 +366,13 @@ TEST_P(CausalCrashChaos, InvariantsHoldUnderCrashesAndPartitions) {
   sc.delay = sim::Delay::exponential(rng.uniform(0.005, 0.05),
                                      rng.uniform(0.05, 0.3), 5.0);
   sc.drop_probability = rng.uniform(0.0, 0.25);
-  sc.partitions = random_partitions(
-      rng, nodes, horizon, static_cast<int>(rng.uniform_int(0, 3)));
-  sc.crashes = sim::CrashSchedule::random(
-      rng, nodes, horizon, static_cast<int>(rng.uniform_int(1, 4)),
-      /*min_down=*/1.0, /*max_down=*/6.0, /*amnesia_probability=*/0.5);
+  sc.faults = sim::FaultPlan(GetParam() ^ 0x37c1);
+  sc.faults.random_partitions(nodes, horizon,
+                              static_cast<int>(rng.uniform_int(0, 3)));
+  sc.faults.random_crashes(nodes, horizon,
+                           static_cast<int>(rng.uniform_int(1, 4)),
+                           /*min_down=*/1.0, /*max_down=*/6.0,
+                           /*amnesia_probability=*/0.5);
   sc.anti_entropy_interval = rng.uniform(0.2, 0.8);
   sc.trace.enabled = true;
 

@@ -18,35 +18,13 @@
 #include "harness/workload.hpp"
 #include "shard/cluster.hpp"
 #include "shard/partial.hpp"
-#include "sim/crash.hpp"
+#include "sim/fault_plan.hpp"
 #include "sim/rng.hpp"
 
 namespace {
 
 namespace al = apps::airline;
 using Air = al::BasicAirline<15, 900, 300>;
-
-/// A random partition schedule: `events` cuts with random windows and
-/// random two-group splits (possibly isolating single nodes).
-sim::PartitionSchedule random_partitions(sim::Rng& rng, std::size_t nodes,
-                                         double horizon, int events) {
-  sim::PartitionSchedule ps;
-  for (int e = 0; e < events; ++e) {
-    const double start = rng.uniform(0.0, horizon * 0.8);
-    const double len = rng.uniform(1.0, horizon * 0.4);
-    sim::PartitionEvent ev;
-    ev.start = start;
-    ev.end = start + len;
-    std::vector<sim::NodeId> left, right;
-    for (sim::NodeId n = 0; n < nodes; ++n) {
-      (rng.bernoulli(0.5) ? left : right).push_back(n);
-    }
-    if (left.empty() || right.empty()) continue;  // no cut, skip
-    ev.groups = {std::move(left), std::move(right)};
-    ps.add(std::move(ev));
-  }
-  return ps;
-}
 
 class Chaos : public ::testing::TestWithParam<std::uint64_t> {};
 
@@ -61,8 +39,9 @@ TEST_P(Chaos, FullGuaranteeStackUnderRandomFailures) {
   sc.delay = sim::Delay::exponential(rng.uniform(0.005, 0.05),
                                      rng.uniform(0.05, 0.3), 5.0);
   sc.drop_probability = rng.uniform(0.0, 0.3);
-  sc.partitions = random_partitions(
-      rng, nodes, horizon, static_cast<int>(rng.uniform_int(0, 3)));
+  sc.faults = sim::FaultPlan(GetParam() ^ 0x9afb);
+  sc.faults.random_partitions(nodes, horizon,
+                              static_cast<int>(rng.uniform_int(0, 3)));
   sc.anti_entropy_interval = rng.uniform(0.2, 0.8);
 
   shard::Cluster<Air> cluster(sc.cluster_config<Air>(GetParam() ^ 0xc4a0));
@@ -147,11 +126,13 @@ TEST_P(CrashChaos, FullGuaranteeStackUnderCrashesAndPartitions) {
   sc.delay = sim::Delay::exponential(rng.uniform(0.005, 0.05),
                                      rng.uniform(0.05, 0.3), 5.0);
   sc.drop_probability = rng.uniform(0.0, 0.25);
-  sc.partitions = random_partitions(
-      rng, nodes, horizon, static_cast<int>(rng.uniform_int(0, 3)));
-  sc.crashes = sim::CrashSchedule::random(
-      rng, nodes, horizon, static_cast<int>(rng.uniform_int(1, 4)),
-      /*min_down=*/1.0, /*max_down=*/6.0, /*amnesia_probability=*/0.5);
+  sc.faults = sim::FaultPlan(GetParam() ^ 0x37c1);
+  sc.faults.random_partitions(nodes, horizon,
+                              static_cast<int>(rng.uniform_int(0, 3)));
+  sc.faults.random_crashes(nodes, horizon,
+                           static_cast<int>(rng.uniform_int(1, 4)),
+                           /*min_down=*/1.0, /*max_down=*/6.0,
+                           /*amnesia_probability=*/0.5);
   sc.anti_entropy_interval = rng.uniform(0.2, 0.8);
 
   shard::Cluster<Air> cluster(sc.cluster_config<Air>(GetParam() ^ 0xc4a5));
@@ -169,7 +150,7 @@ TEST_P(CrashChaos, FullGuaranteeStackUnderCrashesAndPartitions) {
   expect_full_stack(cluster);
   // Crashes really happened and every crashed node came back.
   const shard::EngineStats agg = cluster.aggregate_engine_stats();
-  EXPECT_EQ(agg.crashes, sc.crashes.events().size());
+  EXPECT_EQ(agg.crashes, sc.faults.crashes().events().size());
   EXPECT_EQ(agg.recoveries, agg.crashes);
   EXPECT_GT(agg.crashes, 0u);
 }
@@ -182,9 +163,9 @@ INSTANTIATE_TEST_SUITE_P(Seeds, CrashChaos,
 /// zero re-fired external actions and a nonzero catch-up.
 TEST(CrashChaos, ThreeCrashesTwoPartitionsFullStack) {
   harness::Scenario sc = harness::wan(5);
-  sc.partitions.split_halves(5, 2, 4.0, 9.0);
-  sc.partitions.isolate(4, 5, 12.0, 16.0);
-  sc.crashes.crash(0, 3.0, 7.0, sim::RecoveryMode::kDurable)
+  sc.faults.split_halves(5, 2, 4.0, 9.0)
+      .isolate(4, 5, 12.0, 16.0)
+      .crash(0, 3.0, 7.0, sim::RecoveryMode::kDurable)
       .crash(2, 6.0, 11.0, sim::RecoveryMode::kAmnesia)
       .crash(4, 14.0, 18.0, sim::RecoveryMode::kAmnesia);
   shard::Cluster<Air> cluster(sc.cluster_config<Air>(0xACCE));
@@ -220,8 +201,11 @@ TEST_P(PartialChaos, ShardedBankingSurvivesRandomFailures) {
   cfg.replication_factor = r;
   cfg.network.delay = sim::Delay::exponential(0.01, rng.uniform(0.02, 0.2), 3.0);
   cfg.network.drop_probability = rng.uniform(0.0, 0.25);
-  cfg.network.partitions = random_partitions(
-      rng, nodes, 20.0, static_cast<int>(rng.uniform_int(0, 2)));
+  cfg.network.partitions =
+      sim::FaultPlan(GetParam() ^ 0x9a28)
+          .random_partitions(nodes, 20.0,
+                             static_cast<int>(rng.uniform_int(0, 2)))
+          .partitions();
   cfg.anti_entropy_interval = 0.3;
   cfg.seed = GetParam() ^ 0x9a27;
   shard::PartialCluster<bk::ShardedBanking> cluster(cfg);
@@ -256,12 +240,102 @@ TEST_P(PartialChaos, ShardedBankingSurvivesRandomFailures) {
 INSTANTIATE_TEST_SUITE_P(Seeds, PartialChaos,
                          ::testing::Range<std::uint64_t>(2000, 2008));
 
+/// Rolling-restart tier (upgrade simulation): every node of a lossy WAN
+/// cluster is restarted once, one at a time, while traffic keeps flowing.
+/// Each node catches up on what it missed before the next goes down; the
+/// full guarantee stack holds and every node crashed and recovered exactly
+/// once.
+class RollingRestartChaos : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RollingRestartChaos, EveryNodeRestartsOnceFullStack) {
+  sim::Rng rng(GetParam());
+  const auto nodes = static_cast<std::size_t>(rng.uniform_int(3, 6));
+  const bool amnesia = rng.bernoulli(0.5);
+  harness::Scenario sc = harness::rolling_restart(
+      nodes, /*t0=*/4.0, /*down_for=*/rng.uniform(1.5, 3.0),
+      /*gap=*/rng.uniform(0.5, 1.5),
+      amnesia ? sim::RecoveryMode::kAmnesia : sim::RecoveryMode::kDurable);
+  const double horizon = sc.faults.last_restart_time() + 4.0;
+
+  shard::Cluster<Air> cluster(sc.cluster_config<Air>(GetParam() ^ 0x5c40));
+  harness::AirlineWorkload w;
+  w.duration = horizon;
+  w.request_rate = rng.uniform(1.0, 4.0);
+  w.mover_rate = rng.uniform(1.0, 5.0);
+  w.cancel_fraction = rng.uniform(0.0, 0.3);
+  w.max_persons = 200;
+  harness::drive_airline(cluster, w, GetParam() ^ 0x5eed);
+
+  cluster.run_until(horizon);
+  cluster.settle();
+  expect_full_stack(cluster);
+  const shard::EngineStats agg = cluster.aggregate_engine_stats();
+  EXPECT_EQ(agg.crashes, nodes);
+  EXPECT_EQ(agg.recoveries, nodes);
+  for (std::size_t n = 0; n < nodes; ++n) {
+    EXPECT_EQ(cluster.node(n).engine_stats().crashes, 1u) << "node " << n;
+    EXPECT_FALSE(cluster.node(n).down());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RollingRestartChaos,
+                         ::testing::Range<std::uint64_t>(4000, 4008));
+
+/// Correlated-fault tier: FaultPlan::chaos with rack power losses (a cut
+/// whose smaller side also crashes for the window) and disk failures
+/// (stale-checkpoint restarts) mixed into the random crash schedule. The
+/// full stack must hold, and the crash count must match the plan exactly
+/// (the generators never produce overlapping per-node windows).
+class CorrelatedChaos : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CorrelatedChaos, RackLossesAndDiskFailuresFullStack) {
+  sim::Rng rng(GetParam());
+  const auto nodes = static_cast<std::size_t>(rng.uniform_int(3, 6));
+  const double horizon = 25.0;
+
+  sim::ChaosOptions opt;
+  opt.partition_events = static_cast<int>(rng.uniform_int(1, 3));
+  opt.crash_events = static_cast<int>(rng.uniform_int(1, 3));
+  opt.rack_loss_probability = 0.6;
+  opt.disk_failure_probability = 0.4;
+  opt.amnesia_probability = 0.3;
+
+  harness::Scenario sc;
+  sc.name = "correlated-chaos";
+  sc.num_nodes = nodes;
+  sc.delay = sim::Delay::exponential(rng.uniform(0.005, 0.05),
+                                     rng.uniform(0.05, 0.3), 5.0);
+  sc.drop_probability = rng.uniform(0.0, 0.25);
+  sc.faults = sim::FaultPlan::chaos(GetParam() ^ 0xc0fa, nodes, horizon, opt);
+  sc.anti_entropy_interval = rng.uniform(0.2, 0.8);
+
+  shard::Cluster<Air> cluster(sc.cluster_config<Air>(GetParam() ^ 0xc4a7));
+  harness::AirlineWorkload w;
+  w.duration = horizon;
+  w.request_rate = rng.uniform(1.0, 5.0);
+  w.mover_rate = rng.uniform(1.0, 6.0);
+  w.move_down_fraction = rng.uniform(0.1, 0.5);
+  w.cancel_fraction = rng.uniform(0.0, 0.3);
+  w.max_persons = 200;
+  harness::drive_airline(cluster, w, GetParam() ^ 0x5eed);
+
+  cluster.run_until(horizon);
+  cluster.settle();
+  expect_full_stack(cluster);
+  const shard::EngineStats agg = cluster.aggregate_engine_stats();
+  EXPECT_EQ(agg.crashes, sc.faults.crashes().events().size());
+  EXPECT_EQ(agg.recoveries, agg.crashes);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CorrelatedChaos,
+                         ::testing::Range<std::uint64_t>(5000, 5010));
+
 TEST(ChaosEdge, TwoNodeTotalIsolationRecovers) {
   // The extreme: two nodes fully isolated for almost the whole run.
   harness::Scenario sc;
   sc.num_nodes = 2;
   sc.delay = sim::Delay::constant(0.01);
-  sc.partitions.split_halves(2, 1, 0.5, 30.0);
+  sc.faults.split_halves(2, 1, 0.5, 30.0);
   sc.anti_entropy_interval = 0.4;
   shard::Cluster<Air> cluster(sc.cluster_config<Air>(1));
   harness::AirlineWorkload w;

@@ -1,4 +1,4 @@
-// Crash/recovery fault injection (sim/crash.hpp + Node::crash/restart).
+// Crash/recovery fault injection (sim/fault_plan.hpp + Node::crash/restart).
 //
 // The paper's availability claim (section 1.2) is continued operation
 // "barring permanent communication failures" — a crashed node is a
@@ -20,7 +20,7 @@
 #include "harness/workload.hpp"
 #include "obs/tracer.hpp"
 #include "shard/cluster.hpp"
-#include "sim/crash.hpp"
+#include "sim/fault_plan.hpp"
 
 namespace {
 
@@ -59,50 +59,52 @@ void expect_guarantees(Cluster& cluster) {
   EXPECT_EQ(cluster.aggregate_engine_stats().decisions_run, exec.size());
 }
 
-TEST(CrashSchedule, DownWindowsAndQueries) {
-  sim::CrashSchedule cs;
-  cs.crash(1, 2.0, 5.0).crash(0, 4.0, 6.0, sim::RecoveryMode::kAmnesia);
-  EXPECT_FALSE(cs.down(1, 1.9));
-  EXPECT_TRUE(cs.down(1, 2.0));
-  EXPECT_TRUE(cs.down(1, 4.9));
-  EXPECT_FALSE(cs.down(1, 5.0));
-  EXPECT_TRUE(cs.down(0, 4.5));
-  EXPECT_FALSE(cs.down(2, 4.5));
-  EXPECT_DOUBLE_EQ(cs.last_restart_time(), 6.0);
-  EXPECT_DOUBLE_EQ(cs.total_downtime(), 5.0);
-  EXPECT_NE(cs.describe().find("2 crash event(s)"), std::string::npos);
+TEST(FaultPlanCrashes, DownWindowsAndQueries) {
+  sim::FaultPlan plan;
+  plan.crash(1, 2.0, 5.0).crash(0, 4.0, 6.0, sim::RecoveryMode::kAmnesia);
+  EXPECT_FALSE(plan.down(1, 1.9));
+  EXPECT_TRUE(plan.down(1, 2.0));
+  EXPECT_TRUE(plan.down(1, 4.9));
+  EXPECT_FALSE(plan.down(1, 5.0));
+  EXPECT_TRUE(plan.down(0, 4.5));
+  EXPECT_FALSE(plan.down(2, 4.5));
+  EXPECT_DOUBLE_EQ(plan.last_restart_time(), 6.0);
+  EXPECT_DOUBLE_EQ(plan.total_downtime(), 5.0);
+  EXPECT_NE(plan.describe().find("2 crash event(s)"), std::string::npos);
 }
 
-TEST(CrashSchedule, RejectsEmptyAndOverlappingWindows) {
-  sim::CrashSchedule cs;
-  cs.crash(0, 1.0, 2.0);
-  EXPECT_THROW(cs.crash(0, 1.5, 3.0), std::invalid_argument);
-  EXPECT_THROW(cs.crash(1, 2.0, 2.0), std::invalid_argument);
+TEST(FaultPlanCrashes, RejectsEmptyAndOverlappingWindows) {
+  sim::FaultPlan plan;
+  plan.crash(0, 1.0, 2.0);
+  EXPECT_THROW(plan.crash(0, 1.5, 3.0), std::invalid_argument);
+  EXPECT_THROW(plan.crash(1, 2.0, 2.0), std::invalid_argument);
   // A different node may overlap in time.
-  EXPECT_NO_THROW(cs.crash(1, 1.5, 3.0));
+  EXPECT_NO_THROW(plan.crash(1, 1.5, 3.0));
 }
 
-TEST(CrashSchedule, RandomGeneratorProducesValidSchedules) {
-  sim::Rng rng(7);
-  const auto cs = sim::CrashSchedule::random(rng, 4, 30.0, 12, 1.0, 4.0, 0.5);
-  for (const auto& ev : cs.events()) {
+TEST(FaultPlanCrashes, RandomGeneratorProducesValidSchedules) {
+  sim::FaultPlan plan(7);
+  plan.random_crashes(4, 30.0, 12, 1.0, 4.0, 0.5);
+  const auto& events = plan.crashes().events();
+  for (const auto& ev : events) {
     EXPECT_LT(ev.node, 4u);
     EXPECT_LT(ev.start, ev.end);
-    for (const auto& other : cs.events()) {
+    for (const auto& other : events) {
       if (&ev == &other || ev.node != other.node) continue;
       EXPECT_TRUE(ev.end <= other.start || other.end <= ev.start)
           << "overlapping windows for node " << ev.node;
     }
   }
-  // Determinism of the generator itself.
-  sim::Rng rng2(7);
-  const auto cs2 = sim::CrashSchedule::random(rng2, 4, 30.0, 12, 1.0, 4.0, 0.5);
-  ASSERT_EQ(cs.events().size(), cs2.events().size());
-  for (std::size_t i = 0; i < cs.events().size(); ++i) {
-    EXPECT_EQ(cs.events()[i].node, cs2.events()[i].node);
-    EXPECT_DOUBLE_EQ(cs.events()[i].start, cs2.events()[i].start);
-    EXPECT_EQ(static_cast<int>(cs.events()[i].mode),
-              static_cast<int>(cs2.events()[i].mode));
+  // Determinism of the generator itself: same plan seed, same schedule.
+  sim::FaultPlan plan2(7);
+  plan2.random_crashes(4, 30.0, 12, 1.0, 4.0, 0.5);
+  const auto& events2 = plan2.crashes().events();
+  ASSERT_EQ(events.size(), events2.size());
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].node, events2[i].node);
+    EXPECT_DOUBLE_EQ(events[i].start, events2[i].start);
+    EXPECT_EQ(static_cast<int>(events[i].mode),
+              static_cast<int>(events2[i].mode));
   }
 }
 
@@ -110,7 +112,7 @@ TEST(CrashSchedule, RandomGeneratorProducesValidSchedules) {
 /// catches up on what it missed, and the whole stack still holds.
 TEST(CrashRecovery, DurableRecoveryConvergesAndCatchesUp) {
   harness::Scenario sc = harness::lan(3);
-  sc.crashes.crash(2, 5.0, 10.0, sim::RecoveryMode::kDurable);
+  sc.faults.crash(2, 5.0, 10.0, sim::RecoveryMode::kDurable);
   Cluster cluster(sc.cluster_config<Air>(42));
   harness::AirlineWorkload w;
   w.duration = 15.0;
@@ -139,7 +141,7 @@ TEST(CrashRecovery, DurableRecoveryConvergesAndCatchesUp) {
 /// outbox plus peer repair.
 TEST(CrashRecovery, AmnesiaRecoveryConverges) {
   harness::Scenario sc = harness::lan(3);
-  sc.crashes.crash(2, 5.0, 8.0, sim::RecoveryMode::kAmnesia);
+  sc.faults.crash(2, 5.0, 8.0, sim::RecoveryMode::kAmnesia);
   Cluster cluster(sc.cluster_config<Air>(42));
   // Ensure node 2 originated transactions before the crash, so the stable
   // outbox replay has something to do.
@@ -170,7 +172,7 @@ TEST(CrashRecovery, AmnesiaRecoveryConverges) {
 TEST(CrashRecovery, DurableAndAmnesiaReachIdenticalFinalState) {
   const auto run = [](sim::RecoveryMode mode) {
     harness::Scenario sc = harness::lan(3);
-    sc.crashes.crash(2, 4.0, 9.0, mode);
+    sc.faults.crash(2, 4.0, 9.0, mode);
     Cluster cluster(sc.cluster_config<Air>(77));
     // Node 2 participates before its crash...
     for (double t : {0.5, 1.5, 2.5}) {
@@ -198,8 +200,8 @@ TEST(CrashRecovery, DurableAndAmnesiaReachIdenticalFinalState) {
 /// independently and the run still converges checker-clean.
 TEST(CrashRecovery, CrashDuringOpenPartitionHealsAfterBothEnd) {
   harness::Scenario sc = harness::lan(4);
-  sc.partitions.split_halves(4, 2, 3.0, 12.0);   // {0,1} | {2,3}
-  sc.crashes.crash(1, 5.0, 9.0, sim::RecoveryMode::kAmnesia);  // inside cut
+  sc.faults.split_halves(4, 2, 3.0, 12.0)  // {0,1} | {2,3}
+      .crash(1, 5.0, 9.0, sim::RecoveryMode::kAmnesia);  // inside the cut
   Cluster cluster(sc.cluster_config<Air>(11));
   harness::AirlineWorkload w;
   w.duration = 15.0;
@@ -218,7 +220,7 @@ TEST(CrashRecovery, CrashDuringOpenPartitionHealsAfterBothEnd) {
 /// silently executed, never resurrected after the restart.
 TEST(CrashRecovery, DownNodeRejectsSubmissionsNeverExecutesThem) {
   harness::Scenario sc = harness::lan(3);
-  sc.crashes.crash(0, 5.0, 10.0);
+  sc.faults.crash(0, 5.0, 10.0);
   Cluster cluster(sc.cluster_config<Air>(5));
   // Three accepted before the crash, four rejected during, two after.
   for (double t : {1.0, 2.0, 3.0}) {
@@ -264,7 +266,7 @@ TEST(CrashRecovery, CrashDropsPendingSerializableReservations) {
 /// subsequently loses all volatile state and replays its outbox.
 TEST(CrashRecovery, ExternalActionsFireExactlyOnceAcrossCrash) {
   harness::Scenario sc = harness::lan(3);
-  sc.crashes.crash(0, 4.0, 7.0, sim::RecoveryMode::kAmnesia);
+  sc.faults.crash(0, 4.0, 7.0, sim::RecoveryMode::kAmnesia);
   Cluster cluster(sc.cluster_config<Air>(21));
   // All MOVE-UPs centralized at node 0 — the node that later loses all
   // volatile state. Sequential grants at one origin touch each person at
@@ -322,8 +324,8 @@ TEST(CrashRecovery, CrashAndRestartAreIdempotent) {
 TEST(CrashRecovery, SameSeedWithCrashesIsByteIdentical) {
   const auto run = [] {
     harness::Scenario sc = harness::wan(4);
-    sc.partitions.split_halves(4, 2, 6.0, 10.0);
-    sc.crashes.crash(1, 3.0, 6.5, sim::RecoveryMode::kDurable)
+    sc.faults.split_halves(4, 2, 6.0, 10.0)
+        .crash(1, 3.0, 6.5, sim::RecoveryMode::kDurable)
         .crash(3, 8.0, 11.0, sim::RecoveryMode::kAmnesia);
     // Tracing on: the serialized event stream (every scheduler dispatch,
     // message fate, merge, crash...) joins the compared bytes, so any
@@ -358,6 +360,190 @@ TEST(CrashRecovery, SameSeedWithCrashesIsByteIdentical) {
   EXPECT_NE(a.find("crashes=2"), std::string::npos);
   EXPECT_NE(a.find("node.crash"), std::string::npos);
   EXPECT_NE(a.find("node.restart"), std::string::npos);
+}
+
+/// Disk failure (stale-disk recovery): node 2 restarts from a checkpoint
+/// that lost the most recent 60% of its merged log. The truncated suffix
+/// is re-merged through undo/redo plus anti-entropy repair, and the full
+/// guarantee stack holds afterwards.
+TEST(StaleCheckpointRecovery, RecoversFromTruncatedLog) {
+  harness::Scenario sc = harness::lan(3);
+  sc.faults.disk_failure(2, 8.0, 12.0, /*keep_fraction=*/0.4);
+  Cluster cluster(sc.cluster_config<Air>(42));
+  // Node 2 originates before the failure so its own outbox tail is part of
+  // what the stale restart must re-accept.
+  for (double t : {0.5, 1.0, 1.5, 2.0}) {
+    cluster.submit_at(t, 2, al::Request::move_up());
+  }
+  harness::AirlineWorkload w;
+  w.duration = 16.0;
+  w.request_rate = 4.0;
+  w.mover_rate = 2.0;
+  harness::drive_airline(cluster, w, 43);
+  cluster.run_until(w.duration);
+  cluster.settle();
+  expect_guarantees(cluster);
+
+  const shard::EngineStats& s2 = cluster.node(2).engine_stats();
+  EXPECT_EQ(s2.crashes, 1u);
+  EXPECT_EQ(s2.recoveries, 1u);
+  EXPECT_GT(s2.catch_up_updates, 0u);  // the lost suffix plus downtime traffic
+  const net::BroadcastStats& b2 = cluster.node(2).broadcast_stats();
+  EXPECT_EQ(b2.stale_resets, 1u);
+  EXPECT_EQ(b2.amnesia_resets, 0u);
+  EXPECT_GE(b2.outbox_replays, 0u);
+  EXPECT_FALSE(cluster.node(2).down());
+}
+
+/// keep_fraction edge cases: 1.0 degenerates to a durable restart (nothing
+/// truncated), 0.0 is a full rewind — strictly worse than amnesia's stable
+/// log, yet still recoverable from peers.
+TEST(StaleCheckpointRecovery, KeepFractionEdgeCases) {
+  for (const double keep : {1.0, 0.0}) {
+    harness::Scenario sc = harness::lan(3);
+    sc.faults.disk_failure(1, 6.0, 9.0, keep);
+    Cluster cluster(sc.cluster_config<Air>(7));
+    harness::AirlineWorkload w;
+    w.duration = 12.0;
+    w.request_rate = 3.0;
+    w.mover_rate = 2.0;
+    harness::drive_airline(cluster, w, 8);
+    cluster.run_until(w.duration);
+    cluster.settle();
+    expect_guarantees(cluster);
+    EXPECT_EQ(cluster.node(1).broadcast_stats().stale_resets, 1u)
+        << "keep=" << keep;
+  }
+}
+
+/// Determinism regression for the new fault modes: a run mixing stale-disk
+/// recovery, a rack power loss, and a mid-broadcast crash must be
+/// byte-identical across two fresh runs with the same seed — execution
+/// trace, stats, serialized event stream, and metrics alike.
+TEST(StaleCheckpointRecovery, SameSeedIsByteIdentical) {
+  const auto run = [] {
+    harness::Scenario sc = harness::wan(4);
+    sc.faults = sim::FaultPlan(0xFA17);
+    sc.faults.disk_failure(1, 3.0, 6.5)  // seeded keep_fraction draw
+        .rack_power_loss({2, 3}, 4, 8.0, 11.0)
+        .crash_mid_broadcast(0, 3, /*down_for=*/2.0);
+    sc.trace.enabled = true;
+    Cluster cluster(sc.cluster_config<Air>(0xD37E));
+    obs::VectorSink events;
+    cluster.tracer()->add_sink(&events);
+    harness::AirlineWorkload w;
+    w.duration = 14.0;
+    w.request_rate = 5.0;
+    w.mover_rate = 3.0;
+    w.cancel_fraction = 0.2;
+    harness::drive_airline(cluster, w, 0x5EED);
+    cluster.run_until(w.duration);
+    cluster.settle();
+    std::ostringstream os;
+    os << trace_bytes(cluster.execution());
+    os << cluster.aggregate_engine_stats().summary() << '\n';
+    for (std::size_t n = 0; n < cluster.num_nodes(); ++n) {
+      os << cluster.node(n).broadcast_stats().summary() << '\n';
+    }
+    os << obs::serialize(events.events());
+    os << cluster.metrics().to_json() << '\n';
+    return os.str();
+  };
+  const std::string a = run();
+  const std::string b = run();
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a.find("stale_resets=1"), std::string::npos);
+  EXPECT_NE(a.find("mid_broadcast_crashes=1"), std::string::npos);
+}
+
+/// The write-ahead intention-log boundary: node 0 crashes after appending
+/// its 3rd originated update to the stable outbox but before the first
+/// flood send. The decision has run and its external actions have fired,
+/// so the update must eventually merge everywhere, exactly once — it is
+/// either never visible anywhere or visible everywhere; no third outcome.
+TEST(MidBroadcastCrash, DurableButUnsentUpdateMergesExactlyOnce) {
+  harness::Scenario sc = harness::lan(3);
+  sc.faults.crash_mid_broadcast(0, 3, /*down_for=*/3.0);
+  Cluster cluster(sc.cluster_config<Air>(17));
+  // Five sequential requests at node 0; the third trips the armed crash
+  // (the interrupted update is durable but unsent), and the remaining two
+  // arrive while the node is down, so they are rejected. The grants are
+  // submitted after the restart.
+  for (int i = 1; i <= 5; ++i) {
+    cluster.submit_at(0.2 * i, 0,
+                      al::Request::request(static_cast<al::Person>(i)));
+  }
+  for (double t : {4.5, 5.0, 5.5}) {
+    cluster.submit_at(t, 0, al::Request::move_up());
+  }
+  cluster.run_until(10.0);
+  cluster.settle();
+  expect_guarantees(cluster);
+
+  EXPECT_EQ(cluster.node(0).broadcast_stats().mid_broadcast_crashes, 1u);
+  EXPECT_EQ(cluster.node(0).engine_stats().crashes, 1u);
+  EXPECT_EQ(cluster.node(0).engine_stats().recoveries, 1u);
+  // The interrupted update is visible at every replica exactly once: all
+  // replicas converged (checked above) and the trace holds each decision
+  // exactly once, so it suffices that node 0's origin log made it into the
+  // shared execution — and no grant fired twice.
+  const auto exec = cluster.execution();
+  std::map<std::string, int> grants;
+  for (std::size_t i = 0; i < exec.size(); ++i) {
+    for (const auto& a : exec.tx(i).external_actions) {
+      if (a.kind == "grant-seat") ++grants[a.subject];
+    }
+  }
+  EXPECT_EQ(grants.size(), 3u);
+  for (const auto& [subject, count] : grants) {
+    EXPECT_EQ(count, 1) << "duplicate grant for " << subject;
+  }
+  // 3 requests (the interrupted third included) + 3 grants; the two
+  // requests that reached a down node were rejected, not deferred.
+  EXPECT_EQ(cluster.node(0).originated().size(), 6u);
+  EXPECT_EQ(cluster.node(0).engine_stats().rejected_submissions, 2u);
+}
+
+/// A mid-broadcast crash whose trigger never happens (the node never
+/// reaches that origin seq) is a no-op: no crash, clean run.
+TEST(MidBroadcastCrash, UnreachedTriggerNeverFires) {
+  harness::Scenario sc = harness::lan(3);
+  sc.faults.crash_mid_broadcast(1, 1000);
+  Cluster cluster(sc.cluster_config<Air>(23));
+  harness::AirlineWorkload w;
+  w.duration = 6.0;
+  w.request_rate = 2.0;
+  harness::drive_airline(cluster, w, 24);
+  cluster.run_until(w.duration);
+  cluster.settle();
+  expect_guarantees(cluster);
+  EXPECT_EQ(cluster.aggregate_engine_stats().crashes, 0u);
+  EXPECT_EQ(cluster.node(1).broadcast_stats().mid_broadcast_crashes, 0u);
+}
+
+/// Mid-broadcast crash followed by amnesia recovery: the stable outbox
+/// (which already holds the interrupted record) is replayed, and the
+/// update still merges exactly once everywhere.
+TEST(MidBroadcastCrash, AmnesiaRestartReplaysInterruptedRecord) {
+  harness::Scenario sc = harness::lan(3);
+  sc.faults.crash_mid_broadcast(0, 2, /*down_for=*/2.0,
+                                sim::RecoveryMode::kAmnesia);
+  Cluster cluster(sc.cluster_config<Air>(29));
+  for (double t : {0.5, 1.0}) {
+    cluster.submit_at(t, 0, al::Request::move_up());
+  }
+  harness::AirlineWorkload w;
+  w.duration = 8.0;
+  w.request_rate = 2.0;
+  harness::drive_airline(cluster, w, 30);
+  cluster.run_until(w.duration);
+  cluster.settle();
+  expect_guarantees(cluster);
+  const net::BroadcastStats& b0 = cluster.node(0).broadcast_stats();
+  EXPECT_EQ(b0.mid_broadcast_crashes, 1u);
+  EXPECT_EQ(b0.amnesia_resets, 1u);
+  EXPECT_GE(b0.outbox_replays, 2u);  // both pre-crash records, incl. the
+                                     // interrupted one
 }
 
 }  // namespace

@@ -154,7 +154,7 @@ TEST(Scenario, ProfilesHaveExpectedShapes) {
   const auto lan = harness::lan(5);
   EXPECT_EQ(lan.num_nodes, 5u);
   EXPECT_DOUBLE_EQ(lan.drop_probability, 0.0);
-  EXPECT_FALSE(lan.partitions.partitioned_at(1.0));
+  EXPECT_FALSE(lan.faults.partitioned_at(1.0));
   EXPECT_LE(lan.delay.upper_bound(), 0.01);
 
   const auto wan = harness::wan(4);
@@ -162,14 +162,20 @@ TEST(Scenario, ProfilesHaveExpectedShapes) {
   EXPECT_GT(wan.delay.upper_bound(), lan.delay.upper_bound());
 
   const auto part = harness::partitioned_wan(4, 2.0, 9.0);
-  EXPECT_TRUE(part.partitions.partitioned_at(5.0));
-  EXPECT_FALSE(part.partitions.partitioned_at(9.5));
-  EXPECT_FALSE(part.partitions.connected(0, 3, 5.0));
-  EXPECT_TRUE(part.partitions.connected(0, 1, 5.0));
+  EXPECT_TRUE(part.faults.partitioned_at(5.0));
+  EXPECT_FALSE(part.faults.partitioned_at(9.5));
+  EXPECT_FALSE(part.faults.connected(0, 3, 5.0));
+  EXPECT_TRUE(part.faults.connected(0, 1, 5.0));
 
   const auto flaky = harness::flaky_node(4, 1.0, 3.0);
-  EXPECT_FALSE(flaky.partitions.connected(3, 0, 2.0));
-  EXPECT_TRUE(flaky.partitions.connected(0, 1, 2.0));
+  EXPECT_FALSE(flaky.faults.connected(3, 0, 2.0));
+  EXPECT_TRUE(flaky.faults.connected(0, 1, 2.0));
+
+  const auto roll = harness::rolling_restart(4, 1.0, 2.0, 0.5);
+  EXPECT_EQ(roll.faults.crashes().events().size(), 4u);
+  EXPECT_TRUE(roll.faults.down(0, 1.5));
+  EXPECT_FALSE(roll.faults.down(1, 1.5));  // one node at a time
+  EXPECT_DOUBLE_EQ(roll.faults.last_restart_time(), 1.0 + 3 * 2.5 + 2.0);
 }
 
 TEST(Scenario, ClusterConfigCarriesEverything) {
@@ -183,7 +189,10 @@ TEST(Scenario, ClusterConfigCarriesEverything) {
   EXPECT_DOUBLE_EQ(cfg.broadcast.anti_entropy_interval, 0.7);
   EXPECT_EQ(cfg.checkpoint_interval, 5u);
   EXPECT_EQ(cfg.seed, 77u);
-  EXPECT_TRUE(cfg.network.partitions.partitioned_at(1.5));
+  // Partition cuts travel inside the plan; Cluster folds them into the
+  // network schedule at construction.
+  EXPECT_TRUE(cfg.faults.partitioned_at(1.5));
+  EXPECT_FALSE(cfg.network.partitions.partitioned_at(1.5));
 }
 
 TEST(Workload, BankingMixFollowsFractions) {

@@ -24,7 +24,7 @@
 #include "obs/tracer.hpp"
 #include "shard/cluster.hpp"
 #include "shard/engine_stats.hpp"
-#include "sim/crash.hpp"
+#include "sim/fault_plan.hpp"
 
 namespace {
 
@@ -197,8 +197,8 @@ TEST(Metrics, FromJsonRejectsMalformedInput) {
 std::unique_ptr<Cluster> make_traced_chaos_cluster(
     obs::VectorSink* sink = nullptr) {
   harness::Scenario sc = harness::wan(4);
-  sc.partitions.split_halves(4, 2, 6.0, 10.0);
-  sc.crashes.crash(1, 3.0, 6.5, sim::RecoveryMode::kDurable)
+  sc.faults.split_halves(4, 2, 6.0, 10.0)
+      .crash(1, 3.0, 6.5, sim::RecoveryMode::kDurable)
       .crash(3, 8.0, 11.0, sim::RecoveryMode::kAmnesia);
   sc.trace.enabled = true;
   sc.trace.ring_capacity = 1 << 16;

@@ -8,6 +8,7 @@
 #include "apps/dictionary/sharded.hpp"
 #include "harness/scenario.hpp"
 #include "shard/partial.hpp"
+#include "sim/fault_plan.hpp"
 #include "sim/rng.hpp"
 
 namespace {
@@ -193,7 +194,8 @@ TEST(Partial, DictionaryShardsConvergeUnderPartition) {
   cfg.num_groups = 8;
   cfg.replication_factor = 2;
   cfg.network.delay = sim::Delay::uniform(0.01, 0.08);
-  cfg.network.partitions.split_halves(4, 2, 1.0, 6.0);
+  cfg.network.partitions =
+      sim::FaultPlan{}.split_halves(4, 2, 1.0, 6.0).partitions();
   cfg.anti_entropy_interval = 0.3;
   cfg.seed = 12;
   shard::PartialCluster<Dict8> cluster(cfg);

@@ -26,7 +26,7 @@
 #include "harness/workload.hpp"
 #include "obs/tracer.hpp"
 #include "shard/cluster.hpp"
-#include "sim/crash.hpp"
+#include "sim/fault_plan.hpp"
 #include "sim/rng.hpp"
 
 namespace {
@@ -137,25 +137,6 @@ void verify_interned_prefixes(shard::Cluster<Air>& cluster,
   EXPECT_GT(checked, 0u);
 }
 
-sim::PartitionSchedule random_partitions(sim::Rng& rng, std::size_t nodes,
-                                         double horizon, int events) {
-  sim::PartitionSchedule ps;
-  for (int e = 0; e < events; ++e) {
-    const double start = rng.uniform(0.0, horizon * 0.8);
-    sim::PartitionEvent ev;
-    ev.start = start;
-    ev.end = start + rng.uniform(1.0, horizon * 0.4);
-    std::vector<sim::NodeId> left, right;
-    for (sim::NodeId n = 0; n < nodes; ++n) {
-      (rng.bernoulli(0.5) ? left : right).push_back(n);
-    }
-    if (left.empty() || right.empty()) continue;
-    ev.groups = {std::move(left), std::move(right)};
-    ps.add(std::move(ev));
-  }
-  return ps;
-}
-
 class PrefixChaos : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(PrefixChaos, InternedPrefixMatchesTraceOracle) {
@@ -169,8 +150,9 @@ TEST_P(PrefixChaos, InternedPrefixMatchesTraceOracle) {
   sc.delay = sim::Delay::exponential(rng.uniform(0.005, 0.05),
                                      rng.uniform(0.05, 0.3), 5.0);
   sc.drop_probability = rng.uniform(0.0, 0.25);
-  sc.partitions = random_partitions(
-      rng, nodes, horizon, static_cast<int>(rng.uniform_int(0, 3)));
+  sc.faults = sim::FaultPlan(GetParam() ^ 0x9afb);
+  sc.faults.random_partitions(nodes, horizon,
+                              static_cast<int>(rng.uniform_int(0, 3)));
   sc.anti_entropy_interval = rng.uniform(0.2, 0.8);
   // Both delivery modes: non-causal runs exercise the out-of-order extras
   // path of PrefixRef; compaction runs prove folding never corrupts the
@@ -226,9 +208,11 @@ TEST_P(PrefixCrashChaos, InternedPrefixSurvivesCrashRecovery) {
   sc.delay = sim::Delay::exponential(rng.uniform(0.005, 0.05),
                                      rng.uniform(0.05, 0.2), 5.0);
   sc.drop_probability = rng.uniform(0.0, 0.2);
-  sc.crashes = sim::CrashSchedule::random(
-      rng, nodes, horizon, static_cast<int>(rng.uniform_int(1, 4)),
-      /*min_down=*/1.0, /*max_down=*/5.0, /*amnesia_probability=*/0.5);
+  sc.faults = sim::FaultPlan(GetParam() ^ 0x37c1);
+  sc.faults.random_crashes(nodes, horizon,
+                           static_cast<int>(rng.uniform_int(1, 4)),
+                           /*min_down=*/1.0, /*max_down=*/5.0,
+                           /*amnesia_probability=*/0.5);
   sc.anti_entropy_interval = rng.uniform(0.2, 0.6);
   sc.compaction = rng.bernoulli(0.5);
   sc.trace.enabled = true;

@@ -8,8 +8,8 @@
 #include <vector>
 
 #include "sim/delay.hpp"
+#include "sim/fault_plan.hpp"
 #include "sim/network.hpp"
-#include "sim/partition.hpp"
 #include "sim/rng.hpp"
 #include "sim/scheduler.hpp"
 
@@ -187,14 +187,14 @@ TEST(Delay, DescribeMentionsModel) {
 }
 
 TEST(Partition, NoEventsMeansConnected) {
-  sim::PartitionSchedule ps;
+  sim::FaultPlan ps;
   EXPECT_TRUE(ps.connected(0, 1, 0.0));
   EXPECT_FALSE(ps.partitioned_at(5.0));
   EXPECT_DOUBLE_EQ(ps.last_heal_time(), 0.0);
 }
 
 TEST(Partition, SplitHalvesCutsAcrossOnly) {
-  sim::PartitionSchedule ps;
+  sim::FaultPlan ps;
   ps.split_halves(4, 2, 10.0, 20.0);
   // Before and after the window: all connected.
   EXPECT_TRUE(ps.connected(0, 3, 9.99));
@@ -209,7 +209,7 @@ TEST(Partition, SplitHalvesCutsAcrossOnly) {
 }
 
 TEST(Partition, IsolateSingleNode) {
-  sim::PartitionSchedule ps;
+  sim::FaultPlan ps;
   ps.isolate(2, 4, 0.0, 5.0);
   EXPECT_FALSE(ps.connected(2, 0, 1.0));
   EXPECT_FALSE(ps.connected(1, 2, 1.0));
@@ -219,7 +219,7 @@ TEST(Partition, IsolateSingleNode) {
 }
 
 TEST(Partition, OverlappingEventsComposeConjunctively) {
-  sim::PartitionSchedule ps;
+  sim::FaultPlan ps;
   ps.split_halves(4, 2, 0.0, 10.0);  // {0,1} | {2,3}
   ps.isolate(1, 4, 5.0, 15.0);       // {1} | {0,2,3}
   EXPECT_TRUE(ps.connected(0, 1, 2.0));
@@ -234,16 +234,16 @@ TEST(Partition, NodeAbsentFromAllGroupsIsIsolated) {
   ev.start = 0.0;
   ev.end = 10.0;
   ev.groups = {{0, 1}};  // node 2 not listed anywhere
-  sim::PartitionSchedule ps;
-  ps.add(ev);
+  sim::FaultPlan ps;
+  ps.partition(ev);
   EXPECT_FALSE(ps.connected(0, 2, 5.0));
   EXPECT_FALSE(ps.connected(1, 2, 5.0));
   EXPECT_TRUE(ps.connected(0, 1, 5.0));
 }
 
 TEST(Partition, DescribeSummarizes) {
-  sim::PartitionSchedule ps;
-  EXPECT_EQ(ps.describe(), "no partitions");
+  sim::FaultPlan ps;
+  EXPECT_EQ(ps.describe(), "no faults");
   ps.split_halves(4, 2, 1.0, 2.0);
   EXPECT_NE(ps.describe().find("1 partition event"), std::string::npos);
 }
@@ -269,7 +269,7 @@ TEST(Network, DeliversAfterSampledDelay) {
 TEST(Network, PartitionAtSendTimeDropsMessage) {
   sim::Scheduler sched;
   sim::Network::Config cfg;
-  cfg.partitions.split_halves(2, 1, 0.0, 10.0);
+  cfg.partitions = sim::FaultPlan{}.split_halves(2, 1, 0.0, 10.0).partitions();
   sim::Network net(sched, cfg, 1);
   int received = 0;
   net.register_node(0, [](const sim::Message&) {});

@@ -63,8 +63,8 @@ int cmd_record(int argc, char** argv) {
 
   constexpr double kHorizon = 20.0;
   harness::Scenario sc = harness::wan(4);
-  sc.partitions.split_halves(4, 2, 6.0, 10.0);
-  sc.crashes.crash(1, 3.0, 6.5, sim::RecoveryMode::kDurable)
+  sc.faults.split_halves(4, 2, 6.0, 10.0)
+      .crash(1, 3.0, 6.5, sim::RecoveryMode::kDurable)
       .crash(3, 8.0, 11.0, sim::RecoveryMode::kAmnesia);
   sc.trace.enabled = true;
   sc.trace.ring_capacity = 1 << 15;
