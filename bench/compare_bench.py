@@ -5,6 +5,7 @@ Usage:
     compare_bench.py e20 bench/baselines/BENCH_e20.json BENCH_e20.json
     compare_bench.py e10 bench/baselines/BENCH_e10.json BENCH_e10.json
     compare_bench.py e22 bench/baselines/BENCH_e22.json BENCH_e22.json
+    compare_bench.py e23 bench/baselines/BENCH_e23.json BENCH_e23.json
 
 The gate is designed to be machine-independent:
 
@@ -27,6 +28,13 @@ The gate is designed to be machine-independent:
   checkers dirty is an instant failure) and the fault/availability
   counters and lag gauges within the tolerance, allowing intentional
   workload tweaks without a baseline dance.
+
+* e23 (streaming-checker harness): the binary gates are exact — streaming
+  reports must match the post-hoc oracles on every run ("agrees") and the
+  bounded-memory row must drain to a window-sized footprint
+  ("window_bounded"). The checker/adversary counters are deterministic per
+  (mode, seed) and gated within the tolerance; wall-clock overhead is
+  machine noise and only reported.
 
 Exit status 0 = within tolerance, 1 = regression, 2 = usage/parse error.
 """
@@ -206,6 +214,58 @@ def compare_e22(base, cur, tol):
     return rc
 
 
+E23_COUNTERS = [
+    "e23.txs",
+    "e23.retained_final",
+    "checker.txs_finalized",
+    "checker.deliveries",
+    "checker.violations",
+    "checker.divergence_events",
+    "checker.peak_pending",
+    "checker.peak_ledger_entries",
+    "checker.peak_shadow_entries",
+    "broadcast.byz_corrupted",
+    "broadcast.byz_duplicated",
+    "broadcast.byz_reordered",
+]
+
+
+def compare_e23(base, cur, tol):
+    rc = 0
+    base_rows = {r["mode"]: r for r in base["rows"]}
+    for row in cur["rows"]:
+        mode = row["mode"]
+        # The differential gate is binary: streaming must match the post-hoc
+        # oracles on every run, and the bounded row must have drained to a
+        # window-sized footprint. Any drift here is an instant failure.
+        if not row["agrees"]:
+            rc |= fail(f"mode={mode} streaming/oracle agreement is false")
+            continue
+        if not row["window_bounded"]:
+            rc |= fail(f"mode={mode} window_bounded is false")
+            continue
+        br = base_rows.get(mode)
+        if br is None:
+            print(f"note: mode={mode} has no baseline row; skipping")
+            continue
+        counters = row["metrics"]["counters"]
+        bcounters = br["metrics"]["counters"]
+        for name in E23_COUNTERS:
+            c, b = counters.get(name, 0), bcounters.get(name, 0)
+            if not within(c, b, tol):
+                rc |= fail(f"mode={mode} {name}: {c} vs baseline {b} "
+                           f"(tol {tol:.0%})")
+            else:
+                print(f"ok: mode={mode} {name}: {c} (baseline {b})")
+        if "overhead_pct_vs_off" in row:
+            print(f"info: mode={mode} overhead_pct_vs_off "
+                  f"{row['overhead_pct_vs_off']:.1f} (wall clock; not gated)")
+    missing = set(base_rows) - {r["mode"] for r in cur["rows"]}
+    if missing:
+        rc |= fail(f"checker modes missing from current run: {sorted(missing)}")
+    return rc
+
+
 def main(argv):
     if len(argv) < 4:
         print(__doc__)
@@ -228,8 +288,10 @@ def main(argv):
         rc = compare_e10(base, cur, tol)
     elif kind == "e22":
         rc = compare_e22(base, cur, tol)
+    elif kind == "e23":
+        rc = compare_e23(base, cur, tol)
     else:
-        print(f"unknown kind {kind!r} (want e10, e20 or e22)")
+        print(f"unknown kind {kind!r} (want e10, e20, e22 or e23)")
         return 2
     print("PASS" if rc == 0 else "FAIL")
     return rc

@@ -17,6 +17,7 @@
 #include <sstream>
 #include <vector>
 
+#include "analysis/messages.hpp"
 #include "analysis/report.hpp"
 #include "core/execution.hpp"
 
@@ -32,7 +33,7 @@ namespace analysis {
 template <core::Application App, class Preserves, class FBound>
 CheckReport check_theorem5(const core::Execution<App>& exec, int constraint,
                            Preserves&& preserves, FBound&& f) {
-  CheckReport report("theorem 5 step bound");
+  CheckReport report(msg::kTheorem5Title);
   auto states = exec.actual_states();
   for (std::size_t i = 0; i < exec.size(); ++i) {
     if (!preserves(exec.tx(i).request, constraint)) continue;
@@ -40,10 +41,8 @@ CheckReport check_theorem5(const core::Execution<App>& exec, int constraint,
     const double after = App::cost(states[i + 1], constraint);
     const std::size_t k = exec.missing_count(i);
     if (after > before + 1e-9 && after > f(constraint, k) + 1e-9) {
-      std::ostringstream os;
-      os << "tx " << i << " (k=" << k << "): cost " << before << " -> "
-         << after << " exceeds f(k)=" << f(constraint, k);
-      report.add_violation(os.str());
+      report.add_violation(
+          msg::theorem5_step(i, k, before, after, f(constraint, k)));
     }
   }
   return report;
@@ -60,17 +59,15 @@ template <core::Application App, class Unsafe, class FBound>
 CheckReport check_theorem7(const core::Execution<App>& exec, int constraint,
                            Unsafe&& unsafe, FBound&& f,
                            std::optional<std::size_t> k_opt = std::nullopt) {
-  CheckReport report("theorem 7 invariant bound");
+  CheckReport report(msg::kTheorem7Title);
   std::size_t k = 0;
   if (k_opt.has_value()) {
     k = *k_opt;
     for (std::size_t i = 0; i < exec.size(); ++i) {
       if (unsafe(exec.tx(i).request, constraint) &&
           exec.missing_count(i) > k) {
-        std::ostringstream os;
-        os << "hypothesis fails: unsafe tx " << i << " misses "
-           << exec.missing_count(i) << " > k=" << k;
-        report.add_violation(os.str());
+        report.add_violation(
+            msg::theorem7_hypothesis(i, exec.missing_count(i), k));
       }
     }
   } else {
@@ -85,10 +82,7 @@ CheckReport check_theorem7(const core::Execution<App>& exec, int constraint,
   for (std::size_t si = 0; si < states.size(); ++si) {
     const double c = App::cost(states[si], constraint);
     if (c > bound + 1e-9) {
-      std::ostringstream os;
-      os << "reachable state " << si << " has cost " << c << " > f(" << k
-         << ")=" << bound;
-      report.add_violation(os.str());
+      report.add_violation(msg::theorem7_state(si, c, k, bound));
     }
   }
   return report;

@@ -16,6 +16,7 @@
 #include <sstream>
 #include <vector>
 
+#include "analysis/messages.hpp"
 #include "analysis/report.hpp"
 #include "core/execution.hpp"
 
@@ -28,22 +29,16 @@ namespace analysis {
 template <core::Application App>
 CheckReport check_prefix_subsequence_condition(
     const core::Execution<App>& exec) {
-  CheckReport report("prefix-subsequence condition (§3.1)");
+  CheckReport report(msg::kPrefixSubsequenceTitle);
   for (std::size_t i = 0; i < exec.size(); ++i) {
     const auto& tx = exec.tx(i);
     // (1): I_i is a subsequence of {0..i-1}, strictly increasing.
     for (std::size_t j = 0; j < tx.prefix.size(); ++j) {
       if (tx.prefix[j] >= i) {
-        std::ostringstream os;
-        os << "tx " << i << ": prefix references non-preceding tx "
-           << tx.prefix[j];
-        report.add_violation(os.str(), i);
+        report.add_violation(msg::prefix_non_preceding(i, tx.prefix[j]), i);
       }
       if (j > 0 && tx.prefix[j] <= tx.prefix[j - 1]) {
-        std::ostringstream os;
-        os << "tx " << i << ": prefix not strictly increasing at position "
-           << j;
-        report.add_violation(os.str(), i);
+        report.add_violation(msg::prefix_not_increasing(i, j), i);
       }
     }
     // (2)+(3): the recorded update/external actions must equal what the
@@ -51,36 +46,25 @@ CheckReport check_prefix_subsequence_condition(
     // subsequence applied to s0.
     const typename App::State apparent = exec.apparent_state_before(i);
     if (!App::well_formed(apparent)) {
-      std::ostringstream os;
-      os << "tx " << i << ": apparent state not well-formed";
-      report.add_violation(os.str(), i);
+      report.add_violation(msg::apparent_ill_formed(i), i);
     }
     const core::DecisionResult<typename App::Update> redo =
         App::decide(tx.request, apparent);
     if (!(redo.update == tx.update)) {
-      std::ostringstream os;
-      os << "tx " << i
-         << ": recorded update differs from decision re-run on apparent "
-            "state (condition (3))";
-      report.add_violation(os.str(), i);
+      report.add_violation(msg::update_mismatch(i), i);
     }
     if (redo.external_actions != tx.external_actions) {
-      std::ostringstream os;
-      os << "tx " << i << ": recorded external actions differ from decision "
-                          "re-run (condition (3))";
-      report.add_violation(os.str(), i);
+      report.add_violation(msg::actions_mismatch(i), i);
     }
   }
   // (4): actual states must be well-formed (updates preserve
   // well-formedness; s0 is well-formed).
   typename App::State s = App::initial();
-  if (!App::well_formed(s)) report.add_violation("initial state ill-formed");
+  if (!App::well_formed(s)) report.add_violation(msg::initial_ill_formed());
   for (std::size_t i = 0; i < exec.size(); ++i) {
     App::apply(exec.tx(i).update, s);
     if (!App::well_formed(s)) {
-      std::ostringstream os;
-      os << "actual state after tx " << i << " not well-formed";
-      report.add_violation(os.str(), i);
+      report.add_violation(msg::actual_ill_formed(i), i);
     }
   }
   return report;

@@ -1,0 +1,94 @@
+// Canonical violation-message builders, shared by the post-hoc oracles
+// (execution_checker.hpp, cost_bounds.hpp) and the streaming checkers
+// (streaming.hpp).
+//
+// The streaming checkers promise violation sets BYTE-IDENTICAL to the
+// post-hoc oracles' (the differential suite in test_streaming_checkers.cpp
+// enforces it on every seed). Centralizing the message text makes that
+// identity hold by construction instead of by parallel maintenance: a
+// wording tweak lands in one place and both sides pick it up.
+#pragma once
+
+#include <cstddef>
+#include <sstream>
+#include <string>
+
+namespace analysis::msg {
+
+// --- prefix-subsequence condition (§3.1) -------------------------------
+
+inline std::string prefix_non_preceding(std::size_t i, std::size_t ref) {
+  std::ostringstream os;
+  os << "tx " << i << ": prefix references non-preceding tx " << ref;
+  return os.str();
+}
+
+inline std::string prefix_not_increasing(std::size_t i, std::size_t pos) {
+  std::ostringstream os;
+  os << "tx " << i << ": prefix not strictly increasing at position " << pos;
+  return os.str();
+}
+
+inline std::string apparent_ill_formed(std::size_t i) {
+  std::ostringstream os;
+  os << "tx " << i << ": apparent state not well-formed";
+  return os.str();
+}
+
+inline std::string update_mismatch(std::size_t i) {
+  std::ostringstream os;
+  os << "tx " << i
+     << ": recorded update differs from decision re-run on apparent "
+        "state (condition (3))";
+  return os.str();
+}
+
+inline std::string actions_mismatch(std::size_t i) {
+  std::ostringstream os;
+  os << "tx " << i << ": recorded external actions differ from decision "
+                      "re-run (condition (3))";
+  return os.str();
+}
+
+inline std::string initial_ill_formed() { return "initial state ill-formed"; }
+
+inline std::string actual_ill_formed(std::size_t i) {
+  std::ostringstream os;
+  os << "actual state after tx " << i << " not well-formed";
+  return os.str();
+}
+
+// --- theorem 5 step bound ----------------------------------------------
+
+inline std::string theorem5_step(std::size_t i, std::size_t k, double before,
+                                 double after, double bound) {
+  std::ostringstream os;
+  os << "tx " << i << " (k=" << k << "): cost " << before << " -> " << after
+     << " exceeds f(k)=" << bound;
+  return os.str();
+}
+
+// --- theorem 7 invariant bound -----------------------------------------
+
+inline std::string theorem7_hypothesis(std::size_t i, std::size_t missing,
+                                       std::size_t k) {
+  std::ostringstream os;
+  os << "hypothesis fails: unsafe tx " << i << " misses " << missing
+     << " > k=" << k;
+  return os.str();
+}
+
+inline std::string theorem7_state(std::size_t si, double cost, std::size_t k,
+                                  double bound) {
+  std::ostringstream os;
+  os << "reachable state " << si << " has cost " << cost << " > f(" << k
+     << ")=" << bound;
+  return os.str();
+}
+
+// Report titles, shared for the same reason as the message bodies.
+inline const char* kPrefixSubsequenceTitle = "prefix-subsequence condition (§3.1)";
+inline const char* kTheorem5Title = "theorem 5 step bound";
+inline const char* kTheorem7Title = "theorem 7 invariant bound";
+
+}  // namespace analysis::msg

@@ -71,4 +71,37 @@ std::string trace_dump(const CheckReport& report,
   return os.str();
 }
 
+/// Render pinned counter-example windows (obs::PinnedWindow, captured by a
+/// StreamingChecker at the moment each violation was detected). Unlike the
+/// live-ring overload above, this cannot come back empty just because the
+/// run kept going: the slice was taken before the ring could wrap past the
+/// offending update.
+template <core::Application App>
+std::string trace_dump(const CheckReport& report,
+                       const core::Execution<App>& exec,
+                       const std::vector<obs::PinnedWindow>& pinned) {
+  if (report.ok()) return {};
+  std::ostringstream os;
+  os << "pinned trace context for "
+     << (report.title().empty() ? "check" : report.title()) << ":\n";
+  for (std::size_t i : report.violating_txs()) {
+    if (i >= exec.size()) continue;
+    const core::Timestamp& ts = exec.tx(i).ts;
+    os << "-- tx " << i << " ts=" << ts.logical << ":" << ts.node << " --\n";
+    bool found = false;
+    for (const obs::PinnedWindow& w : pinned) {
+      if (w.ts_logical != ts.logical || w.ts_node != ts.node) continue;
+      found = true;
+      if (w.events.empty()) {
+        os << "(window pinned with no ring events)\n";
+      } else {
+        os << "pinned window:\n" << obs::serialize(w.events);
+      }
+      break;
+    }
+    if (!found) os << "(no window pinned for this update)\n";
+  }
+  return os.str();
+}
+
 }  // namespace analysis

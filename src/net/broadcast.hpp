@@ -32,9 +32,12 @@
 #include <utility>
 #include <vector>
 
+#include <optional>
+
 #include "core/prefix.hpp"
 #include "net/broadcast_stats.hpp"
 #include "obs/tracer.hpp"
+#include "sim/fault_plan.hpp"
 #include "sim/network.hpp"
 
 namespace net {
@@ -65,6 +68,12 @@ struct BroadcastOptions {
   /// relies on peers retaining everything an amnesiac node may re-request
   /// and on the node's own complete stable outbox (Cluster validates).
   bool prune_repair_store = false;
+  /// Byzantine receive-path adversary (sim::ByzantineOptions): seeded
+  /// corruption / duplication / reordering of incoming wires, applied
+  /// before accept(). Disabled by default; an unarmed endpoint draws no
+  /// adversary randomness, so unarmed runs are byte-identical to builds
+  /// that predate the adversary.
+  sim::ByzantineOptions byzantine;
 };
 
 /// One endpoint of the cluster-wide broadcast. `Payload` is the application
@@ -104,6 +113,13 @@ class ReliableBroadcast {
   /// reaches peers only through post-restart anti-entropy, which is exactly
   /// the guarantee under test (sim::MidBroadcastCrash).
   using MidBroadcastCrashFn = std::function<bool(std::uint64_t origin_seq)>;
+  /// Byzantine corruption hook: substitute the application part of `target`
+  /// using `donor` (a previously seen payload) while PRESERVING target's
+  /// identity/timestamp fields — only the owner of the Payload type knows
+  /// which fields are which, so the Node installs this. Must return false
+  /// (leaving target untouched) when the substitution would be a no-op;
+  /// those draws count as provably masked (byz_corrupt_noops).
+  using CorruptFn = std::function<bool(Payload& target, const Payload& donor)>;
 
   ReliableBroadcast(sim::Network& network, sim::NodeId self,
                     std::size_t cluster_size, BroadcastOptions options,
@@ -243,6 +259,10 @@ class ReliableBroadcast {
     mid_crash_hook_ = std::move(hook);
   }
 
+  /// Install the Byzantine corruption hook (see CorruptFn). Without one,
+  /// an armed adversary still duplicates and reorders but cannot corrupt.
+  void set_corrupt_hook(CorruptFn hook) { corrupt_fn_ = std::move(hook); }
+
   /// Amnesia restart: all volatile broadcast state — delivery vectors,
   /// repair store of *other* nodes' payloads, causal holding buffer — is
   /// lost. What survives is the stable outbox: this node's own wire
@@ -263,6 +283,7 @@ class ReliableBroadcast {
     std::fill(delivered_count_.begin(), delivered_count_.end(), 0);
     std::fill(contiguous_have_.begin(), contiguous_have_.end(), 0);
     pending_.clear();
+    held_.reset();  // a wire the adversary held back is volatile state
     ++stats_.amnesia_resets;
     set_down(false);
     for (const Wire& w : outbox) {
@@ -301,6 +322,7 @@ class ReliableBroadcast {
     contiguous_have_ = keep;
     for (auto& e : seen_extra_) e.clear();
     pending_.clear();
+    held_.reset();  // a wire the adversary held back is volatile state
     ++stats_.stale_resets;
     set_down(false);
     for (std::size_t i = keep[self_]; i < outbox.size(); ++i) {
@@ -335,16 +357,20 @@ class ReliableBroadcast {
 
   void on_message(const sim::Message& m) {
     if (down_) return;  // defensive: the network drops these before us
+    // A wire the adversary held back is released after the NEXT packet is
+    // processed — note the hold now so a hold created below isn't flushed
+    // by its own message.
+    const bool flush_held = held_.has_value();
     const auto& p = std::any_cast<const Packet&>(m.payload);
     switch (p.type) {
       case PacketType::kWire:
-        accept(p.wire);
+        ingest_wire(p.wire);
         break;
       case PacketType::kDigest:
         answer_digest(m.src, p.digest);
         break;
       case PacketType::kRepair:
-        for (const Wire& w : p.repairs) accept(w);
+        for (const Wire& w : p.repairs) ingest_wire(w);
         // A truncated batch means the sender holds more than the cap let
         // through; re-digest immediately (with the just-advanced counts)
         // instead of waiting out the anti-entropy period.
@@ -360,6 +386,80 @@ class ReliableBroadcast {
         }
         break;
     }
+    if (flush_held && held_) {
+      Wire w = std::move(*held_);
+      held_.reset();
+      accept(w);
+    }
+  }
+
+  /// Receive-path ingestion: the Byzantine adversary (when armed for the
+  /// current simulated time) gets one chance to reorder, corrupt and/or
+  /// duplicate each incoming wire before accept(). An unarmed endpoint
+  /// takes the straight accept() path and draws no adversary randomness.
+  void ingest_wire(const Wire& wire) {
+    const sim::ByzantineOptions& byz = options_.byzantine;
+    if (!byz.enabled) {
+      accept(wire);
+      return;
+    }
+    // The donor stash fills whenever the adversary exists (even outside its
+    // window), so corruption at window entry has authentic donors.
+    stash_payload(wire.payload);
+    const sim::Time now = net_.scheduler().now();
+    if (now < byz.start || now >= byz.end) {
+      accept(wire);
+      return;
+    }
+    if (!held_ && byz_rng_.bernoulli(byz.reorder_probability)) {
+      ++stats_.byz_reordered;
+      if (tracer_) {
+        tracer_->record(obs::EventType::kByzantineReorder, now, self_, 0, 0,
+                        wire.origin, wire.origin_seq);
+      }
+      held_ = wire;
+      return;
+    }
+    Wire w = wire;
+    if (corrupt_fn_ && byz_rng_.bernoulli(byz.corrupt_probability) &&
+        !stash_.empty()) {
+      const Payload& donor = stash_[byz_rng_.uniform_int(
+          0, static_cast<std::int64_t>(stash_.size()) - 1)];
+      if (corrupt_fn_(w.payload, donor)) {
+        ++stats_.byz_corrupted;
+        if (tracer_) {
+          tracer_->record(obs::EventType::kByzantineCorrupt, now, self_, 0, 0,
+                          w.origin, w.origin_seq);
+        }
+      } else {
+        // Donor matched the original: nothing changed, provably masked.
+        ++stats_.byz_corrupt_noops;
+      }
+    }
+    const bool duplicate = byz_rng_.bernoulli(byz.duplicate_probability);
+    accept(w);
+    if (duplicate) {
+      ++stats_.byz_duplicated;
+      if (tracer_) {
+        tracer_->record(obs::EventType::kByzantineDuplicate, now, self_, 0, 0,
+                        w.origin, w.origin_seq);
+      }
+      accept(w);  // dedup (already_have) must swallow this
+    }
+  }
+
+  /// Bounded ring of previously seen payloads, the corruption donor pool.
+  void stash_payload(const Payload& payload) {
+    const std::size_t cap =
+        options_.byzantine.stash_capacity == 0
+            ? 1
+            : options_.byzantine.stash_capacity;
+    if (stash_.size() < cap) {
+      stash_.push_back(payload);
+    } else {
+      stash_[stash_next_ % cap] = payload;
+    }
+    ++stash_next_;
   }
 
   /// Idempotent ingestion of a wire message; routes through causal buffering
@@ -590,6 +690,17 @@ class ReliableBroadcast {
   std::vector<std::unordered_set<std::uint64_t>> seen_extra_;
   /// Causal-mode holding buffer.
   std::deque<Wire> pending_;
+
+  // Byzantine adversary state — inert unless options_.byzantine.enabled.
+  // Its RNG is separate from rng_ (anti-entropy peer choice) and seeded
+  // from the adversary's own config, so arming it never shifts the
+  // protocol's draw stream, and an unarmed run draws nothing at all.
+  CorruptFn corrupt_fn_;
+  sim::Rng byz_rng_{options_.byzantine.seed ^
+                    (0x9E3779B97F4A7C15ull * (self_ + 1))};
+  std::vector<Payload> stash_;   ///< Donor pool (bounded ring).
+  std::size_t stash_next_ = 0;
+  std::optional<Wire> held_;     ///< The one wire held back by a reorder.
 
   BroadcastStats stats_;
 };

@@ -25,6 +25,13 @@ std::string BroadcastStats::summary() const {
        << " mid_broadcast_crashes=" << mid_broadcast_crashes
        << " outbox_replays=" << outbox_replays;
   }
+  if (byz_corrupted > 0 || byz_corrupt_noops > 0 || byz_duplicated > 0 ||
+      byz_reordered > 0) {
+    os << " byz_corrupted=" << byz_corrupted
+       << " byz_corrupt_noops=" << byz_corrupt_noops
+       << " byz_duplicated=" << byz_duplicated
+       << " byz_reordered=" << byz_reordered;
+  }
   return os.str();
 }
 
@@ -44,6 +51,10 @@ void BroadcastStats::export_to(obs::MetricsRegistry& reg,
   reg.add_counter(prefix + ".outbox_replays", outbox_replays);
   reg.add_counter(prefix + ".stale_resets", stale_resets);
   reg.add_counter(prefix + ".mid_broadcast_crashes", mid_broadcast_crashes);
+  reg.add_counter(prefix + ".byz_corrupted", byz_corrupted);
+  reg.add_counter(prefix + ".byz_corrupt_noops", byz_corrupt_noops);
+  reg.add_counter(prefix + ".byz_duplicated", byz_duplicated);
+  reg.add_counter(prefix + ".byz_reordered", byz_reordered);
 }
 
 }  // namespace net

@@ -35,6 +35,13 @@ struct BroadcastStats {
   std::uint64_t mid_broadcast_crashes = 0; ///< Crashes injected between the
                                            ///< stable-outbox append and the
                                            ///< first flood send.
+  std::uint64_t byz_corrupted = 0;         ///< Updates substituted by the
+                                           ///< Byzantine adversary on receive.
+  std::uint64_t byz_corrupt_noops = 0;     ///< Corruption draws whose donor
+                                           ///< equaled the original (provably
+                                           ///< masked — nothing changed).
+  std::uint64_t byz_duplicated = 0;        ///< Wires re-injected into accept.
+  std::uint64_t byz_reordered = 0;         ///< Wires held back one packet.
 
   std::string summary() const;
 

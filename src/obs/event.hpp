@@ -60,11 +60,16 @@ enum class EventType : std::uint8_t {
   // sim/partition — cut lifecycle (control track; a = event index).
   kPartitionOpen,
   kPartitionHeal,
+  // net/broadcast Byzantine adversary — receive-path payload tampering
+  // (node = victim; a = origin, b = origin_seq, as for kBroadcastDeliver).
+  kByzantineCorrupt,     ///< Update field substituted before accept.
+  kByzantineDuplicate,   ///< Wire re-injected into accept (dedup target).
+  kByzantineReorder,     ///< Wire held back until the next packet.
 };
 
 /// Total number of event types (array-sizing helper for per-type counts).
 inline constexpr std::size_t kNumEventTypes =
-    static_cast<std::size_t>(EventType::kPartitionHeal) + 1;
+    static_cast<std::size_t>(EventType::kByzantineReorder) + 1;
 
 /// Stable machine-readable name, e.g. "merge.mid_insert". Used by both
 /// exporters and the determinism regression (byte-identical streams).

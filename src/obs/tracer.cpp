@@ -32,6 +32,9 @@ std::string_view event_type_name(EventType t) {
     case EventType::kRestart:             return "node.restart";
     case EventType::kPartitionOpen:       return "partition.open";
     case EventType::kPartitionHeal:       return "partition.heal";
+    case EventType::kByzantineCorrupt:    return "byzantine.corrupt";
+    case EventType::kByzantineDuplicate:  return "byzantine.duplicate";
+    case EventType::kByzantineReorder:    return "byzantine.reorder";
   }
   return "unknown";
 }

@@ -48,6 +48,17 @@ struct TraceOptions {
   std::size_t ring_capacity = 8192;
 };
 
+/// A ring slice captured at the moment a violation was detected, keyed by
+/// the offending update's timestamp. The streaming checkers pin these so a
+/// later trace_dump does not depend on the ring still holding the window —
+/// without pinning, a busy run can wrap the ring between violation and
+/// dump and the counter-example window silently comes back empty.
+struct PinnedWindow {
+  std::uint64_t ts_logical = 0;
+  sim::NodeId ts_node = 0;
+  std::vector<Event> events;  ///< slice_around() output at pin time.
+};
+
 class Tracer {
  public:
   explicit Tracer(std::size_t ring_capacity = 8192);

@@ -73,6 +73,11 @@ class Cluster {
          config_.faults.partitions().events()) {
       config_.network.partitions.add(ev);
     }
+    // Same single-surface rule for the Byzantine payload adversary: armed
+    // on the plan, executed by each node's broadcast receive path.
+    if (config_.faults.byzantine().enabled) {
+      config_.broadcast.byzantine = config_.faults.byzantine();
+    }
     validate_faults();
     if (config_.trace.enabled) {
       tracer_ = std::make_unique<obs::Tracer>(config_.trace.ring_capacity);
@@ -300,6 +305,14 @@ class Cluster {
   /// aggregate rejected_submissions this yields the availability ratio.
   std::uint64_t scheduled_submissions() const { return scheduled_submissions_; }
 
+  /// Attach a streaming observer (analysis::StreamingChecker) to every
+  /// node. Call before injecting traffic; nullptr detaches. The observer
+  /// must outlive the cluster or be detached first.
+  void set_stream_observer(StreamObserver<App>* obs) {
+    stream_obs_ = obs;
+    for (auto& n : nodes_) n->set_stream_observer(obs);
+  }
+
   /// The execution tracer, or nullptr when Config::trace.enabled is false.
   obs::Tracer* tracer() { return tracer_.get(); }
   const obs::Tracer* tracer() const { return tracer_.get(); }
@@ -345,6 +358,7 @@ class Cluster {
       reg.add_counter("trace.events_evicted", tracer_->evicted());
     }
     if (lifecycle_) lifecycle_->export_to(reg);
+    if (stream_obs_) stream_obs_->export_metrics(reg);
     return reg;
   }
 
@@ -439,6 +453,7 @@ class Cluster {
   std::unique_ptr<obs::LifecycleTracker> lifecycle_;
   std::unique_ptr<sim::Network> network_;
   std::vector<std::unique_ptr<NodeT>> nodes_;
+  StreamObserver<App>* stream_obs_ = nullptr;
   std::uint64_t scheduled_submissions_ = 0;
 };
 

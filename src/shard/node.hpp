@@ -31,7 +31,14 @@
 #include "shard/update_log.hpp"
 #include "sim/crash.hpp"
 
+namespace obs {
+class MetricsRegistry;
+}
+
 namespace shard {
+
+template <core::Application App>
+class StreamObserver;
 
 template <core::Application App>
 class Node {
@@ -83,6 +90,19 @@ class Node {
                               wire) { on_deliver(wire); }) {
     log_.set_tracer(tracer_, id_, [this] { return sched_->now(); });
     broadcast_.set_tracer(tracer_);
+    if (broadcast_options.byzantine.enabled) {
+      // Timestamp-preserving corruption: substitute only the update field,
+      // so the tampered envelope still merges at its legitimate position
+      // (a forged timestamp would trip UpdateLog's uniqueness invariant
+      // rather than model a plausibly-wrong replica). A draw whose donor
+      // equals the original changed nothing — report it unapplied so the
+      // sensitivity tests can count it as provably masked.
+      broadcast_.set_corrupt_hook([](Envelope& target, const Envelope& donor) {
+        if (donor.update == target.update) return false;
+        target.update = donor.update;
+        return true;
+      });
+    }
     broadcast_.set_announce_hooks(
         [this] { return promise(); },
         [this](core::NodeId src, std::uint64_t logical, core::NodeId node,
@@ -123,6 +143,12 @@ class Node {
       tracer_->record(obs::EventType::kBroadcastOriginate, now, id_,
                       rec.ts.logical, rec.ts.node, broadcast_.own_issued() + 1);
     }
+    // Streaming checkers learn the TRUE record before the broadcast can
+    // deliver (and possibly corrupt) it anywhere — including locally.
+    if (stream_obs_) {
+      stream_obs_->on_originate(originated_.back(),
+                                broadcast_.own_issued() + 1, now);
+    }
     // Broadcast (delivers locally first, merging into our own log).
     broadcast_.broadcast(Envelope{rec.ts, originated_.back().update});
     return originated_.back();
@@ -158,7 +184,9 @@ class Node {
     p.request = request;
     p.reserved_ts = clock_.tick();
     p.enqueue_time = now;
+    const core::Timestamp reserved = p.reserved_ts;
     pending_.push_back(std::move(p));
+    if (stream_obs_) stream_obs_->on_reserve(id_, reserved);
     try_run_pending(now);
   }
 
@@ -187,6 +215,8 @@ class Node {
     pending_.clear();
     broadcast_.set_down(true);
     if (tracer_) tracer_->record(obs::EventType::kCrash, now, id_);
+    // Reservations are volatile: the observer drops its copies too.
+    if (stream_obs_) stream_obs_->on_crash(id_, now);
   }
 
   /// Restart a crashed node at `now`.
@@ -238,6 +268,10 @@ class Node {
     if (mode == sim::RecoveryMode::kAmnesia) {
       log_.reset_to_initial();
       for (auto& a : peer_announcements_) a = Announcement{};
+      // Observer mirrors the wipe BEFORE restart_amnesia: the outbox
+      // replay below re-delivers through on_deliver, which must land in an
+      // already-reset shadow.
+      if (stream_obs_) stream_obs_->on_restart(id_, mode, 0, now);
       // Clears volatile broadcast state, then replays the stable outbox
       // (re-merging our own updates into the fresh log via on_deliver).
       broadcast_.restart_amnesia();
@@ -254,8 +288,12 @@ class Node {
         --keep[log_.entry(i).ts.node];
       }
       log_.truncate_suffix(keep_n);
+      // Same ordering constraint as amnesia: shadow rewind precedes the
+      // broadcast rewind's outbox replay.
+      if (stream_obs_) stream_obs_->on_restart(id_, mode, keep_n, now);
       broadcast_.restart_stale(keep);
     } else {
+      if (stream_obs_) stream_obs_->on_restart(id_, mode, log_.size(), now);
       broadcast_.set_down(false);
     }
     check_caught_up(now);
@@ -273,6 +311,13 @@ class Node {
       typename net::ReliableBroadcast<Envelope>::MidBroadcastCrashFn hook) {
     broadcast_.set_mid_broadcast_crash_hook(std::move(hook));
   }
+
+  /// Attach a streaming observer (analysis::StreamingChecker or any other
+  /// StreamObserver). Must be wired before traffic starts; the observer
+  /// sees originations before their broadcast, deliveries after their
+  /// merge, and crash/restart transitions in recovery order. Nullptr
+  /// detaches. Observation only — the protocol never reads it back.
+  void set_stream_observer(StreamObserver<App>* obs) { stream_obs_ = obs; }
 
   const State& state() const { return log_.state(); }
   const UpdateLog<App>& log() const { return log_; }
@@ -320,6 +365,13 @@ class Node {
     // transaction, preserving "local timestamps exceed all merged ones".
     clock_.observe(wire.payload.ts);
     log_.insert({wire.payload.ts, wire.payload.update});
+    // The observer re-merges the TRUE update (looked up by origin seq from
+    // its own ledger — the wire payload may have been corrupted en route)
+    // and compares our post-merge state against its clean shadow.
+    if (stream_obs_) {
+      stream_obs_->on_deliver(id_, wire.origin, wire.origin_seq,
+                              wire.payload.ts, log_.state(), sched_->now());
+    }
     if (catching_up_) {
       ++log_.mutable_stats().catch_up_updates;
       check_caught_up(sched_->now());
@@ -445,6 +497,10 @@ class Node {
       tracer_->record(obs::EventType::kBroadcastOriginate, now, id_,
                       rec.ts.logical, rec.ts.node, broadcast_.own_issued() + 1);
     }
+    if (stream_obs_) {
+      stream_obs_->on_originate(originated_.back(),
+                                broadcast_.own_issued() + 1, now);
+    }
     broadcast_.broadcast(Envelope{rec.ts, originated_.back().update});
   }
 
@@ -463,8 +519,54 @@ class Node {
   std::uint64_t catch_up_target_ = 0;
   bool enable_compaction_ = false;
   obs::Tracer* tracer_ = nullptr;  ///< optional execution tracing
+  StreamObserver<App>* stream_obs_ = nullptr;  ///< optional online checking
   sim::Scheduler* sched_;
   net::ReliableBroadcast<Envelope> broadcast_;
+};
+
+/// Online observation interface for the node's transaction pipeline — the
+/// hook surface behind analysis::StreamingChecker. Callbacks fire
+/// synchronously inside the node at precisely specified points (see each
+/// method); implementations must not call back into the node.
+template <core::Application App>
+class StreamObserver {
+ public:
+  virtual ~StreamObserver() = default;
+
+  /// A transaction decided at its origin, BEFORE its broadcast (so the
+  /// observer knows the true record before any — possibly Byzantine —
+  /// delivery of it, including the origin's own). `origin_seq` is the
+  /// 1-based broadcast sequence number the envelope will carry.
+  virtual void on_originate(const typename Node<App>::Record& rec,
+                            std::uint64_t origin_seq, sim::Time now) = 0;
+
+  /// An update merged at node `at`, AFTER the log insert. `origin`/
+  /// `origin_seq` identify the originating record; `ts` is the envelope's
+  /// (tamper-proof) timestamp; `state` is the node's post-merge state.
+  virtual void on_deliver(core::NodeId at, core::NodeId origin,
+                          std::uint64_t origin_seq, const core::Timestamp& ts,
+                          const typename App::State& state, sim::Time now) = 0;
+
+  /// A serializable submission reserved `reserved_ts` at node `at` (its
+  /// decision will run later, once promises cover the position).
+  virtual void on_reserve(core::NodeId at,
+                          const core::Timestamp& reserved_ts) = 0;
+
+  /// Node `at` crashed; its pending reservations died with it.
+  virtual void on_crash(core::NodeId at, sim::Time now) = 0;
+
+  /// Node `at` restarted. Fires AFTER the node's log has been reset
+  /// (amnesia) or truncated (stale disk) but BEFORE the broadcast layer's
+  /// restart — whose outbox replay re-delivers through on_deliver, so the
+  /// observer's per-node mirror must rewind first. `keep_n` is the number
+  /// of log entries that survived (0 under amnesia, the full size under
+  /// durable recovery).
+  virtual void on_restart(core::NodeId at, sim::RecoveryMode mode,
+                          std::size_t keep_n, sim::Time now) = 0;
+
+  /// Fold observer counters/histograms into a metrics snapshot
+  /// (Cluster::metrics calls this when an observer is attached).
+  virtual void export_metrics(obs::MetricsRegistry&) const {}
 };
 
 }  // namespace shard

@@ -32,13 +32,6 @@ CrashSchedule& CrashSchedule::add(CrashEvent event) {
   return *this;
 }
 
-// Definitions of the deprecated adapter surface; defining a deprecated
-// function does not itself warn.
-CrashSchedule& CrashSchedule::crash(NodeId node, Time start, Time end,
-                                    RecoveryMode mode) {
-  return add(CrashEvent{node, start, end, mode, 1.0});
-}
-
 bool CrashSchedule::down(NodeId node, Time t) const {
   return std::any_of(events_.begin(), events_.end(),
                      [node, t](const CrashEvent& ev) {
@@ -72,28 +65,6 @@ std::string CrashSchedule::describe() const {
     }
   }
   return os.str();
-}
-
-CrashSchedule CrashSchedule::random(Rng& rng, std::size_t nodes, Time horizon,
-                                    int count, Time min_down, Time max_down,
-                                    double amnesia_probability) {
-  CrashSchedule cs;
-  for (int e = 0; e < count; ++e) {
-    CrashEvent ev;
-    ev.node = static_cast<NodeId>(
-        rng.uniform_int(0, static_cast<std::int64_t>(nodes) - 1));
-    ev.start = rng.uniform(0.0, horizon);
-    ev.end = ev.start + rng.uniform(min_down, max_down);
-    ev.mode = rng.bernoulli(amnesia_probability) ? RecoveryMode::kAmnesia
-                                                 : RecoveryMode::kDurable;
-    const bool overlaps = std::any_of(
-        cs.events_.begin(), cs.events_.end(), [&ev](const CrashEvent& prior) {
-          return prior.node == ev.node && ev.start < prior.end &&
-                 prior.start < ev.end;
-        });
-    if (!overlaps) cs.events_.push_back(ev);
-  }
-  return cs;
 }
 
 }  // namespace sim

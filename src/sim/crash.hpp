@@ -28,11 +28,12 @@
 //     re-merges the lost tail through outbox replay and anti-entropy —
 //     the deep undo/redo recovery path of section 3.3.
 //
-// NOTE: CrashSchedule (like PartitionSchedule) is retained as a thin
-// adapter for one release — new code should compose fault schedules
-// through sim::FaultPlan (sim/fault_plan.hpp), which owns seeding and
-// cross-fault correlation. The convenience builders below are marked
-// deprecated; FaultPlan produces CrashSchedule values via its accessors.
+// NOTE: CrashSchedule (like PartitionSchedule) is the storage type behind
+// sim::FaultPlan (sim/fault_plan.hpp), which owns seeding and cross-fault
+// correlation — compose fault schedules through the plan. The standalone
+// convenience builders that once lived here were removed after their
+// one-release deprecation window; add() remains for code that assembles
+// events directly.
 #pragma once
 
 #include <cstdint>
@@ -82,11 +83,6 @@ class CrashSchedule {
   /// existing window of the same node.
   CrashSchedule& add(CrashEvent event);
 
-  /// Convenience: crash `node` during [start, end).
-  [[deprecated("compose faults through sim::FaultPlan::crash")]]  //
-  CrashSchedule& crash(NodeId node, Time start, Time end,
-                       RecoveryMode mode = RecoveryMode::kDurable);
-
   /// Is `node` down at time t?
   bool down(NodeId node, Time t) const;
 
@@ -101,18 +97,6 @@ class CrashSchedule {
   const std::vector<CrashEvent>& events() const { return events_; }
 
   std::string describe() const;
-
-  /// A seed-driven random schedule: `count` crash/restart windows over
-  /// [0, horizon), uniformly assigned to nodes, with down-times drawn from
-  /// [min_down, max_down) and the recovery mode chosen by a Bernoulli coin
-  /// (`amnesia_probability`). Windows that would overlap an earlier window
-  /// of the same node are skipped, so the result may hold fewer than
-  /// `count` events; the draw sequence is fixed, keeping runs reproducible.
-  [[deprecated("compose faults through sim::FaultPlan::random_crashes")]]  //
-  static CrashSchedule random(Rng& rng, std::size_t nodes, Time horizon,
-                              int count, Time min_down = 1.0,
-                              Time max_down = 5.0,
-                              double amnesia_probability = 0.5);
 
  private:
   std::vector<CrashEvent> events_;

@@ -198,13 +198,29 @@ FaultPlan FaultPlan::chaos(std::uint64_t seed, std::size_t nodes, Time horizon,
   return plan;
 }
 
-FaultPlan& FaultPlan::adopt(const CrashSchedule& crashes) {
-  for (const CrashEvent& ev : crashes.events()) crashes_.add(ev);
-  return *this;
-}
-
-FaultPlan& FaultPlan::adopt(const PartitionSchedule& partitions) {
-  for (const PartitionEvent& ev : partitions.events()) partitions_.add(ev);
+FaultPlan& FaultPlan::byzantine_payload(double corrupt_probability,
+                                        double duplicate_probability,
+                                        double reorder_probability,
+                                        Time start, Time end) {
+  for (const double p :
+       {corrupt_probability, duplicate_probability, reorder_probability}) {
+    if (p < 0.0 || p > 1.0) {
+      throw std::invalid_argument(
+          "FaultPlan: byzantine probability outside [0, 1]");
+    }
+  }
+  if (!(start < end)) {
+    throw std::invalid_argument("FaultPlan: empty byzantine window");
+  }
+  byzantine_.enabled = true;
+  byzantine_.corrupt_probability = corrupt_probability;
+  byzantine_.duplicate_probability = duplicate_probability;
+  byzantine_.reorder_probability = reorder_probability;
+  byzantine_.start = start;
+  byzantine_.end = end;
+  // The adversary's seed comes from the plan's stream: same plan seed and
+  // call sequence -> identical tampering, different plan seeds -> different.
+  byzantine_.seed = rng_.next_u64();
   return *this;
 }
 
@@ -213,7 +229,8 @@ Time FaultPlan::all_clear_time() const {
 }
 
 bool FaultPlan::empty() const {
-  return crashes_.empty() && partitions_.events().empty() && mid_.empty();
+  return crashes_.empty() && partitions_.events().empty() && mid_.empty() &&
+         !byzantine_.enabled;
 }
 
 std::string FaultPlan::describe() const {
@@ -226,6 +243,13 @@ std::string FaultPlan::describe() const {
       os << " node " << mb.node << "@seq " << mb.broadcast_seq << " ("
          << to_string(mb.mode) << ")";
     }
+  }
+  if (byzantine_.enabled) {
+    os << "; byzantine payload adversary (corrupt="
+       << byzantine_.corrupt_probability
+       << ", dup=" << byzantine_.duplicate_probability
+       << ", reorder=" << byzantine_.reorder_probability << ") over ["
+       << byzantine_.start << "," << byzantine_.end << ")";
   }
   return os.str();
 }

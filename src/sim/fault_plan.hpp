@@ -31,10 +31,16 @@
 //   plan.rolling_restart(n, start, ...)       — upgrade simulation: restart
 //                                               one node at a time
 //   plan.random_partitions / random_crashes / FaultPlan::chaos(seed, ...)
+//   plan.byzantine_payload(...)               — adversarial receive-path
+//                                               tampering: seeded corruption,
+//                                               duplication and reordering of
+//                                               update payloads at the
+//                                               broadcast layer
 //
-// Cluster and Scenario accept one FaultPlan. The legacy CrashSchedule /
-// PartitionSchedule types remain for one release as thin adapters (fold
-// them in with adopt()); their convenience builders are deprecated.
+// Cluster and Scenario accept one FaultPlan. The underlying CrashSchedule /
+// PartitionSchedule types persist as the plan's storage (and the network's
+// partition oracle); their standalone convenience builders and the adopt()
+// migration shims were removed after their one-release deprecation window.
 //
 // Everything is deterministic: the plan's RNG is seeded at construction and
 // consumed only by builder calls, so an identical call sequence yields an
@@ -64,6 +70,26 @@ struct MidBroadcastCrash {
   Time down_for = 2.0;
   RecoveryMode mode = RecoveryMode::kDurable;
   double keep_fraction = 1.0;  ///< kStaleDisk restarts only
+};
+
+/// Byzantine payload adversary at the broadcast receive path. Each wire a
+/// node receives during [start, end) is independently tampered with:
+/// corrupted (the update field is substituted with a previously seen
+/// payload's update, timestamp preserved), duplicated (re-injected into the
+/// accept path, exercising dedup), or held back one packet (reordering).
+/// All draws come from a dedicated RNG seeded by `seed`, so an unarmed run
+/// is byte-identical to one with no Byzantine config at all, and an armed
+/// run is deterministic per seed.
+struct ByzantineOptions {
+  bool enabled = false;
+  double corrupt_probability = 0.0;
+  double duplicate_probability = 0.0;
+  double reorder_probability = 0.0;
+  Time start = 0.0;
+  Time end = 1e18;  ///< Effectively "forever" by default.
+  std::uint64_t seed = 0;
+  /// Previously seen payloads retained per node as corruption donors.
+  std::size_t stash_capacity = 16;
 };
 
 /// Knobs for FaultPlan::chaos (seeded whole-plan generation).
@@ -171,11 +197,16 @@ class FaultPlan {
   static FaultPlan chaos(std::uint64_t seed, std::size_t nodes, Time horizon,
                          const ChaosOptions& opt = {});
 
-  // --- adapters (legacy-surface migration, one release) ----------------
+  // --- Byzantine payload adversary -------------------------------------
 
-  /// Fold an existing CrashSchedule / PartitionSchedule into the plan.
-  FaultPlan& adopt(const CrashSchedule& crashes);
-  FaultPlan& adopt(const PartitionSchedule& partitions);
+  /// Arm the Byzantine receive-path adversary (see ByzantineOptions). The
+  /// adversary's RNG seed is drawn from the plan's stream, so two plans
+  /// with the same seed and call sequence inject identical tampering.
+  /// Probabilities must lie in [0, 1] and the window must be nonempty.
+  FaultPlan& byzantine_payload(double corrupt_probability,
+                               double duplicate_probability = 0.0,
+                               double reorder_probability = 0.0,
+                               Time start = 0.0, Time end = 1e18);
 
   // --- queries ---------------------------------------------------------
 
@@ -199,12 +230,14 @@ class FaultPlan {
   const std::vector<MidBroadcastCrash>& mid_broadcast_crashes() const {
     return mid_;
   }
+  const ByzantineOptions& byzantine() const { return byzantine_; }
 
  private:
   Rng rng_;
   CrashSchedule crashes_;
   PartitionSchedule partitions_;
   std::vector<MidBroadcastCrash> mid_;
+  ByzantineOptions byzantine_;
 };
 
 }  // namespace sim

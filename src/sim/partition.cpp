@@ -10,31 +10,6 @@ PartitionSchedule& PartitionSchedule::add(PartitionEvent event) {
   return *this;
 }
 
-PartitionSchedule& PartitionSchedule::split_halves(NodeId n, NodeId m,
-                                                   Time start, Time end) {
-  PartitionEvent ev;
-  ev.start = start;
-  ev.end = end;
-  std::vector<NodeId> left, right;
-  for (NodeId i = 0; i < m; ++i) left.push_back(i);
-  for (NodeId i = m; i < n; ++i) right.push_back(i);
-  ev.groups = {std::move(left), std::move(right)};
-  return add(std::move(ev));
-}
-
-PartitionSchedule& PartitionSchedule::isolate(NodeId node, NodeId cluster_size,
-                                              Time start, Time end) {
-  PartitionEvent ev;
-  ev.start = start;
-  ev.end = end;
-  std::vector<NodeId> rest;
-  for (NodeId i = 0; i < cluster_size; ++i) {
-    if (i != node) rest.push_back(i);
-  }
-  ev.groups = {{node}, std::move(rest)};
-  return add(std::move(ev));
-}
-
 bool PartitionSchedule::connected(NodeId a, NodeId b, Time t) const {
   if (a == b) return true;
   for (const PartitionEvent& ev : events_) {

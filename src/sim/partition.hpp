@@ -10,12 +10,12 @@
 // that "barring permanent communication failures, every node will eventually
 // receive information about every transaction").
 //
-// NOTE: PartitionSchedule (like CrashSchedule) is retained as a thin adapter
-// for one release — new code should compose fault schedules through
+// NOTE: PartitionSchedule (like CrashSchedule) is the storage type behind
 // sim::FaultPlan (sim/fault_plan.hpp), which owns seeding and cross-fault
-// correlation (rack power loss = partition + simultaneous crashes). The
-// convenience builders below are marked deprecated; FaultPlan produces
-// PartitionSchedule values via its accessors.
+// correlation (rack power loss = partition + simultaneous crashes) —
+// compose fault schedules through the plan. The standalone convenience
+// builders that once lived here were removed after their one-release
+// deprecation window; add() remains for code that assembles cuts directly.
 #pragma once
 
 #include <cstdint>
@@ -48,16 +48,6 @@ class PartitionSchedule {
 
   /// Add a cut. Returns *this for fluent construction.
   PartitionSchedule& add(PartitionEvent event);
-
-  /// Convenience: split nodes [0, n) into two halves [0, m) and [m, n)
-  /// during [start, end).
-  [[deprecated("compose faults through sim::FaultPlan::split_halves")]]  //
-  PartitionSchedule& split_halves(NodeId n, NodeId m, Time start, Time end);
-
-  /// Convenience: isolate a single node during [start, end).
-  [[deprecated("compose faults through sim::FaultPlan::isolate")]]  //
-  PartitionSchedule& isolate(NodeId node, NodeId cluster_size, Time start,
-                             Time end);
 
   /// Are a and b connected at time t?
   bool connected(NodeId a, NodeId b, Time t) const;

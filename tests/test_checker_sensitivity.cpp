@@ -4,17 +4,23 @@
 // action, broken bound...), and asserts the corresponding checker flags it.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <numeric>
+#include <sstream>
+#include <string>
 
 #include "analysis/airline_theorems.hpp"
 #include "analysis/cost_bounds.hpp"
 #include "analysis/execution_checker.hpp"
 #include "analysis/fairness.hpp"
+#include "analysis/streaming.hpp"
 #include "apps/airline/airline.hpp"
 #include "core/scripted.hpp"
 #include "harness/scenario.hpp"
 #include "harness/workload.hpp"
+#include "obs/metrics.hpp"
 #include "shard/cluster.hpp"
+#include "sim/fault_plan.hpp"
 
 namespace {
 
@@ -226,6 +232,176 @@ TEST(CheckerSensitivity, GroupingRejectsOverclaimedK) {
     return;
   }
   FAIL() << "no seed produced an incomplete execution with a grouping";
+}
+
+// --- Byzantine payload sensitivity ---------------------------------------
+//
+// The byzantine_payload fault mode corrupts, duplicates, and reorders
+// update payloads at the broadcast receive path. The sensitivity demand:
+// every seeded fault is either provably masked (dedup swallowed the
+// duplicate, causal delivery absorbed the reorder, the substituted update
+// folded to the same state) or reported by the streaming checker — never
+// silently accepted into a replica.
+
+/// Canonical byte serialization of an execution trace: two runs agree iff
+/// these strings are identical (same idiom as the crash-recovery
+/// determinism regression).
+std::string execution_bytes(const core::Execution<Air>& exec) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < exec.size(); ++i) {
+    const auto& tx = exec.tx(i);
+    os << tx.ts.logical << ':' << tx.ts.node << " origin=" << tx.origin
+       << " t=" << tx.real_time << " prefix[";
+    for (std::size_t j : tx.prefix) os << j << ',';
+    os << "] ext[";
+    for (const auto& a : tx.external_actions) {
+      os << a.kind << '=' << a.subject << ',';
+    }
+    os << "]\n";
+  }
+  return os.str();
+}
+
+TEST(ByzantineSensitivity, EveryAppliedCorruptionCaughtOrMasked) {
+  std::uint64_t total_applied = 0;
+  std::uint64_t runs_caught = 0;
+  for (std::uint64_t seed = 60; seed < 72; ++seed) {
+    auto sc = harness::wan(3);
+    sc.faults.byzantine_payload(/*corrupt=*/0.2, 0.0, 0.0, 0.0, 1e18);
+    shard::Cluster<Air> cluster(sc.cluster_config<Air>(seed));
+    analysis::StreamingChecker<Air> ck(3);
+    cluster.set_stream_observer(&ck);
+    harness::AirlineWorkload w;
+    w.duration = 12.0;
+    w.request_rate = 3.0;
+    w.mover_rate = 3.0;
+    harness::drive_airline(cluster, w, seed ^ 0xf);
+    // No settle(): corrupted replicas may never converge.
+    cluster.run_until(w.duration);
+    cluster.run_until(w.duration + 8.0);
+    ck.finish(cluster.scheduler().now());
+
+    const obs::MetricsRegistry reg = cluster.metrics();
+    const std::uint64_t applied = reg.counters().at("broadcast.byz_corrupted");
+    total_applied += applied;
+    if (ck.divergence_events() > 0) {
+      ++runs_caught;
+    } else {
+      // Zero divergence reported despite `applied` substitutions: each one
+      // must have been effect-masked. Prove it — every replica's state
+      // equals the clean replay of the true updates it merged.
+      for (core::NodeId n = 0; n < 3; ++n) {
+        EXPECT_EQ(cluster.node(n).state(), ck.shadow_state(n))
+            << "seed " << seed << ": corruption silently accepted at node "
+            << n;
+      }
+    }
+  }
+  // The sweep is only meaningful if the adversary landed hits and the
+  // checker actually caught some.
+  EXPECT_GT(total_applied, 0u);
+  EXPECT_GT(runs_caught, 0u);
+}
+
+TEST(ByzantineSensitivity, DuplicatesAreMaskedByBroadcastDedup) {
+  auto sc = harness::wan(3);
+  sc.faults.byzantine_payload(0.0, /*duplicate=*/0.4, 0.0, 0.0, 1e18);
+  shard::Cluster<Air> cluster(sc.cluster_config<Air>(77));
+  analysis::StreamingChecker<Air> ck(3);
+  cluster.set_stream_observer(&ck);
+  harness::AirlineWorkload w;
+  w.duration = 12.0;
+  w.request_rate = 3.0;
+  w.mover_rate = 3.0;
+  harness::drive_airline(cluster, w, 77 ^ 0xf);
+  cluster.run_until(w.duration);
+  cluster.settle();  // duplication alone must not block convergence
+  ck.finish(cluster.scheduler().now());
+
+  const obs::MetricsRegistry reg = cluster.metrics();
+  EXPECT_GT(reg.counters().at("broadcast.byz_duplicated"), 0u);
+  // Every injected duplicate was swallowed by the accept-path dedup...
+  EXPECT_GE(reg.counters().at("broadcast.duplicates_dropped"),
+            reg.counters().at("broadcast.byz_duplicated"));
+  // ...so nothing reached a replica twice: clean replays everywhere and a
+  // clean oracle.
+  EXPECT_EQ(ck.divergence_events(), 0u);
+  EXPECT_EQ(ck.violation_count(), 0u);
+  EXPECT_TRUE(
+      analysis::check_prefix_subsequence_condition(cluster.execution()).ok());
+}
+
+TEST(ByzantineSensitivity, ReordersAreMaskedByCausalDelivery) {
+  auto sc = harness::wan(3);
+  sc.faults.byzantine_payload(0.0, 0.0, /*reorder=*/0.5, 0.0, 1e18);
+  shard::Cluster<Air> cluster(sc.cluster_config<Air>(78));
+  analysis::StreamingChecker<Air> ck(3);
+  cluster.set_stream_observer(&ck);
+  harness::AirlineWorkload w;
+  w.duration = 12.0;
+  w.request_rate = 3.0;
+  w.mover_rate = 3.0;
+  harness::drive_airline(cluster, w, 78 ^ 0xf);
+  cluster.run_until(w.duration);
+  cluster.settle();  // anti-entropy traffic flushes any held wire
+  ck.finish(cluster.scheduler().now());
+
+  const obs::MetricsRegistry reg = cluster.metrics();
+  EXPECT_GT(reg.counters().at("broadcast.byz_reordered"), 0u);
+  EXPECT_TRUE(cluster.converged());
+  EXPECT_EQ(ck.divergence_events(), 0u);
+  EXPECT_EQ(ck.violation_count(), 0u);
+  EXPECT_TRUE(
+      analysis::check_prefix_subsequence_condition(cluster.execution()).ok());
+}
+
+/// Determinism regression for the new fault mode: same seed, same plan →
+/// byte-identical execution and metrics, divergence counts included.
+TEST(ByzantineSensitivity, SameSeedRunsAreByteIdentical) {
+  auto run = [](std::string* bytes, std::string* metrics_json) {
+    auto sc = harness::wan(3);
+    sc.faults.byzantine_payload(0.15, 0.1, 0.1, 0.0, 1e18);
+    shard::Cluster<Air> cluster(sc.cluster_config<Air>(79));
+    analysis::StreamingChecker<Air> ck(3);
+    cluster.set_stream_observer(&ck);
+    harness::AirlineWorkload w;
+    w.duration = 12.0;
+    w.request_rate = 3.0;
+    w.mover_rate = 3.0;
+    harness::drive_airline(cluster, w, 79 ^ 0xf);
+    cluster.run_until(w.duration);
+    cluster.run_until(w.duration + 8.0);
+    ck.finish(cluster.scheduler().now());
+    *bytes = execution_bytes(cluster.execution());
+    *metrics_json = cluster.metrics().to_json();
+  };
+  std::string b1, m1, b2, m2;
+  run(&b1, &m1);
+  run(&b2, &m2);
+  EXPECT_EQ(b1, b2);
+  EXPECT_EQ(m1, m2);
+}
+
+/// An armed-but-dormant adversary (active window entirely after the run)
+/// must not perturb the execution at all — the corruption draws are gated
+/// on the window, not merely discarded.
+TEST(ByzantineSensitivity, DormantWindowLeavesRunUntouched) {
+  auto run = [](bool armed) {
+    auto sc = harness::wan(3);
+    if (armed) {
+      sc.faults.byzantine_payload(0.5, 0.5, 0.5, /*start=*/1e6, /*end=*/2e6);
+    }
+    shard::Cluster<Air> cluster(sc.cluster_config<Air>(80));
+    harness::AirlineWorkload w;
+    w.duration = 12.0;
+    w.request_rate = 3.0;
+    w.mover_rate = 3.0;
+    harness::drive_airline(cluster, w, 80 ^ 0xf);
+    cluster.run_until(w.duration);
+    cluster.settle();
+    return execution_bytes(cluster.execution());
+  };
+  EXPECT_EQ(run(false), run(true));
 }
 
 TEST(CheckerSensitivity, AtomicityCheckerRejectsInterlopers) {

@@ -2,8 +2,9 @@
 //
 // These are unit tests of the plan itself: composition, validation, seeded
 // determinism, the correlated builders (rack power loss, rolling restart,
-// chaos), and the legacy-schedule adapters. End-to-end behavior of the
-// fault modes lives in test_crash_recovery.cpp and test_chaos.cpp.
+// chaos), and the Byzantine payload adversary's config surface. End-to-end
+// behavior of the fault modes lives in test_crash_recovery.cpp,
+// test_chaos.cpp and test_checker_sensitivity.cpp.
 #include <gtest/gtest.h>
 
 #include <stdexcept>
@@ -172,24 +173,30 @@ TEST(FaultPlan, ChaosProducesValidCorrelatedPlans) {
   }
 }
 
-TEST(FaultPlan, AdoptsLegacySchedules) {
-  // The one-release migration path: existing schedules fold into a plan
-  // without loss. add() is the supported (non-deprecated) legacy surface.
-  sim::CrashSchedule cs;
-  cs.add(sim::CrashEvent{2, 1.0, 4.0, sim::RecoveryMode::kAmnesia, 1.0});
-  sim::PartitionSchedule ps;
-  sim::PartitionEvent ev;
-  ev.start = 2.0;
-  ev.end = 5.0;
-  ev.groups = {{0}, {1, 2}};
-  ps.add(ev);
+TEST(FaultPlan, ByzantinePayloadValidatesAndDescribes) {
   sim::FaultPlan plan;
-  plan.adopt(cs).adopt(ps);
-  EXPECT_TRUE(plan.down(2, 3.0));
-  EXPECT_FALSE(plan.connected(0, 1, 3.0));
-  EXPECT_DOUBLE_EQ(plan.total_downtime(), 3.0);
-  // Adopted windows still validate against the plan's own.
-  EXPECT_THROW(plan.adopt(cs), std::invalid_argument);
+  EXPECT_FALSE(plan.byzantine().enabled);
+  EXPECT_THROW(plan.byzantine_payload(1.5), std::invalid_argument);
+  EXPECT_THROW(plan.byzantine_payload(0.1, -0.1), std::invalid_argument);
+  EXPECT_THROW(plan.byzantine_payload(0.1, 0.0, 0.0, 5.0, 5.0),
+               std::invalid_argument);
+  EXPECT_FALSE(plan.byzantine().enabled);  // failed arming leaves it off
+  EXPECT_TRUE(plan.empty());
+  plan.byzantine_payload(0.2, 0.1, 0.05, 1.0, 9.0);
+  EXPECT_TRUE(plan.byzantine().enabled);
+  EXPECT_FALSE(plan.empty());
+  EXPECT_DOUBLE_EQ(plan.byzantine().corrupt_probability, 0.2);
+  EXPECT_DOUBLE_EQ(plan.byzantine().duplicate_probability, 0.1);
+  EXPECT_DOUBLE_EQ(plan.byzantine().reorder_probability, 0.05);
+  EXPECT_NE(plan.describe().find("byzantine"), std::string::npos);
+  // The adversary seed is drawn from the plan's stream: same plan seed,
+  // same adversary seed; different plan seed, different adversary.
+  sim::FaultPlan a(7), b(7), c(8);
+  a.byzantine_payload(0.2);
+  b.byzantine_payload(0.2);
+  c.byzantine_payload(0.2);
+  EXPECT_EQ(a.byzantine().seed, b.byzantine().seed);
+  EXPECT_NE(a.byzantine().seed, c.byzantine().seed);
 }
 
 TEST(FaultPlan, MidBroadcastCrashesAreNotPartOfAllClear) {
