@@ -6,6 +6,7 @@ Usage:
     compare_bench.py e10 bench/baselines/BENCH_e10.json BENCH_e10.json
     compare_bench.py e22 bench/baselines/BENCH_e22.json BENCH_e22.json
     compare_bench.py e23 bench/baselines/BENCH_e23.json BENCH_e23.json
+    compare_bench.py e24 bench/baselines/BENCH_e24.json BENCH_e24.json
 
 The gate is designed to be machine-independent:
 
@@ -36,6 +37,18 @@ The gate is designed to be machine-independent:
   (mode, seed) and gated within the tolerance; wall-clock overhead is
   machine noise and only reported.
 
+* e24 (flame-attribution harness): the equivalence gates are exact — the
+  sharded tracer's stream must be byte-identical to the legacy global
+  tracer's and its k-way ring merge must reconstruct the capture
+  ("sharded_matches_legacy" / "merged_matches_capture"), and the causal
+  validator must stay clean. The per-seed epoch/attribution census and the
+  merged epoch.* counters are deterministic and gated within the
+  tolerance; flame-build wall time is machine noise, kept out of the JSON
+  entirely (the harness prints it to stderr).
+
+On any gate failure a per-key markdown summary table is printed after the
+log lines (for CI job summaries / PR comments).
+
 Exit status 0 = within tolerance, 1 = regression, 2 = usage/parse error.
 """
 
@@ -56,9 +69,36 @@ E20_COUNTERS = [
 ]
 
 
-def fail(msg):
+# Structured record of every gate failure, for the markdown summary the CI
+# job prints on regression: one row per offending key.
+FAILURES = []
+
+
+def fail(msg, key=None, current=None, baseline=None, allowed=None):
     print(f"REGRESSION: {msg}")
+    FAILURES.append({"key": key or msg, "current": current,
+                     "baseline": baseline, "allowed": allowed})
     return 1
+
+
+def _cell(v):
+    if v is None:
+        return ""
+    if isinstance(v, float):
+        return f"{v:.3f}"
+    return str(v)
+
+
+def print_failure_summary():
+    """Markdown table of failed keys (printed only when gates failed)."""
+    print()
+    print("### Bench gate failures")
+    print()
+    print("| key | current | baseline | allowed |")
+    print("| --- | --- | --- | --- |")
+    for f in FAILURES:
+        print(f"| {f['key']} | {_cell(f['current'])} "
+              f"| {_cell(f['baseline'])} | {_cell(f['allowed'])} |")
 
 
 def within(current, baseline, tol):
@@ -84,7 +124,9 @@ def compare_e20(base, cur, tol):
         for name in E20_COUNTERS:
             c, b = counters.get(name, 0), bcounters.get(name, 0)
             if not within(c, b, tol):
-                rc |= fail(f"n={n} {name}: {c} vs baseline {b} (tol {tol:.0%})")
+                rc |= fail(f"n={n} {name}: {c} vs baseline {b} (tol {tol:.0%})",
+                           key=f"n={n} {name}", current=c, baseline=b,
+                           allowed=f"±{tol:.0%}")
             else:
                 print(f"ok: n={n} {name}: {c} (baseline {b})")
         tail = point["tail_ratio"]
@@ -94,7 +136,9 @@ def compare_e20(base, cur, tol):
             print(f"info: n={n} tail_ratio {tail:.3f} (small scale; not gated)")
         elif tail > bound:
             rc |= fail(f"n={n} tail_ratio {tail:.3f} > bound {bound:.3f} "
-                       f"(baseline {btail:.3f})")
+                       f"(baseline {btail:.3f})",
+                       key=f"n={n} tail_ratio", current=tail, baseline=btail,
+                       allowed=f"<= {bound:.3f}")
         else:
             print(f"ok: n={n} tail_ratio {tail:.3f} (bound {bound:.3f})")
         spr = point["slots_per_record"]
@@ -102,7 +146,9 @@ def compare_e20(base, cur, tol):
         sbound = max(bspr * (1 + tol), bspr + 0.5)
         if spr > sbound:
             rc |= fail(f"n={n} slots_per_record {spr:.3f} > bound "
-                       f"{sbound:.3f} (baseline {bspr:.3f})")
+                       f"{sbound:.3f} (baseline {bspr:.3f})",
+                       key=f"n={n} slots_per_record", current=spr,
+                       baseline=bspr, allowed=f"<= {sbound:.3f}")
         else:
             print(f"ok: n={n} slots_per_record {spr:.3f} (bound {sbound:.3f})")
         print(f"info: n={n} per_submit_us {point['per_submit_us']:.2f} "
@@ -111,7 +157,9 @@ def compare_e20(base, cur, tol):
     fbound = max(FLATNESS_FLOOR, bflat * (1 + tol))
     if flat > fbound:
         rc |= fail(f"flatness_ratio {flat:.3f} > bound {fbound:.3f} "
-                   f"(baseline {bflat:.3f})")
+                   f"(baseline {bflat:.3f})",
+                   key="flatness_ratio", current=flat, baseline=bflat,
+                   allowed=f"<= {fbound:.3f}")
     else:
         print(f"ok: flatness_ratio {flat:.3f} (bound {fbound:.3f})")
     return rc
@@ -143,8 +191,7 @@ def compare_e10(base, cur, tol):
     bratios = e10_ratios(e10_times(base))
     cratios = e10_ratios(e10_times(cur))
     if not cratios:
-        print("REGRESSION: no BM_LogMidInsert ratios found in current run")
-        return 1
+        return fail("no BM_LogMidInsert ratios found in current run")
     for name, ratio in sorted(cratios.items()):
         bratio = bratios.get(name)
         if bratio is None:
@@ -153,7 +200,9 @@ def compare_e10(base, cur, tol):
         bound = max(bratio * (1 + tol), bratio + 0.25)
         if ratio > bound:
             rc |= fail(f"{name}: {ratio:.3f} > bound {bound:.3f} "
-                       f"(baseline {bratio:.3f})")
+                       f"(baseline {bratio:.3f})",
+                       key=name, current=ratio, baseline=bratio,
+                       allowed=f"<= {bound:.3f}")
         else:
             print(f"ok: {name}: {ratio:.3f} (bound {bound:.3f})")
     return rc
@@ -181,7 +230,9 @@ def compare_e22(base, cur, tol):
     for row in cur["rows"]:
         mode = row["mode"]
         if not row["checker_clean"]:
-            rc |= fail(f"mode={mode} checker_clean is false")
+            rc |= fail(f"mode={mode} checker_clean is false",
+                       key=f"mode={mode} checker_clean", current=False,
+                       baseline=True, allowed="exact")
             continue
         br = base_rows.get(mode)
         if br is None:
@@ -193,7 +244,9 @@ def compare_e22(base, cur, tol):
             c, b = counters.get(name, 0), bcounters.get(name, 0)
             if not within(c, b, tol):
                 rc |= fail(f"mode={mode} {name}: {c} vs baseline {b} "
-                           f"(tol {tol:.0%})")
+                           f"(tol {tol:.0%})",
+                           key=f"mode={mode} {name}", current=c, baseline=b,
+                           allowed=f"±{tol:.0%}")
             else:
                 print(f"ok: mode={mode} {name}: {c} (baseline {b})")
         gauges = row["metrics"]["gauges"]
@@ -205,12 +258,15 @@ def compare_e22(base, cur, tol):
             slack = max(abs(b) * tol, 0.25)
             if abs(g - b) > slack:
                 rc |= fail(f"mode={mode} {name}: {g:.3f} vs baseline "
-                           f"{b:.3f} (slack {slack:.3f})")
+                           f"{b:.3f} (slack {slack:.3f})",
+                           key=f"mode={mode} {name}", current=g, baseline=b,
+                           allowed=f"±{slack:.3f}")
             else:
                 print(f"ok: mode={mode} {name}: {g:.3f} (baseline {b:.3f})")
     missing = set(base_rows) - {r["mode"] for r in cur["rows"]}
     if missing:
-        rc |= fail(f"fault modes missing from current run: {sorted(missing)}")
+        rc |= fail(f"fault modes missing from current run: {sorted(missing)}",
+                   key="fault modes", current="missing " + str(sorted(missing)))
     return rc
 
 
@@ -239,10 +295,14 @@ def compare_e23(base, cur, tol):
         # oracles on every run, and the bounded row must have drained to a
         # window-sized footprint. Any drift here is an instant failure.
         if not row["agrees"]:
-            rc |= fail(f"mode={mode} streaming/oracle agreement is false")
+            rc |= fail(f"mode={mode} streaming/oracle agreement is false",
+                       key=f"mode={mode} agrees", current=False,
+                       baseline=True, allowed="exact")
             continue
         if not row["window_bounded"]:
-            rc |= fail(f"mode={mode} window_bounded is false")
+            rc |= fail(f"mode={mode} window_bounded is false",
+                       key=f"mode={mode} window_bounded", current=False,
+                       baseline=True, allowed="exact")
             continue
         br = base_rows.get(mode)
         if br is None:
@@ -254,7 +314,9 @@ def compare_e23(base, cur, tol):
             c, b = counters.get(name, 0), bcounters.get(name, 0)
             if not within(c, b, tol):
                 rc |= fail(f"mode={mode} {name}: {c} vs baseline {b} "
-                           f"(tol {tol:.0%})")
+                           f"(tol {tol:.0%})",
+                           key=f"mode={mode} {name}", current=c, baseline=b,
+                           allowed=f"±{tol:.0%}")
             else:
                 print(f"ok: mode={mode} {name}: {c} (baseline {b})")
         if "overhead_pct_vs_off" in row:
@@ -262,7 +324,77 @@ def compare_e23(base, cur, tol):
                   f"{row['overhead_pct_vs_off']:.1f} (wall clock; not gated)")
     missing = set(base_rows) - {r["mode"] for r in cur["rows"]}
     if missing:
-        rc |= fail(f"checker modes missing from current run: {sorted(missing)}")
+        rc |= fail(f"checker modes missing from current run: "
+                   f"{sorted(missing)}",
+                   key="checker modes",
+                   current="missing " + str(sorted(missing)))
+    return rc
+
+
+# Per-seed census fields of an e24 row: each is a deterministic function of
+# (seed, config), gated within the tolerance so intentional workload or
+# stage-taxonomy tweaks don't need a baseline dance.
+E24_ROW_KEYS = [
+    "events",
+    "epochs",
+    "transitions",
+    "coalesced",
+    "updates_profiled",
+    "updates_complete",
+    "folded_bytes",
+]
+
+E24_COUNTERS = [
+    "epoch.count",
+    "epoch.transitions",
+    "epoch.coalesced",
+    "epoch.updates_profiled",
+    "epoch.updates_incomplete",
+    "trace.events_recorded",
+]
+
+
+def compare_e24(base, cur, tol):
+    rc = 0
+    base_rows = {r["seed"]: r for r in base["rows"]}
+    for row in cur["rows"]:
+        seed = row["seed"]
+        # Equivalence and validator gates are exact: the sharded stream must
+        # be byte-identical to the legacy one, the k-way merge must
+        # reconstruct the capture, and the causal graph must stay clean.
+        for flag in ("sharded_matches_legacy", "merged_matches_capture",
+                     "clean"):
+            if not row[flag]:
+                rc |= fail(f"seed={seed} {flag} is false",
+                           key=f"seed={seed} {flag}", current=False,
+                           baseline=True, allowed="exact")
+        br = base_rows.get(seed)
+        if br is None:
+            print(f"note: seed={seed} has no baseline row; skipping")
+            continue
+        for name in E24_ROW_KEYS:
+            c, b = row.get(name, 0), br.get(name, 0)
+            if not within(c, b, tol):
+                rc |= fail(f"seed={seed} {name}: {c} vs baseline {b} "
+                           f"(tol {tol:.0%})",
+                           key=f"seed={seed} {name}", current=c, baseline=b,
+                           allowed=f"±{tol:.0%}")
+            else:
+                print(f"ok: seed={seed} {name}: {c} (baseline {b})")
+    counters = cur["metrics"]["counters"]
+    bcounters = base["metrics"]["counters"]
+    for name in E24_COUNTERS:
+        c, b = counters.get(name, 0), bcounters.get(name, 0)
+        if not within(c, b, tol):
+            rc |= fail(f"{name}: {c} vs baseline {b} (tol {tol:.0%})",
+                       key=name, current=c, baseline=b,
+                       allowed=f"±{tol:.0%}")
+        else:
+            print(f"ok: {name}: {c} (baseline {b})")
+    missing = set(base_rows) - {r["seed"] for r in cur["rows"]}
+    if missing:
+        rc |= fail(f"seeds missing from current run: {sorted(missing)}",
+                   key="seeds", current="missing " + str(sorted(missing)))
     return rc
 
 
@@ -290,9 +422,13 @@ def main(argv):
         rc = compare_e22(base, cur, tol)
     elif kind == "e23":
         rc = compare_e23(base, cur, tol)
+    elif kind == "e24":
+        rc = compare_e24(base, cur, tol)
     else:
-        print(f"unknown kind {kind!r} (want e10, e20, e22 or e23)")
+        print(f"unknown kind {kind!r} (want e10, e20, e22, e23 or e24)")
         return 2
+    if rc != 0 and FAILURES:
+        print_failure_summary()
     print("PASS" if rc == 0 else "FAIL")
     return rc
 

@@ -104,7 +104,7 @@ class StreamingChecker : public shard::StreamObserver<App> {
     /// When set, a ring window around each violating update is pinned at
     /// detection time, so trace_dump still has the counter-example context
     /// even after the ring wraps (obs::PinnedWindow).
-    obs::Tracer* tracer = nullptr;
+    obs::TraceSource* tracer = nullptr;
     std::size_t pin_context = 6;
     std::size_t max_pinned_windows = 32;
     /// Divergence messages retained (events beyond it are only counted).

@@ -28,13 +28,13 @@ namespace analysis {
 /// Render the trace context for every transaction a report's violations
 /// attribute (CheckReport::violating_txs). Empty string when the report is
 /// clean. `context` = events of surrounding context kept on each side of
-/// every matching trace event (obs::Tracer::slice_around). `lifecycle`,
+/// every matching trace event (obs::TraceSource::slice_around). `lifecycle`,
 /// when non-null, adds the update's per-replica provenance timeline —
 /// lifecycle state covers the whole run, so it survives ring eviction.
 template <core::Application App>
 std::string trace_dump(const CheckReport& report,
                        const core::Execution<App>& exec,
-                       const obs::Tracer& tracer, std::size_t context = 6,
+                       const obs::TraceSource& tracer, std::size_t context = 6,
                        const obs::LifecycleTracker* lifecycle = nullptr) {
   if (report.ok()) return {};
   std::ostringstream os;

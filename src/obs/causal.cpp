@@ -230,6 +230,13 @@ std::vector<std::size_t> CausalGraph::update_chain(std::uint64_t ts_logical,
   return it->second.events;  // appended in stream order, already ascending
 }
 
+std::vector<CausalGraph::UpdateKey> CausalGraph::update_keys() const {
+  std::vector<UpdateKey> out;
+  out.reserve(chains_.size());
+  for (const auto& [key, chain] : chains_) out.push_back(key);
+  return out;  // std::map iteration => ascending (logical, node)
+}
+
 std::vector<std::size_t> CausalGraph::ancestry(std::size_t i,
                                                std::size_t limit) const {
   std::vector<std::size_t> out;

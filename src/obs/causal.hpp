@@ -117,6 +117,10 @@ class CausalGraph {
   std::vector<std::size_t> update_chain(std::uint64_t ts_logical,
                                         sim::NodeId ts_node) const;
 
+  /// Keys of every update the stream mentions, ascending (logical, node) —
+  /// the enumeration the flame profiler folds over.
+  std::vector<UpdateKey> update_keys() const;
+
   /// Causal ancestry of event `i`: the closest `limit` events from which
   /// `i` is reachable along happens-before edges (backward BFS, nearest
   /// first in discovery, returned in ascending record order, `i` itself

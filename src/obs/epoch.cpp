@@ -1,0 +1,139 @@
+#include "obs/epoch.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace obs {
+
+namespace {
+
+bool is_boundary(EventType t) {
+  return t == EventType::kPartitionOpen || t == EventType::kPartitionHeal ||
+         t == EventType::kCrash || t == EventType::kRestart;
+}
+
+void insert_sorted(std::vector<std::uint64_t>& v, std::uint64_t x) {
+  const auto it = std::lower_bound(v.begin(), v.end(), x);
+  if (it == v.end() || *it != x) v.insert(it, x);
+}
+
+void erase_sorted(std::vector<std::uint64_t>& v, std::uint64_t x) {
+  const auto it = std::lower_bound(v.begin(), v.end(), x);
+  if (it != v.end() && *it == x) v.erase(it);
+}
+
+void insert_sorted_node(std::vector<sim::NodeId>& v, sim::NodeId x) {
+  const auto it = std::lower_bound(v.begin(), v.end(), x);
+  if (it == v.end() || *it != x) v.insert(it, x);
+}
+
+void erase_sorted_node(std::vector<sim::NodeId>& v, sim::NodeId x) {
+  const auto it = std::lower_bound(v.begin(), v.end(), x);
+  if (it != v.end() && *it == x) v.erase(it);
+}
+
+}  // namespace
+
+std::string Epoch::label() const {
+  if (quiet()) return "quiet";
+  std::ostringstream os;
+  if (!active_cuts.empty()) {
+    os << "cut{";
+    for (std::size_t i = 0; i < active_cuts.size(); ++i) {
+      if (i != 0) os << ',';
+      os << active_cuts[i];
+    }
+    os << '}';
+  }
+  if (!down_nodes.empty()) {
+    if (!active_cuts.empty()) os << '+';
+    os << "down{";
+    for (std::size_t i = 0; i < down_nodes.size(); ++i) {
+      if (i != 0) os << ',';
+      os << down_nodes[i];
+    }
+    os << '}';
+  }
+  return os.str();
+}
+
+EpochIndex EpochIndex::build(const std::vector<Event>& events) {
+  EpochIndex idx;
+  Epoch cur;  // the quiet epoch starting at the beginning of the stream
+  cur.start = events.empty() ? 0.0 : events.front().time;
+  cur.begin_event = 0;
+  bool boundary_open = false;  // regime changed, next boundary may coalesce
+  double boundary_time = 0.0;
+
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const Event& e = events[i];
+    if (!is_boundary(e.type)) continue;
+    ++idx.transitions_;
+    if (boundary_open && e.time == boundary_time) {
+      // Same-instant transition: fold into the already-opened epoch (rack
+      // power loss, rolling-restart seams) instead of a zero-length one.
+      ++idx.coalesced_;
+    } else {
+      // Close the running epoch at this instant and open the next one.
+      cur.end = e.time;
+      cur.end_event = i;
+      idx.epochs_.push_back(cur);
+      cur.begin_event = i;
+      cur.start = e.time;
+      boundary_open = true;
+      boundary_time = e.time;
+    }
+    // Apply the transition to the running regime (shared by both paths:
+    // a coalesced transition still changes the regime of the new epoch).
+    switch (e.type) {
+      case EventType::kPartitionOpen:
+        insert_sorted(cur.active_cuts, e.a);
+        break;
+      case EventType::kPartitionHeal:
+        erase_sorted(cur.active_cuts, e.a);
+        break;
+      case EventType::kCrash:
+        insert_sorted_node(cur.down_nodes, e.node);
+        break;
+      case EventType::kRestart:
+        erase_sorted_node(cur.down_nodes, e.node);
+        break;
+      default:
+        break;
+    }
+  }
+  // Final epoch runs to the end of the stream.
+  cur.end = events.empty() ? cur.start : events.back().time;
+  cur.end_event = events.size();
+  idx.epochs_.push_back(cur);
+  return idx;
+}
+
+std::size_t EpochIndex::epoch_of_event(std::size_t i) const {
+  // Epochs partition [0, n) by begin_event; find the last with begin <= i.
+  std::size_t lo = 0, hi = epochs_.size();
+  while (hi - lo > 1) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (epochs_[mid].begin_event <= i) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+std::size_t EpochIndex::epoch_at(double t) const {
+  std::size_t lo = 0, hi = epochs_.size();
+  while (hi - lo > 1) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (epochs_[mid].start <= t) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace obs

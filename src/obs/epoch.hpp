@@ -1,0 +1,91 @@
+// Partition-epoch segmentation of an event stream.
+//
+// The paper's availability story is regime-dependent: how fast updates
+// propagate and stabilize depends on which cuts are open and which nodes
+// are down RIGHT NOW, and an aggregate over a whole chaotic run averages
+// healthy operation against partition survival until neither is visible.
+// An *epoch* is a maximal interval during which that failure regime is
+// constant — the unit the flame profiler (flame.hpp) attributes latency to.
+//
+// Boundaries come from the trace's control events: partition.open /
+// partition.heal (a = cut index into the run's partition schedule) and
+// node.crash / node.restart. Every boundary starts a new epoch, with one
+// deliberate exception: transitions at the SAME simulated time coalesce
+// into a single boundary. Correlated faults make this matter — a rack
+// power loss records one partition.open plus a crash per rack node at the
+// same instant, and a rolling restart's back-to-back windows can land a
+// restart and the next crash on one tick; without coalescing each would
+// manufacture a zero-length epoch between two same-time control events.
+// By construction, then, no epoch is zero-length and the regime sets are
+// exactly right from the first non-control event onward. (Non-control
+// events recorded at the boundary instant but before its control event
+// land in the outgoing epoch; attribution at a shared tick follows record
+// order, which is deterministic.)
+//
+// The index works on any stream — complete captures or a ring-truncated
+// window. On a truncated stream a cut that opened before the window simply
+// never shows in active_cuts; epoch boundaries are inferred only from
+// retained control events (per-node shards help here: control events live
+// in their own ring and are never evicted by node chatter).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/event.hpp"
+
+namespace obs {
+
+/// One maximal constant-regime interval of the stream.
+struct Epoch {
+  double start = 0.0;  ///< [start, end) in simulated time.
+  double end = 0.0;
+  std::size_t begin_event = 0;  ///< [begin_event, end_event) in the stream.
+  std::size_t end_event = 0;
+  /// Cut indices (partition.open's `a`) open during this epoch, ascending.
+  std::vector<std::uint64_t> active_cuts;
+  /// Nodes down during this epoch, ascending.
+  std::vector<sim::NodeId> down_nodes;
+
+  /// No cuts open, no nodes down — the healthy regime.
+  bool quiet() const { return active_cuts.empty() && down_nodes.empty(); }
+  /// Stable machine-readable regime label: "quiet", "cut{0}",
+  /// "cut{0,2}+down{1}", "down{3}". Equal regimes => equal labels.
+  std::string label() const;
+};
+
+class EpochIndex {
+ public:
+  /// Segment `events` (record order). An empty stream yields one empty
+  /// quiet epoch covering [0, 0).
+  static EpochIndex build(const std::vector<Event>& events);
+
+  const std::vector<Epoch>& epochs() const { return epochs_; }
+  std::size_t size() const { return epochs_.size(); }
+  const Epoch& epoch(std::size_t i) const { return epochs_[i]; }
+
+  /// Index of the epoch containing event `i` (by record position — exact
+  /// even when several epochs share a boundary instant). Out-of-range `i`
+  /// maps to the last epoch.
+  std::size_t epoch_of_event(std::size_t i) const;
+
+  /// Index of the last epoch whose start <= t (a boundary instant belongs
+  /// to the incoming epoch); t before the first epoch maps to 0.
+  std::size_t epoch_at(double t) const;
+
+  /// Raw control transitions seen (each partition.open/heal, crash,
+  /// restart counts once).
+  std::uint64_t transitions() const { return transitions_; }
+  /// Transitions folded into an earlier same-time boundary — each is a
+  /// zero-length epoch that coalescing avoided.
+  std::uint64_t coalesced() const { return coalesced_; }
+
+ private:
+  std::vector<Epoch> epochs_;
+  std::uint64_t transitions_ = 0;
+  std::uint64_t coalesced_ = 0;
+};
+
+}  // namespace obs

@@ -79,7 +79,7 @@ void write_perfetto(const std::vector<Event>& events, std::ostream& os) {
   os << "],\"displayTimeUnit\":\"ms\"}\n";
 }
 
-std::string perfetto_json(const Tracer& tracer) {
+std::string perfetto_json(const TraceSource& tracer) {
   std::ostringstream os;
   write_perfetto(tracer.ring(), os);
   return os.str();

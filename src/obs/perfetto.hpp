@@ -24,8 +24,9 @@ namespace obs {
 /// Write `events` (record order) as one complete trace_event JSON document.
 void write_perfetto(const std::vector<Event>& events, std::ostream& os);
 
-/// Convenience: export the tracer's ring.
-std::string perfetto_json(const Tracer& tracer);
+/// Convenience: export a trace source's retained events (merged across
+/// shards when sharded).
+std::string perfetto_json(const TraceSource& tracer);
 
 /// A streaming sink producing the same document incrementally — the "JSON
 /// sink" mode of the overhead bench: formatting cost is paid per event at

@@ -1,0 +1,95 @@
+#include "obs/sharded_tracer.hpp"
+
+#include <algorithm>
+
+namespace obs {
+
+ShardedTracer::ShardedTracer(std::size_t num_nodes,
+                             std::size_t ring_capacity) {
+  shards_.reserve(num_nodes + 1);
+  for (std::size_t i = 0; i < num_nodes + 1; ++i) {
+    shards_.push_back(std::make_unique<Tracer>(ring_capacity));
+    shards_.back()->set_sequencer(&seq_);
+  }
+}
+
+void ShardedTracer::add_sink(Sink* sink) {
+  for (auto& s : shards_) s->add_sink(sink);
+}
+
+std::uint64_t ShardedTracer::recorded() const {
+  std::uint64_t n = 0;
+  for (const auto& s : shards_) n += s->recorded();
+  return n;
+}
+
+std::uint64_t ShardedTracer::evicted() const {
+  std::uint64_t n = 0;
+  for (const auto& s : shards_) n += s->evicted();
+  return n;
+}
+
+std::vector<std::uint64_t> ShardedTracer::type_counts() const {
+  std::vector<std::uint64_t> out(kNumEventTypes, 0);
+  for (const auto& s : shards_) {
+    const std::vector<std::uint64_t> c = s->type_counts();
+    for (std::size_t i = 0; i < out.size(); ++i) out[i] += c[i];
+  }
+  return out;
+}
+
+std::size_t ShardedTracer::ring_size() const {
+  std::size_t n = 0;
+  for (const auto& s : shards_) n += s->ring_size();
+  return n;
+}
+
+std::vector<Event> ShardedTracer::ring() const {
+  // Gather each shard's retained (stamp, event) pairs; each shard's list is
+  // already ascending in stamp, so a k-way index merge by (time, seq)
+  // reconstructs the global record order. time is compared first to match
+  // the merge a real runtime would do off a hybrid clock; within one run
+  // the stamp alone already decides (time never decreases along stamps).
+  struct Cursor {
+    std::vector<Event> events;
+    std::vector<std::uint64_t> seqs;
+    std::size_t at = 0;
+  };
+  std::vector<Cursor> cursors;
+  cursors.reserve(shards_.size());
+  std::size_t total = 0;
+  for (const auto& s : shards_) {
+    Cursor c;
+    c.events = s->ring();
+    c.seqs = s->ring_seqs();
+    total += c.events.size();
+    cursors.push_back(std::move(c));
+  }
+  std::vector<Event> out;
+  out.reserve(total);
+  while (out.size() < total) {
+    std::size_t best = cursors.size();
+    for (std::size_t k = 0; k < cursors.size(); ++k) {
+      const Cursor& c = cursors[k];
+      if (c.at >= c.events.size()) continue;
+      if (best == cursors.size()) {
+        best = k;
+        continue;
+      }
+      const Cursor& b = cursors[best];
+      const double tc = c.events[c.at].time, tb = b.events[b.at].time;
+      if (tc < tb || (tc == tb && c.seqs[c.at] < b.seqs[b.at])) best = k;
+    }
+    Cursor& c = cursors[best];
+    out.push_back(c.events[c.at++]);
+  }
+  return out;
+}
+
+std::vector<Event> ShardedTracer::slice_around(std::uint64_t ts_logical,
+                                               sim::NodeId ts_node,
+                                               std::size_t context) const {
+  return slice_window(ring(), ts_logical, ts_node, context);
+}
+
+}  // namespace obs

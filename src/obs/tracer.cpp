@@ -8,35 +8,53 @@
 
 namespace obs {
 
+namespace {
+
+/// One entry per EventType, in declaration order. The static_assert below
+/// is the drift guard: adding an EventType without a name (or vice versa)
+/// fails to compile instead of silently rendering "unknown" — and the
+/// round-trip unit test in test_obs pins that every name parses back.
+constexpr std::array<std::string_view, kNumEventTypes> kEventTypeNames = {
+    "sched.dispatch",        // kSchedulerDispatch
+    "net.send",              // kNetSend
+    "net.deliver",           // kNetDeliver
+    "net.drop_partition",    // kNetDropPartition
+    "net.drop_random",       // kNetDropRandom
+    "net.drop_crashed",      // kNetDropCrashed
+    "broadcast.originate",   // kBroadcastOriginate
+    "broadcast.send",        // kBroadcastSend
+    "broadcast.deliver",     // kBroadcastDeliver
+    "broadcast.duplicate",   // kBroadcastDuplicate
+    "anti_entropy.digest",   // kAntiEntropyDigest
+    "anti_entropy.repair",   // kAntiEntropyRepair
+    "merge.tail_append",     // kMergeTailAppend
+    "merge.mid_insert",      // kMergeMidInsert
+    "merge.undo",            // kMergeUndo
+    "merge.redo",            // kMergeRedo
+    "checkpoint.take",       // kCheckpointTake
+    "checkpoint.invalidate", // kCheckpointInvalidate
+    "node.crash",            // kCrash
+    "node.restart",          // kRestart
+    "partition.open",        // kPartitionOpen
+    "partition.heal",        // kPartitionHeal
+    "byzantine.corrupt",     // kByzantineCorrupt
+    "byzantine.duplicate",   // kByzantineDuplicate
+    "byzantine.reorder",     // kByzantineReorder
+};
+static_assert(kEventTypeNames.size() == kNumEventTypes,
+              "event name table out of sync with EventType — add the new "
+              "type's name at its declaration position");
+static_assert(static_cast<std::size_t>(EventType::kByzantineReorder) ==
+                  kNumEventTypes - 1,
+              "kNumEventTypes must be derived from the LAST EventType "
+              "enumerator — update it when appending types");
+
+}  // namespace
+
 std::string_view event_type_name(EventType t) {
-  switch (t) {
-    case EventType::kSchedulerDispatch:   return "sched.dispatch";
-    case EventType::kNetSend:             return "net.send";
-    case EventType::kNetDeliver:          return "net.deliver";
-    case EventType::kNetDropPartition:    return "net.drop_partition";
-    case EventType::kNetDropRandom:       return "net.drop_random";
-    case EventType::kNetDropCrashed:      return "net.drop_crashed";
-    case EventType::kBroadcastOriginate:  return "broadcast.originate";
-    case EventType::kBroadcastSend:       return "broadcast.send";
-    case EventType::kBroadcastDeliver:    return "broadcast.deliver";
-    case EventType::kBroadcastDuplicate:  return "broadcast.duplicate";
-    case EventType::kAntiEntropyDigest:   return "anti_entropy.digest";
-    case EventType::kAntiEntropyRepair:   return "anti_entropy.repair";
-    case EventType::kMergeTailAppend:     return "merge.tail_append";
-    case EventType::kMergeMidInsert:      return "merge.mid_insert";
-    case EventType::kMergeUndo:           return "merge.undo";
-    case EventType::kMergeRedo:           return "merge.redo";
-    case EventType::kCheckpointTake:      return "checkpoint.take";
-    case EventType::kCheckpointInvalidate:return "checkpoint.invalidate";
-    case EventType::kCrash:               return "node.crash";
-    case EventType::kRestart:             return "node.restart";
-    case EventType::kPartitionOpen:       return "partition.open";
-    case EventType::kPartitionHeal:       return "partition.heal";
-    case EventType::kByzantineCorrupt:    return "byzantine.corrupt";
-    case EventType::kByzantineDuplicate:  return "byzantine.duplicate";
-    case EventType::kByzantineReorder:    return "byzantine.reorder";
-  }
-  return "unknown";
+  const auto i = static_cast<std::size_t>(t);
+  if (i >= kNumEventTypes) return "unknown";
+  return kEventTypeNames[i];
 }
 
 Tracer::Tracer(std::size_t ring_capacity)
@@ -45,15 +63,26 @@ Tracer::Tracer(std::size_t ring_capacity)
   buf_.reserve(capacity_);
 }
 
+void Tracer::set_sequencer(std::uint64_t* sequencer) {
+  sequencer_ = sequencer;
+  if (sequencer_ != nullptr) seq_buf_.reserve(capacity_);
+}
+
 void Tracer::record(const Event& e) {
   ++recorded_;
   ++type_counts_[static_cast<std::size_t>(e.type)];
+  const std::uint64_t seq = sequencer_ != nullptr ? (*sequencer_)++ : 0;
   if (buf_.size() < capacity_) {
     buf_.push_back(e);
+    if (sequencer_ != nullptr) seq_buf_.push_back(seq);
     head_ = buf_.size() % capacity_;
     full_ = buf_.size() == capacity_ && head_ == 0;
   } else {
     buf_[head_] = e;
+    if (sequencer_ != nullptr) {
+      seq_buf_.resize(buf_.size());
+      seq_buf_[head_] = seq;
+    }
     head_ = (head_ + 1) % capacity_;
     full_ = true;
   }
@@ -72,25 +101,43 @@ std::vector<Event> Tracer::ring() const {
   return out;
 }
 
-std::vector<Event> Tracer::slice_around(std::uint64_t ts_logical,
-                                        sim::NodeId ts_node,
-                                        std::size_t context) const {
-  const std::vector<Event> all = ring();
-  std::vector<char> keep(all.size(), 0);
-  for (std::size_t i = 0; i < all.size(); ++i) {
-    if (all[i].ts_logical != ts_logical || all[i].ts_node != ts_node ||
-        (ts_logical == 0 && all[i].ts_logical == 0)) {
+std::vector<std::uint64_t> Tracer::ring_seqs() const {
+  std::vector<std::uint64_t> out;
+  if (sequencer_ == nullptr) return out;
+  out.reserve(ring_size());
+  if (!full_) {
+    out.assign(seq_buf_.begin(), seq_buf_.begin() + head_);
+    return out;
+  }
+  out.insert(out.end(), seq_buf_.begin() + head_, seq_buf_.end());
+  out.insert(out.end(), seq_buf_.begin(), seq_buf_.begin() + head_);
+  return out;
+}
+
+std::vector<Event> slice_window(const std::vector<Event>& events,
+                                std::uint64_t ts_logical, sim::NodeId ts_node,
+                                std::size_t context) {
+  std::vector<char> keep(events.size(), 0);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    if (events[i].ts_logical != ts_logical || events[i].ts_node != ts_node ||
+        (ts_logical == 0 && events[i].ts_logical == 0)) {
       continue;
     }
     const std::size_t lo = i >= context ? i - context : 0;
-    const std::size_t hi = std::min(all.size(), i + context + 1);
+    const std::size_t hi = std::min(events.size(), i + context + 1);
     for (std::size_t j = lo; j < hi; ++j) keep[j] = 1;
   }
   std::vector<Event> out;
-  for (std::size_t i = 0; i < all.size(); ++i) {
-    if (keep[i]) out.push_back(all[i]);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    if (keep[i]) out.push_back(events[i]);
   }
   return out;
+}
+
+std::vector<Event> Tracer::slice_around(std::uint64_t ts_logical,
+                                        sim::NodeId ts_node,
+                                        std::size_t context) const {
+  return slice_window(ring(), ts_logical, ts_node, context);
 }
 
 std::string serialize(const std::vector<Event>& events) {
@@ -112,9 +159,8 @@ std::string serialize(const std::vector<Event>& events) {
 
 bool event_type_from_name(std::string_view name, EventType& out) {
   for (std::size_t i = 0; i < kNumEventTypes; ++i) {
-    const auto t = static_cast<EventType>(i);
-    if (event_type_name(t) == name) {
-      out = t;
+    if (kEventTypeNames[i] == name) {
+      out = static_cast<EventType>(i);
       return true;
     }
   }

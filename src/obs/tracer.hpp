@@ -11,6 +11,12 @@
 // numbers, schedules no events, and the components emit the same calls in
 // the same order for a given (seed, configuration) — which is what makes
 // the trace stream itself a determinism witness.
+//
+// Two shapes implement the read-side surface (TraceSource): the classic
+// single global Tracer, and ShardedTracer (sharded_tracer.hpp) — one ring
+// per node, merged on demand. Components always record through a concrete
+// Tracer* (their own shard, in sharded mode); only consumers that *read*
+// the stream (trace dumps, exporters, pinning) go through the interface.
 #pragma once
 
 #include <cstddef>
@@ -44,8 +50,16 @@ class VectorSink : public Sink {
 /// harness::Scenario).
 struct TraceOptions {
   bool enabled = false;
-  /// Ring capacity in events; oldest events are overwritten when full.
+  /// Ring capacity in events; oldest events are overwritten when full. In
+  /// sharded mode this is the capacity of EACH per-node ring (a node's
+  /// recent history is never evicted by another node's chatter).
   std::size_t ring_capacity = 8192;
+  /// Per-node trace shards (obs::ShardedTracer) with a deterministic merge
+  /// into the global event order — the shape a real multi-node runtime
+  /// needs. false falls back to the single global ring; both produce the
+  /// same stream for the same (seed, configuration), sink-for-sink and
+  /// byte-for-byte (the determinism tiers pin this).
+  bool sharded = true;
 };
 
 /// A ring slice captured at the moment a violation was detected, keyed by
@@ -59,14 +73,55 @@ struct PinnedWindow {
   std::vector<Event> events;  ///< slice_around() output at pin time.
 };
 
-class Tracer {
+/// Read-side view of a trace: what the dump/export/pinning consumers need,
+/// independent of whether events live in one global ring or per-node
+/// shards. record() is NOT part of the interface — recording stays a
+/// non-virtual call on a concrete Tracer (the hot path).
+class TraceSource {
+ public:
+  virtual ~TraceSource() = default;
+
+  /// Attach a sink (non-owning; must outlive the source's last record). In
+  /// sharded mode the sink observes the global interleaved record order —
+  /// shard dispatch is synchronous, so order is preserved.
+  virtual void add_sink(Sink* sink) = 0;
+
+  /// Events recorded over the source's lifetime (>= ring_size()).
+  virtual std::uint64_t recorded() const = 0;
+  /// Events that fell off the ring(s) (recorded - retained).
+  virtual std::uint64_t evicted() const = 0;
+  /// Per-type lifetime counts, indexed by EventType.
+  virtual std::vector<std::uint64_t> type_counts() const = 0;
+  /// Events currently retained.
+  virtual std::size_t ring_size() const = 0;
+  /// Retained events in global record order (merged across shards when
+  /// sharded).
+  virtual std::vector<Event> ring() const = 0;
+  /// Retained events involving update (ts_logical, ts_node), each with up
+  /// to `context` neighboring events either side — the counter-example
+  /// window the checker dump prints.
+  virtual std::vector<Event> slice_around(std::uint64_t ts_logical,
+                                          sim::NodeId ts_node,
+                                          std::size_t context = 6) const = 0;
+};
+
+/// slice_around's windowing over an explicit event vector (shared by both
+/// TraceSource implementations): every event of update (ts_logical,
+/// ts_node) plus `context` neighbors either side, overlapping windows
+/// coalesced, record order kept, each event appearing once.
+std::vector<Event> slice_window(const std::vector<Event>& events,
+                                std::uint64_t ts_logical, sim::NodeId ts_node,
+                                std::size_t context);
+
+class Tracer : public TraceSource {
  public:
   explicit Tracer(std::size_t ring_capacity = 8192);
 
   Tracer(const Tracer&) = delete;
   Tracer& operator=(const Tracer&) = delete;
 
-  /// Record one event: ring + all sinks. O(1) amortized.
+  /// Record one event: ring + all sinks. O(1) amortized. Non-virtual — the
+  /// per-event hot path never pays vtable dispatch.
   void record(const Event& e);
 
   /// Convenience overload building the Event in place.
@@ -76,40 +131,45 @@ class Tracer {
     record(Event{type, time, node, ts_logical, ts_node, a, b});
   }
 
-  /// Attach a sink (non-owning; must outlive the tracer's last record).
-  void add_sink(Sink* sink) { sinks_.push_back(sink); }
+  void add_sink(Sink* sink) override { sinks_.push_back(sink); }
 
-  /// Events recorded over the tracer's lifetime (>= ring().size()).
-  std::uint64_t recorded() const { return recorded_; }
-  /// Events that fell off the ring (recorded - retained).
-  std::uint64_t evicted() const {
+  std::uint64_t recorded() const override { return recorded_; }
+  std::uint64_t evicted() const override {
     return recorded_ - static_cast<std::uint64_t>(ring_size());
   }
-  /// Per-type lifetime counts, indexed by EventType.
-  const std::vector<std::uint64_t>& type_counts() const { return type_counts_; }
+  std::vector<std::uint64_t> type_counts() const override {
+    return type_counts_;
+  }
 
   std::size_t ring_capacity() const { return capacity_; }
-  std::size_t ring_size() const { return full_ ? capacity_ : head_; }
+  std::size_t ring_size() const override { return full_ ? capacity_ : head_; }
 
   /// Ring contents, oldest first.
-  std::vector<Event> ring() const;
+  std::vector<Event> ring() const override;
 
-  /// Ring events involving update (ts_logical, ts_node), each with up to
-  /// `context` neighboring events either side — the counter-example window
-  /// the checker dump prints. Overlapping windows are coalesced; events stay
-  /// in record order and appear once.
   std::vector<Event> slice_around(std::uint64_t ts_logical,
                                   sim::NodeId ts_node,
-                                  std::size_t context = 6) const;
+                                  std::size_t context = 6) const override;
+
+  /// Arm sharded operation: every record also stamps `(*sequencer)++` into
+  /// a ring parallel to the event ring. The counter is shared by all
+  /// shards of one ShardedTracer, so the stamp is the event's position in
+  /// the GLOBAL record order — what the deterministic merge sorts by.
+  void set_sequencer(std::uint64_t* sequencer);
+
+  /// Global-order stamps parallel to ring(); empty when no sequencer set.
+  std::vector<std::uint64_t> ring_seqs() const;
 
  private:
   std::size_t capacity_;
   std::vector<Event> buf_;
+  std::vector<std::uint64_t> seq_buf_;  ///< parallel to buf_ (sharded mode)
   std::size_t head_ = 0;  ///< Next write position.
   bool full_ = false;
   std::uint64_t recorded_ = 0;
   std::vector<std::uint64_t> type_counts_;
   std::vector<Sink*> sinks_;
+  std::uint64_t* sequencer_ = nullptr;
 };
 
 /// Canonical line-oriented serialization of an event stream: one event per

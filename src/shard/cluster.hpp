@@ -18,8 +18,12 @@
 
 #include "core/execution.hpp"
 #include "net/broadcast.hpp"
+#include "obs/causal.hpp"
+#include "obs/epoch.hpp"
+#include "obs/flame.hpp"
 #include "obs/lifecycle.hpp"
 #include "obs/metrics.hpp"
+#include "obs/sharded_tracer.hpp"
 #include "obs/tracer.hpp"
 #include "shard/node.hpp"
 #include "sim/fault_plan.hpp"
@@ -80,17 +84,25 @@ class Cluster {
     }
     validate_faults();
     if (config_.trace.enabled) {
-      tracer_ = std::make_unique<obs::Tracer>(config_.trace.ring_capacity);
+      // Sharded (the default): one bounded ring per node plus a control
+      // shard, merged on demand; legacy mode keeps the single global ring
+      // (the byte-identity differential pins the two against each other).
+      if (config_.trace.sharded) {
+        sharded_ = std::make_unique<obs::ShardedTracer>(
+            config_.num_nodes, config_.trace.ring_capacity);
+      } else {
+        tracer_ = std::make_unique<obs::Tracer>(config_.trace.ring_capacity);
+      }
       lifecycle_ = std::make_unique<obs::LifecycleTracker>(config_.num_nodes);
-      tracer_->add_sink(lifecycle_.get());
+      trace_source()->add_sink(lifecycle_.get());
       scheduler_.set_observer([this](sim::Time t, std::uint64_t id) {
-        tracer_->record(obs::EventType::kSchedulerDispatch, t,
-                        obs::kControlNode, 0, 0, id);
+        control_tracer()->record(obs::EventType::kSchedulerDispatch, t,
+                                 obs::kControlNode, 0, 0, id);
       });
     }
     network_ = std::make_unique<sim::Network>(
         scheduler_, config_.network, master_rng_.fork_seed());
-    if (tracer_) {
+    if (config_.trace.enabled) {
       network_->set_observer([this](sim::NodeId src, sim::NodeId dst,
                                     std::uint64_t id,
                                     sim::Network::MessageFate fate) {
@@ -102,20 +114,23 @@ class Cluster {
         const bool at_dst =
             type == obs::EventType::kNetDeliver ||
             (type == obs::EventType::kNetDropCrashed && id != 0);
-        tracer_->record(type, scheduler_.now(), at_dst ? dst : src, 0, 0,
-                        at_dst ? src : dst, id);
+        node_tracer(at_dst ? dst : src)
+            ->record(type, scheduler_.now(), at_dst ? dst : src, 0, 0,
+                     at_dst ? src : dst, id);
       });
       // Partition lifecycle markers: cuts are config, not messages, so no
       // component sees them open/heal — mark the boundaries explicitly.
       const auto& cuts = config_.network.partitions.events();
       for (std::size_t k = 0; k < cuts.size(); ++k) {
         scheduler_.schedule_at(cuts[k].start, [this, k] {
-          tracer_->record(obs::EventType::kPartitionOpen, scheduler_.now(),
-                          obs::kControlNode, 0, 0, k);
+          control_tracer()->record(obs::EventType::kPartitionOpen,
+                                   scheduler_.now(), obs::kControlNode, 0, 0,
+                                   k);
         });
         scheduler_.schedule_at(cuts[k].end, [this, k] {
-          tracer_->record(obs::EventType::kPartitionHeal, scheduler_.now(),
-                          obs::kControlNode, 0, 0, k);
+          control_tracer()->record(obs::EventType::kPartitionHeal,
+                                   scheduler_.now(), obs::kControlNode, 0, 0,
+                                   k);
         });
       }
     }
@@ -123,7 +138,8 @@ class Cluster {
       nodes_.push_back(std::make_unique<NodeT>(
           static_cast<core::NodeId>(i), *network_, config_.num_nodes,
           config_.broadcast, config_.checkpoint_interval,
-          master_rng_.fork_seed(), config_.compaction, tracer_.get(),
+          master_rng_.fork_seed(), config_.compaction,
+          node_tracer(static_cast<sim::NodeId>(i)),
           config_.max_checkpoints));
     }
     for (auto& n : nodes_) n->start();
@@ -313,9 +329,20 @@ class Cluster {
     for (auto& n : nodes_) n->set_stream_observer(obs);
   }
 
-  /// The execution tracer, or nullptr when Config::trace.enabled is false.
-  obs::Tracer* tracer() { return tracer_.get(); }
-  const obs::Tracer* tracer() const { return tracer_.get(); }
+  /// Read-side view of the execution trace (single ring or per-node shards,
+  /// per Config::trace.sharded), or nullptr when tracing is off. Recording
+  /// components do not go through this — each holds its concrete Tracer
+  /// (its own shard, in sharded mode).
+  obs::TraceSource* tracer() {
+    return sharded_ ? static_cast<obs::TraceSource*>(sharded_.get())
+                    : static_cast<obs::TraceSource*>(tracer_.get());
+  }
+  const obs::TraceSource* tracer() const {
+    return sharded_ ? static_cast<const obs::TraceSource*>(sharded_.get())
+                    : static_cast<const obs::TraceSource*>(tracer_.get());
+  }
+  /// The per-node trace shards, or nullptr in legacy/untraced mode.
+  obs::ShardedTracer* sharded_tracer() { return sharded_.get(); }
   /// Trace-derived per-update lifecycle metrics (nullptr when not tracing).
   const obs::LifecycleTracker* lifecycle() const { return lifecycle_.get(); }
 
@@ -353,9 +380,48 @@ class Cluster {
     reg.add_counter("retained.checkpoints", checkpoints);
     reg.add_counter("retained.repair_store", store);
     reg.add_counter("retained.prefix_slots", slots);
-    if (tracer_) {
-      reg.add_counter("trace.events_recorded", tracer_->recorded());
-      reg.add_counter("trace.events_evicted", tracer_->evicted());
+    if (const obs::TraceSource* ts = tracer()) {
+      reg.add_counter("trace.events_recorded", ts->recorded());
+      reg.add_counter("trace.events_evicted", ts->evicted());
+      // Epoch-aware latency attribution over the retained stream: segment
+      // by failure regime, fold every causal chain into stage timings.
+      // Derivation only — same inputs, same numbers.
+      const std::vector<obs::Event> ring = ts->ring();
+      const obs::EpochIndex epochs = obs::EpochIndex::build(ring);
+      const obs::CausalGraph graph = obs::CausalGraph::build(ring);
+      const obs::FlameProfile flame =
+          obs::FlameProfile::build(ring, graph, epochs);
+      reg.add_counter("epoch.count", epochs.size());
+      reg.add_counter("epoch.transitions", epochs.transitions());
+      reg.add_counter("epoch.coalesced", epochs.coalesced());
+      std::uint64_t updates = 0, incomplete = 0;
+      std::int64_t crit_total = 0, crit_max = 0;
+      double quiet_s = 0.0, degraded_s = 0.0;
+      std::map<std::string, std::uint64_t> dominant;
+      for (const obs::EpochProfile& ep : flame.epochs()) {
+        updates += ep.updates;
+        incomplete += ep.incomplete;
+        crit_total += ep.critical_total_us;
+        crit_max = std::max(crit_max, ep.critical_max_us);
+        (epochs.epoch(ep.epoch).quiet() ? quiet_s : degraded_s) +=
+            ep.end - ep.start;
+        for (const auto& [stage, n] : ep.dominant_counts) dominant[stage] += n;
+      }
+      reg.add_counter("epoch.updates_profiled", updates);
+      reg.add_counter("epoch.updates_incomplete", incomplete);
+      reg.add_counter("epoch.critical_path_us_total",
+                      static_cast<std::uint64_t>(crit_total));
+      reg.add_counter("epoch.critical_path_us_max",
+                      static_cast<std::uint64_t>(crit_max));
+      for (const auto& [stage, n] : dominant) {
+        reg.add_counter("epoch.dominant." + stage, n);
+      }
+      reg.set_gauge("epoch.quiet_seconds", quiet_s);
+      reg.set_gauge("epoch.degraded_seconds", degraded_s);
+      obs::Histogram& crit = reg.histogram("epoch.critical_path_seconds");
+      for (const obs::UpdateTiming& ut : flame.timings()) {
+        if (ut.complete) crit.add(static_cast<double>(ut.critical_us()) / 1e6);
+      }
     }
     if (lifecycle_) lifecycle_->export_to(reg);
     if (stream_obs_) stream_obs_->export_metrics(reg);
@@ -363,6 +429,17 @@ class Cluster {
   }
 
  private:
+  /// The concrete tracer a component at `node` records into: its own shard
+  /// in sharded mode, the global ring in legacy mode, nullptr when off.
+  obs::Tracer* node_tracer(sim::NodeId node) {
+    return sharded_ ? &sharded_->shard(node) : tracer_.get();
+  }
+  /// Where cluster-scope events (scheduler dispatch, cut markers) go.
+  obs::Tracer* control_tracer() {
+    return sharded_ ? &sharded_->control_shard() : tracer_.get();
+  }
+  obs::TraceSource* trace_source() { return tracer(); }
+
   /// Reject fault/config combinations that would break recovery, up front
   /// rather than asserting deep inside the broadcast layer:
   ///  * repair-store pruning discards wire messages every peer acknowledged,
@@ -448,8 +525,10 @@ class Cluster {
   sim::Rng master_rng_;
   sim::Scheduler scheduler_;
   // Tracing sits above the nodes (they hold raw pointers into it) and is
-  // declared before them so it outlives their destructors.
+  // declared before them so it outlives their destructors. Exactly one of
+  // tracer_ / sharded_ is set when tracing is enabled (trace.sharded picks).
   std::unique_ptr<obs::Tracer> tracer_;
+  std::unique_ptr<obs::ShardedTracer> sharded_;
   std::unique_ptr<obs::LifecycleTracker> lifecycle_;
   std::unique_ptr<sim::Network> network_;
   std::vector<std::unique_ptr<NodeT>> nodes_;

@@ -1,0 +1,470 @@
+// Epoch segmentation, flame attribution, and sharded-tracer determinism.
+//
+// Three layers under test. EpochIndex: boundary detection from cut/crash
+// control events, same-instant coalescing (rack power loss, back-to-back
+// rolling-restart seams), and the absence of zero-length interior epochs.
+// FlameProfile: exact stage weights on a hand-built chain, plus structural
+// invariants and byte-determinism of the exporters under chaos.
+// ShardedTracer: the per-node-rings representation must be invisible — the
+// sharded stream byte-identical to the legacy global tracer's on every
+// chaos and crash-chaos seed, and the k-way (time, seq) ring merge must
+// reconstruct the capture exactly.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "apps/airline/airline.hpp"
+#include "harness/scenario.hpp"
+#include "harness/workload.hpp"
+#include "obs/causal.hpp"
+#include "obs/epoch.hpp"
+#include "obs/flame.hpp"
+#include "obs/sharded_tracer.hpp"
+#include "obs/tracer.hpp"
+#include "shard/cluster.hpp"
+#include "sim/crash.hpp"
+#include "sim/fault_plan.hpp"
+
+namespace {
+
+namespace al = apps::airline;
+using Air = al::BasicAirline<15, 900, 300>;
+using obs::EventType;
+
+obs::Event ev(EventType type, double time, sim::NodeId node,
+              std::uint64_t a = 0, std::uint64_t b = 0,
+              std::uint64_t ts_logical = 0, sim::NodeId ts_node = 0) {
+  return obs::Event{type, time, node, ts_logical, ts_node, a, b};
+}
+
+// ---------------------------------------------------------------------------
+// EpochIndex unit tests
+// ---------------------------------------------------------------------------
+
+TEST(EpochIndex, EmptyStreamIsOneQuietEpoch) {
+  const obs::EpochIndex idx = obs::EpochIndex::build({});
+  ASSERT_EQ(idx.size(), 1u);
+  EXPECT_TRUE(idx.epoch(0).quiet());
+  EXPECT_EQ(idx.epoch(0).label(), "quiet");
+  EXPECT_EQ(idx.transitions(), 0u);
+  EXPECT_EQ(idx.epoch_at(42.0), 0u);
+  EXPECT_EQ(idx.epoch_of_event(0), 0u);
+}
+
+TEST(EpochIndex, PartitionOpenHealSegments) {
+  std::vector<obs::Event> events;
+  events.push_back(ev(EventType::kSchedulerDispatch, 0.5, obs::kControlNode));
+  events.push_back(ev(EventType::kPartitionOpen, 2.0, obs::kControlNode, 0));
+  events.push_back(ev(EventType::kSchedulerDispatch, 3.0, obs::kControlNode));
+  events.push_back(ev(EventType::kPartitionHeal, 5.0, obs::kControlNode, 0));
+  events.push_back(ev(EventType::kSchedulerDispatch, 8.0, obs::kControlNode));
+
+  const obs::EpochIndex idx = obs::EpochIndex::build(events);
+  ASSERT_EQ(idx.size(), 3u);
+  EXPECT_EQ(idx.transitions(), 2u);
+  EXPECT_EQ(idx.coalesced(), 0u);
+
+  EXPECT_EQ(idx.epoch(0).label(), "quiet");
+  EXPECT_DOUBLE_EQ(idx.epoch(0).start, 0.5);
+  EXPECT_DOUBLE_EQ(idx.epoch(0).end, 2.0);
+  EXPECT_EQ(idx.epoch(1).label(), "cut{0}");
+  ASSERT_EQ(idx.epoch(1).active_cuts.size(), 1u);
+  EXPECT_DOUBLE_EQ(idx.epoch(1).start, 2.0);
+  EXPECT_DOUBLE_EQ(idx.epoch(1).end, 5.0);
+  EXPECT_EQ(idx.epoch(2).label(), "quiet");
+  EXPECT_DOUBLE_EQ(idx.epoch(2).end, 8.0);
+
+  // Event-index attribution: [begin_event, end_event) partitions the stream.
+  EXPECT_EQ(idx.epoch_of_event(0), 0u);
+  EXPECT_EQ(idx.epoch_of_event(1), 1u);  // the open itself: incoming epoch
+  EXPECT_EQ(idx.epoch_of_event(2), 1u);
+  EXPECT_EQ(idx.epoch_of_event(3), 2u);
+  EXPECT_EQ(idx.epoch_of_event(4), 2u);
+  for (std::size_t i = 0; i + 1 < idx.size(); ++i) {
+    EXPECT_EQ(idx.epoch(i).end_event, idx.epoch(i + 1).begin_event);
+  }
+
+  // Time attribution: boundary instants belong to the incoming epoch.
+  EXPECT_EQ(idx.epoch_at(0.0), 0u);
+  EXPECT_EQ(idx.epoch_at(2.0), 1u);
+  EXPECT_EQ(idx.epoch_at(4.9), 1u);
+  EXPECT_EQ(idx.epoch_at(5.0), 2u);
+}
+
+TEST(EpochIndex, SameInstantTransitionsCoalesce) {
+  // A rack power loss records one partition.open plus one crash per rack
+  // node at the same instant: ONE epoch boundary, not three (which would
+  // manufacture two zero-length epochs between the control events).
+  std::vector<obs::Event> events;
+  events.push_back(ev(EventType::kSchedulerDispatch, 0.0, obs::kControlNode));
+  events.push_back(ev(EventType::kPartitionOpen, 3.0, obs::kControlNode, 0));
+  events.push_back(ev(EventType::kCrash, 3.0, 1));
+  events.push_back(ev(EventType::kCrash, 3.0, 2));
+  events.push_back(ev(EventType::kSchedulerDispatch, 4.0, obs::kControlNode));
+
+  const obs::EpochIndex idx = obs::EpochIndex::build(events);
+  ASSERT_EQ(idx.size(), 2u);
+  EXPECT_EQ(idx.transitions(), 3u);
+  EXPECT_EQ(idx.coalesced(), 2u);
+  EXPECT_EQ(idx.epoch(1).label(), "cut{0}+down{1,2}");
+  EXPECT_DOUBLE_EQ(idx.epoch(1).start, 3.0);
+}
+
+TEST(EpochIndex, OverlappingCutsTrackActiveSets) {
+  std::vector<obs::Event> events;
+  events.push_back(ev(EventType::kSchedulerDispatch, 0.0, obs::kControlNode));
+  events.push_back(ev(EventType::kPartitionOpen, 1.0, obs::kControlNode, 0));
+  events.push_back(ev(EventType::kPartitionOpen, 2.0, obs::kControlNode, 1));
+  events.push_back(ev(EventType::kPartitionHeal, 3.0, obs::kControlNode, 0));
+  events.push_back(ev(EventType::kPartitionHeal, 4.0, obs::kControlNode, 1));
+  events.push_back(ev(EventType::kSchedulerDispatch, 5.0, obs::kControlNode));
+
+  const obs::EpochIndex idx = obs::EpochIndex::build(events);
+  ASSERT_EQ(idx.size(), 5u);
+  EXPECT_EQ(idx.epoch(0).label(), "quiet");
+  EXPECT_EQ(idx.epoch(1).label(), "cut{0}");
+  EXPECT_EQ(idx.epoch(2).label(), "cut{0,1}");
+  EXPECT_EQ(idx.epoch(3).label(), "cut{1}");
+  EXPECT_EQ(idx.epoch(4).label(), "quiet");
+  // No zero-length interior epochs.
+  for (std::size_t i = 1; i + 1 < idx.size(); ++i) {
+    EXPECT_GT(idx.epoch(i).end, idx.epoch(i).start);
+  }
+}
+
+TEST(EpochIndex, CrashRestartLifecycle) {
+  std::vector<obs::Event> events;
+  events.push_back(ev(EventType::kSchedulerDispatch, 0.0, obs::kControlNode));
+  events.push_back(ev(EventType::kCrash, 1.0, 2));
+  events.push_back(ev(EventType::kRestart, 4.0, 2));
+  events.push_back(ev(EventType::kSchedulerDispatch, 6.0, obs::kControlNode));
+
+  const obs::EpochIndex idx = obs::EpochIndex::build(events);
+  ASSERT_EQ(idx.size(), 3u);
+  EXPECT_EQ(idx.epoch(1).label(), "down{2}");
+  ASSERT_EQ(idx.epoch(1).down_nodes.size(), 1u);
+  EXPECT_EQ(idx.epoch(1).down_nodes[0], 2u);
+  EXPECT_TRUE(idx.epoch(2).quiet());
+}
+
+// ---------------------------------------------------------------------------
+// FlameProfile unit tests
+// ---------------------------------------------------------------------------
+
+/// A complete two-replica chain with known times: originate at node 0
+/// (t=1.0), flood send, deliver at node 1 (t=1.2) merged in-order at once,
+/// deliver at node 2 (t=1.5) merged out-of-order at t=1.6.
+std::vector<obs::Event> hand_built_chain() {
+  std::vector<obs::Event> events;
+  events.push_back(
+      ev(EventType::kBroadcastOriginate, 1.0, 0, /*a=*/1, 0, /*ts=*/7, 0));
+  events.push_back(ev(EventType::kBroadcastSend, 1.0, 0, /*a=*/1, /*b=*/2));
+  events.push_back(
+      ev(EventType::kMergeTailAppend, 1.0, 0, 0, 0, /*ts=*/7, 0));
+  events.push_back(
+      ev(EventType::kBroadcastDeliver, 1.2, 1, /*a=*/0, /*b=*/1));
+  events.push_back(
+      ev(EventType::kMergeTailAppend, 1.2, 1, 0, 0, /*ts=*/7, 0));
+  events.push_back(
+      ev(EventType::kBroadcastDeliver, 1.5, 2, /*a=*/0, /*b=*/1));
+  events.push_back(
+      ev(EventType::kMergeMidInsert, 1.6, 2, 0, 0, /*ts=*/7, 0));
+  return events;
+}
+
+TEST(FlameProfile, HandBuiltChainAttribution) {
+  const std::vector<obs::Event> events = hand_built_chain();
+  const obs::EpochIndex epochs = obs::EpochIndex::build(events);
+  const obs::CausalGraph graph = obs::CausalGraph::build(events);
+  const obs::FlameProfile flame =
+      obs::FlameProfile::build(events, graph, epochs);
+
+  ASSERT_EQ(flame.timings().size(), 1u);
+  const obs::UpdateTiming& ut = flame.timings()[0];
+  EXPECT_EQ(ut.key.first, 7u);
+  EXPECT_TRUE(ut.complete);
+  EXPECT_EQ(ut.replicas, 2u);
+  EXPECT_EQ(ut.critical_node, 2u);
+  EXPECT_EQ(ut.crit_flood_us, 0);
+  EXPECT_EQ(ut.crit_deliver_us, 500000);
+  EXPECT_EQ(ut.crit_merge_us, 100000);
+  EXPECT_EQ(ut.critical_us(), 600000);
+  EXPECT_EQ(ut.dominant, "deliver");
+
+  ASSERT_EQ(flame.epochs().size(), 1u);
+  const obs::EpochProfile& ep = flame.epochs()[0];
+  EXPECT_EQ(ep.updates, 1u);
+  EXPECT_EQ(ep.incomplete, 0u);
+  EXPECT_EQ(ep.critical_max_us, 600000);
+  EXPECT_EQ(ep.dominant_counts.at("deliver"), 1u);
+
+  // Exact stage weights: deliver;first = node 1 (200 ms), deliver;last =
+  // node 2 (500 ms), merge split by kind (0 / 100 ms).
+  const std::string folded = flame.folded();
+  EXPECT_NE(folded.find("epoch0:quiet;deliver;first 200000\n"),
+            std::string::npos);
+  EXPECT_NE(folded.find("epoch0:quiet;deliver;last 500000\n"),
+            std::string::npos);
+  EXPECT_NE(folded.find("epoch0:quiet;merge;tail_append 0\n"),
+            std::string::npos);
+  EXPECT_NE(folded.find("epoch0:quiet;merge;mid_insert 100000\n"),
+            std::string::npos);
+  EXPECT_NE(folded.find("epoch0:quiet;flood_wait 0\n"), std::string::npos);
+
+  const std::vector<obs::StageShare> top = flame.top_stages(0);
+  ASSERT_FALSE(top.empty());
+  EXPECT_EQ(top[0].stage, "deliver;last");
+  EXPECT_EQ(top[0].us, 500000);
+}
+
+TEST(FlameProfile, ExportersAreByteDeterministic) {
+  const std::vector<obs::Event> events = hand_built_chain();
+  const obs::EpochIndex epochs = obs::EpochIndex::build(events);
+  const obs::CausalGraph graph = obs::CausalGraph::build(events);
+  const obs::FlameProfile a = obs::FlameProfile::build(events, graph, epochs);
+  const obs::FlameProfile b = obs::FlameProfile::build(events, graph, epochs);
+  EXPECT_EQ(a.folded(), b.folded());
+  EXPECT_EQ(a.to_json(), b.to_json());
+  EXPECT_EQ(a.perfetto_json(), b.perfetto_json());
+}
+
+// ---------------------------------------------------------------------------
+// Epoch segmentation on real fault plans
+// ---------------------------------------------------------------------------
+
+struct ClusterRun {
+  std::vector<obs::Event> capture;
+  std::vector<obs::Event> merged;
+  std::uint64_t evicted = 0;
+};
+
+ClusterRun run_scenario(harness::Scenario sc, std::uint64_t seed,
+                        bool sharded, double horizon) {
+  sc.trace.enabled = true;
+  sc.trace.sharded = sharded;
+  shard::Cluster<Air> cluster(sc.cluster_config<Air>(seed));
+  obs::VectorSink capture;
+  cluster.tracer()->add_sink(&capture);
+  harness::AirlineWorkload w;
+  w.duration = horizon;
+  w.request_rate = 3.0;
+  w.mover_rate = 2.0;
+  w.cancel_fraction = 0.1;
+  w.max_persons = 150;
+  harness::drive_airline(cluster, w, seed ^ 0x5eed);
+  cluster.run_until(horizon);
+  cluster.settle();
+  ClusterRun r;
+  r.capture = capture.events();
+  r.merged = cluster.tracer()->ring();
+  r.evicted = cluster.tracer()->evicted();
+  return r;
+}
+
+TEST(EpochIndex, RollingRestartWithZeroGapCoalescesSeams) {
+  // gap = 0 lands node i's restart and node i+1's crash on the same
+  // instant: each seam must coalesce into one boundary, never a
+  // zero-length epoch.
+  const std::size_t nodes = 4;
+  harness::Scenario sc;
+  sc.num_nodes = nodes;
+  sc.faults.rolling_restart(nodes, /*start=*/4.0, /*down_for=*/2.0,
+                            /*gap=*/0.0);
+  const ClusterRun r = run_scenario(sc, 0x0117, true, 16.0);
+
+  const obs::EpochIndex idx = obs::EpochIndex::build(r.capture);
+  EXPECT_EQ(idx.transitions(), 2 * nodes);
+  EXPECT_EQ(idx.coalesced(), nodes - 1);
+  // N distinct boundary instants split the run into N + 1 epochs.
+  ASSERT_EQ(idx.size(), 2 * nodes - idx.coalesced() + 1);
+  EXPECT_TRUE(idx.epoch(0).quiet());
+  EXPECT_TRUE(idx.epoch(idx.size() - 1).quiet());
+  // One node down at a time, in order, and no zero-length interior epoch.
+  for (std::size_t i = 1; i + 1 < idx.size(); ++i) {
+    const obs::Epoch& e = idx.epoch(i);
+    ASSERT_EQ(e.down_nodes.size(), 1u) << "epoch " << i;
+    EXPECT_EQ(e.down_nodes[0], i - 1);
+    EXPECT_GT(e.end, e.start);
+  }
+}
+
+TEST(EpochIndex, RackPowerLossCoalescesCorrelatedBoundary) {
+  const std::size_t nodes = 4;
+  harness::Scenario sc;
+  sc.num_nodes = nodes;
+  sc.faults.rack_power_loss({0, 1}, nodes, /*start=*/5.0, /*end=*/9.0);
+  const ClusterRun r = run_scenario(sc, 0xACDC, true, 16.0);
+
+  const obs::EpochIndex idx = obs::EpochIndex::build(r.capture);
+  // open + 2 crashes at t=5, heal + 2 restarts at t=9: 6 transitions, 2
+  // boundaries.
+  EXPECT_EQ(idx.transitions(), 6u);
+  EXPECT_EQ(idx.coalesced(), 4u);
+  ASSERT_EQ(idx.size(), 3u);
+  const obs::Epoch& outage = idx.epoch(1);
+  EXPECT_DOUBLE_EQ(outage.start, 5.0);
+  EXPECT_DOUBLE_EQ(outage.end, 9.0);
+  ASSERT_EQ(outage.active_cuts.size(), 1u);
+  ASSERT_EQ(outage.down_nodes.size(), 2u);
+  EXPECT_EQ(outage.down_nodes[0], 0u);
+  EXPECT_EQ(outage.down_nodes[1], 1u);
+  EXPECT_TRUE(idx.epoch(2).quiet());
+}
+
+// ---------------------------------------------------------------------------
+// Sharded-tracer determinism and flame invariants under chaos
+// ---------------------------------------------------------------------------
+
+harness::Scenario chaos_scenario(std::uint64_t seed, bool with_crashes,
+                                 std::size_t* nodes_out) {
+  sim::Rng rng(seed);
+  const auto nodes = static_cast<std::size_t>(rng.uniform_int(2, 6));
+  const double horizon = 25.0;
+  harness::Scenario sc;
+  sc.num_nodes = nodes;
+  sc.delay = sim::Delay::exponential(rng.uniform(0.005, 0.05),
+                                     rng.uniform(0.05, 0.3), 5.0);
+  sc.drop_probability = rng.uniform(0.0, 0.25);
+  sc.faults = sim::FaultPlan(seed ^ 0x9afb);
+  sc.faults.random_partitions(nodes, horizon,
+                              static_cast<int>(rng.uniform_int(0, 3)));
+  if (with_crashes) {
+    sc.faults.random_crashes(nodes, horizon,
+                             static_cast<int>(rng.uniform_int(1, 4)),
+                             /*min_down=*/1.0, /*max_down=*/6.0,
+                             /*amnesia_probability=*/0.5);
+  }
+  sc.anti_entropy_interval = rng.uniform(0.2, 0.8);
+  *nodes_out = nodes;
+  return sc;
+}
+
+void expect_sharded_equivalence_and_flame_invariants(std::uint64_t seed,
+                                                     bool with_crashes) {
+  std::size_t nodes = 0;
+  const harness::Scenario sc = chaos_scenario(seed, with_crashes, &nodes);
+  const ClusterRun sharded = run_scenario(sc, seed ^ 0xc4a0, true, 25.0);
+  const ClusterRun legacy = run_scenario(sc, seed ^ 0xc4a0, false, 25.0);
+
+  // The representation must be invisible: same seed, same stream, byte for
+  // byte, whether events went through one global ring or per-node shards.
+  ASSERT_EQ(obs::serialize(sharded.capture), obs::serialize(legacy.capture));
+  // And the k-way (time, seq) merge of the shard rings must reconstruct
+  // the exact global record order (complete when nothing was evicted).
+  if (sharded.evicted == 0) {
+    ASSERT_EQ(obs::serialize(sharded.merged), obs::serialize(sharded.capture));
+  } else {
+    // Ring-truncated: still a subsequence of the capture, in order.
+    std::size_t at = 0;
+    for (const obs::Event& e : sharded.merged) {
+      while (at < sharded.capture.size() && !(sharded.capture[at] == e)) ++at;
+      ASSERT_LT(at, sharded.capture.size())
+          << "merged ring event not found in capture order";
+      ++at;
+    }
+  }
+
+  // Flame structural invariants on the complete stream.
+  const obs::EpochIndex epochs = obs::EpochIndex::build(sharded.capture);
+  const obs::CausalGraph graph = obs::CausalGraph::build(sharded.capture);
+  const obs::FlameProfile flame =
+      obs::FlameProfile::build(sharded.capture, graph, epochs);
+  ASSERT_EQ(flame.epochs().size(), epochs.size());
+  std::uint64_t updates = 0, incomplete = 0;
+  for (const obs::EpochProfile& ep : flame.epochs()) {
+    updates += ep.updates;
+    incomplete += ep.incomplete;
+    EXPECT_GE(ep.root.total_us, 0);
+    EXPECT_GE(ep.critical_max_us, 0);
+  }
+  EXPECT_EQ(updates, flame.timings().size());
+  std::uint64_t complete = 0;
+  for (const obs::UpdateTiming& ut : flame.timings()) {
+    EXPECT_LT(ut.epoch, epochs.size());
+    EXPECT_GE(ut.send, ut.originate);
+    if (!ut.complete) continue;
+    ++complete;
+    EXPECT_GE(ut.crit_flood_us, 0);
+    EXPECT_GE(ut.crit_deliver_us, 0);
+    EXPECT_GE(ut.crit_merge_us, 0);
+    EXPECT_FALSE(ut.dominant.empty());
+  }
+  EXPECT_EQ(complete + incomplete, updates);
+}
+
+class ShardedChaos : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ShardedChaos, ShardedStreamMatchesLegacyByteForByte) {
+  expect_sharded_equivalence_and_flame_invariants(GetParam(),
+                                                  /*with_crashes=*/false);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ShardedChaos,
+                         ::testing::Range<std::uint64_t>(1000, 1012));
+
+class ShardedCrashChaos : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ShardedCrashChaos, ShardedStreamMatchesLegacyByteForByte) {
+  expect_sharded_equivalence_and_flame_invariants(GetParam(),
+                                                  /*with_crashes=*/true);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ShardedCrashChaos,
+                         ::testing::Range<std::uint64_t>(3000, 3012));
+
+// ---------------------------------------------------------------------------
+// ShardedTracer mechanics
+// ---------------------------------------------------------------------------
+
+TEST(ShardedTracer, MergeReconstructsInterleavedRecordOrder) {
+  obs::ShardedTracer st(/*num_nodes=*/3, /*ring_capacity=*/16);
+  // Interleave records across shards with equal and distinct times; the
+  // merge must return them in exact record order (seq breaks time ties).
+  st.shard(1).record(ev(EventType::kNetSend, 1.0, 1));
+  st.shard(0).record(ev(EventType::kNetDeliver, 1.0, 0));
+  st.control_shard().record(
+      ev(EventType::kSchedulerDispatch, 1.0, obs::kControlNode));
+  st.shard(2).record(ev(EventType::kNetSend, 2.0, 2));
+  st.shard(0).record(ev(EventType::kNetSend, 3.0, 0));
+
+  EXPECT_EQ(st.recorded(), 5u);
+  EXPECT_EQ(st.next_seq(), 5u);
+  const std::vector<obs::Event> merged = st.ring();
+  ASSERT_EQ(merged.size(), 5u);
+  EXPECT_EQ(merged[0].node, 1u);
+  EXPECT_EQ(merged[1].node, 0u);
+  EXPECT_EQ(merged[2].node, obs::kControlNode);
+  EXPECT_EQ(merged[3].node, 2u);
+  EXPECT_EQ(merged[4].node, 0u);
+}
+
+TEST(ShardedTracer, ControlShardIsolatesControlTraffic) {
+  obs::ShardedTracer st(/*num_nodes=*/2, /*ring_capacity=*/4);
+  // A chatty node wraps its own ring; the control shard's history survives.
+  st.control_shard().record(
+      ev(EventType::kPartitionOpen, 0.5, obs::kControlNode, 0));
+  for (int i = 0; i < 100; ++i) {
+    st.shard(0).record(ev(EventType::kNetSend, 1.0 + i, 0));
+  }
+  EXPECT_GT(st.evicted(), 0u);
+  const std::vector<obs::Event> merged = st.ring();
+  ASSERT_FALSE(merged.empty());
+  EXPECT_EQ(merged.front().type, EventType::kPartitionOpen);
+  // kControlNode (and any out-of-range id) maps to the control shard.
+  EXPECT_EQ(&st.shard(obs::kControlNode), &st.control_shard());
+}
+
+TEST(ShardedTracer, SinksObserveGlobalRecordOrder) {
+  obs::ShardedTracer st(/*num_nodes=*/2, /*ring_capacity=*/8);
+  obs::VectorSink sink;
+  st.add_sink(&sink);
+  st.shard(1).record(ev(EventType::kNetSend, 1.0, 1));
+  st.shard(0).record(ev(EventType::kNetDeliver, 1.1, 0));
+  st.shard(1).record(ev(EventType::kNetSend, 1.2, 1));
+  ASSERT_EQ(sink.events().size(), 3u);
+  EXPECT_EQ(obs::serialize(sink.events()), obs::serialize(st.ring()));
+}
+
+}  // namespace

@@ -53,6 +53,35 @@ TEST(Tracer, RingIsBoundedAndOldestFirst) {
             10u);
 }
 
+TEST(Tracer, EventTypeNamesRoundTripForEveryType) {
+  // The compile-time drift guard (static_assert in tracer.cpp) pins the
+  // table SIZE to the enum; this pins the CONTENT: every type renders a
+  // real name, every name is unique, and each parses back to its type —
+  // so serialize() -> deserialize() can never silently drop a type.
+  std::vector<std::string> seen;
+  for (std::size_t i = 0; i < obs::kNumEventTypes; ++i) {
+    const auto type = static_cast<obs::EventType>(i);
+    const std::string_view name = obs::event_type_name(type);
+    EXPECT_NE(name, "unknown") << "type " << i << " has no name";
+    EXPECT_NE(name.find('.'), std::string_view::npos)
+        << name << " is not <group>.<what>";
+    obs::EventType back = obs::EventType::kSchedulerDispatch;
+    ASSERT_TRUE(obs::event_type_from_name(name, back)) << name;
+    EXPECT_EQ(back, type) << name;
+    seen.emplace_back(name);
+  }
+  std::sort(seen.begin(), seen.end());
+  EXPECT_EQ(std::adjacent_find(seen.begin(), seen.end()), seen.end())
+      << "duplicate event type name";
+  // Past-the-end values degrade to the sentinel, never read out of bounds.
+  EXPECT_EQ(obs::event_type_name(
+                static_cast<obs::EventType>(obs::kNumEventTypes)),
+            "unknown");
+  obs::EventType out = obs::EventType::kSchedulerDispatch;
+  EXPECT_FALSE(obs::event_type_from_name("unknown", out));
+  EXPECT_FALSE(obs::event_type_from_name("no.such_event", out));
+}
+
 TEST(Tracer, SinksSeeEveryEventEvenPastRingCapacity) {
   obs::Tracer tracer(2);
   obs::VectorSink sink;

@@ -56,7 +56,7 @@ bool air_unsafe(const al::Request& r, int c) {
 }
 double air_f(int c, std::size_t k) { return Air::Theory::f_bound(c, k); }
 
-Checker::Options full_options(obs::Tracer* tracer = nullptr,
+Checker::Options full_options(obs::TraceSource* tracer = nullptr,
                               bool bounded = false) {
   Checker::Options o;
   for (int c = 0; c < Air::kNumConstraints; ++c) {

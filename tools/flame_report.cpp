@@ -1,0 +1,160 @@
+// flame_report — epoch-aware latency attribution over a recorded trace.
+//
+// Reads an event stream in obs::serialize's line format (what
+// `trace_diff record` writes and what a VectorSink capture serializes to),
+// segments it into partition epochs, folds every update's causal chain
+// into stage-weighted flame trees, and prints the top-k dominating stages
+// per epoch — "where did stabilization time go while cut 0 was open?"
+// answered from a file, no rerun needed.
+//
+//   flame_report <trace_file> [--top K]
+//                [--folded <out>] [--json <out>] [--perfetto <out>]
+//
+// --folded writes flamegraph.pl-compatible folded stacks (pipe through
+// flamegraph.pl for the picture), --json the full per-epoch profile,
+// --perfetto critical-path slices for ui.perfetto.dev. All exporters are
+// byte-exact: the same trace file always produces the same bytes.
+//
+// Exit status: 0 on success, 2 on usage error or unreadable/malformed
+// input (the malformed line is reported with its 1-based number).
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/causal.hpp"
+#include "obs/epoch.hpp"
+#include "obs/flame.hpp"
+#include "obs/tracer.hpp"
+
+namespace {
+
+constexpr char kUsage[] =
+    "usage: flame_report <trace_file> [--top K]\n"
+    "                    [--folded <out>] [--json <out>] [--perfetto <out>]\n"
+    "       flame_report --help\n"
+    "\n"
+    "Reads a recorded event stream (trace_diff record / obs::serialize\n"
+    "format), segments it into partition epochs, and attributes each\n"
+    "update's stabilization latency to pipeline stages per epoch.\n"
+    "\n"
+    "  --top K         stages printed per epoch (default 8)\n"
+    "  --folded <out>  write flamegraph.pl-compatible folded stacks\n"
+    "  --json <out>    write the full per-epoch profile as JSON\n"
+    "  --perfetto <out> write critical-path slices for ui.perfetto.dev\n"
+    "\n"
+    "exit status: 0 success, 2 usage error or unreadable/malformed input\n";
+
+int usage() {
+  std::fputs(kUsage, stderr);
+  return 2;
+}
+
+bool write_file(const std::string& path, const std::string& data,
+                const char* what) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "flame_report: cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << data;
+  std::printf("wrote %s to %s\n", what, path.c_str());
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  if (std::strcmp(argv[1], "--help") == 0 || std::strcmp(argv[1], "-h") == 0) {
+    std::fputs(kUsage, stdout);
+    return 0;
+  }
+  const char* trace_path = argv[1];
+  std::size_t top_k = 8;
+  std::string folded_path, json_path, perfetto_path;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--top") == 0 && i + 1 < argc) {
+      top_k = std::strtoull(argv[++i], nullptr, 0);
+    } else if (std::strcmp(argv[i], "--folded") == 0 && i + 1 < argc) {
+      folded_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--perfetto") == 0 && i + 1 < argc) {
+      perfetto_path = argv[++i];
+    } else {
+      return usage();
+    }
+  }
+
+  std::ifstream in(trace_path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "flame_report: cannot read %s\n", trace_path);
+    return 2;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  std::vector<obs::Event> events;
+  std::size_t bad_line = 0;
+  if (!obs::deserialize(buf.str(), events, &bad_line)) {
+    std::fprintf(stderr, "flame_report: %s: malformed event at line %zu\n",
+                 trace_path, bad_line + 1);
+    return 2;
+  }
+
+  const obs::EpochIndex epochs = obs::EpochIndex::build(events);
+  const obs::CausalGraph graph = obs::CausalGraph::build(events);
+  const obs::FlameProfile flame = obs::FlameProfile::build(events, graph,
+                                                           epochs);
+
+  std::printf("%zu events, %zu epochs (%llu boundary transitions, %llu "
+              "coalesced), %zu updates profiled\n",
+              events.size(), epochs.size(),
+              static_cast<unsigned long long>(epochs.transitions()),
+              static_cast<unsigned long long>(epochs.coalesced()),
+              flame.timings().size());
+  for (const obs::EpochProfile& ep : flame.epochs()) {
+    std::printf("\nepoch %zu  %-24s [%0.3f, %0.3f)  updates=%llu",
+                ep.epoch, ep.label.c_str(), ep.start, ep.end,
+                static_cast<unsigned long long>(ep.updates));
+    if (ep.incomplete > 0) {
+      std::printf("  incomplete=%llu",
+                  static_cast<unsigned long long>(ep.incomplete));
+    }
+    std::printf("\n");
+    const std::uint64_t complete = ep.updates - ep.incomplete;
+    if (complete > 0) {
+      std::printf("  critical path: mean %.3f ms, max %.3f ms",
+                  static_cast<double>(ep.critical_total_us) / 1e3 /
+                      static_cast<double>(complete),
+                  static_cast<double>(ep.critical_max_us) / 1e3);
+      for (const auto& [stage, n] : ep.dominant_counts) {
+        std::printf("  dominant[%s]=%llu", stage.c_str(),
+                    static_cast<unsigned long long>(n));
+      }
+      std::printf("\n");
+    }
+    const std::vector<obs::StageShare> top = flame.top_stages(ep.epoch, top_k);
+    for (const obs::StageShare& s : top) {
+      std::printf("  %-28s %12lld us  %8llu samples\n", s.stage.c_str(),
+                  static_cast<long long>(s.us),
+                  static_cast<unsigned long long>(s.samples));
+    }
+  }
+
+  if (!folded_path.empty() &&
+      !write_file(folded_path, flame.folded(), "folded stacks")) {
+    return 2;
+  }
+  if (!json_path.empty() &&
+      !write_file(json_path, flame.to_json(), "flame profile JSON")) {
+    return 2;
+  }
+  if (!perfetto_path.empty() &&
+      !write_file(perfetto_path, flame.perfetto_json(), "perfetto slices")) {
+    return 2;
+  }
+  return 0;
+}

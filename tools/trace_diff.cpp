@@ -39,10 +39,22 @@ namespace {
 namespace al = apps::airline;
 using Air = al::BasicAirline<20, 900, 300>;
 
+constexpr char kUsage[] =
+    "usage: trace_diff record <out_file> [--seed N] [--perturb]\n"
+    "       trace_diff diff <file_a> <file_b>\n"
+    "       trace_diff --help\n"
+    "\n"
+    "record  run the canonical crash-chaos scenario and write its full\n"
+    "        event stream in obs::serialize line format; --perturb adds a\n"
+    "        sparse extra submission stream (a controlled divergence)\n"
+    "diff    report the first diverging event of two recorded streams with\n"
+    "        its causal ancestry in each\n"
+    "\n"
+    "exit status: 0 identical / recorded, 1 divergence found,\n"
+    "             2 usage error or unreadable/malformed input\n";
+
 int usage() {
-  std::fprintf(stderr,
-               "usage: trace_diff record <out_file> [--seed N] [--perturb]\n"
-               "       trace_diff diff <file_a> <file_b>\n");
+  std::fputs(kUsage, stderr);
   return 2;
 }
 
@@ -139,6 +151,10 @@ int cmd_diff(int argc, char** argv) {
 
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
+  if (std::strcmp(argv[1], "--help") == 0 || std::strcmp(argv[1], "-h") == 0) {
+    std::fputs(kUsage, stdout);
+    return 0;
+  }
   if (std::strcmp(argv[1], "record") == 0) return cmd_record(argc, argv);
   if (std::strcmp(argv[1], "diff") == 0) return cmd_diff(argc, argv);
   return usage();
