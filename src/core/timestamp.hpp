@@ -31,6 +31,21 @@ struct Timestamp {
 
   friend auto operator<=>(const Timestamp&, const Timestamp&) = default;
 
+  /// Hot-path total-order compare. The defaulted <=> above lowers to two
+  /// dependent branches (compare logical, then maybe node); merge-position
+  /// binary searches run this comparison O(log window) times per insert, so
+  /// it is written branch-lean — both legs evaluate and combine with
+  /// bitwise ops, which the compiler turns into straight-line cmp/setcc.
+  /// Exact same order as the defaulted <=> ((logical, node) lexicographic);
+  /// the other relational operators and == still come from <=>.
+  friend constexpr bool operator<(const Timestamp& a,
+                                  const Timestamp& b) noexcept {
+    return static_cast<bool>(
+        static_cast<unsigned>(a.logical < b.logical) |
+        (static_cast<unsigned>(a.logical == b.logical) &
+         static_cast<unsigned>(a.node < b.node)));
+  }
+
   std::string to_string() const;
 };
 

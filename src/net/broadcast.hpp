@@ -74,6 +74,16 @@ struct BroadcastOptions {
   /// adversary randomness, so unarmed runs are byte-identical to builds
   /// that predate the adversary.
   sim::ByzantineOptions byzantine;
+  /// Batched floods + group commit: broadcasts staged within one scheduler
+  /// dispatch are flushed together at its end (Scheduler::defer) — one
+  /// stable-outbox sync for the burst, and flood wires coalesced into batch
+  /// packets of up to `max_batch` wires each (so a burst of k submissions
+  /// costs ceil(k/max_batch) packets per peer instead of k). 0 disables
+  /// both: every broadcast syncs and floods immediately, the legacy shape
+  /// (and the E25 ablation baseline). A flush holding a single wire always
+  /// takes the legacy packet/trace path, so batched configs are
+  /// byte-identical to unbatched ones whenever bursts never actually form.
+  std::size_t max_batch = 0;
 };
 
 /// One endpoint of the cluster-wide broadcast. `Payload` is the application
@@ -155,9 +165,24 @@ class ReliableBroadcast {
     w.payload = std::move(payload);
     ++stats_.originated;
     accept(w);  // local delivery; also places it in the store for repair
-    // The intention record is now stable (outbox append above); a crash
-    // injected here leaves the update durable-but-unsent, the boundary the
-    // write-ahead intention log must survive.
+    if (options_.max_batch > 0) {
+      // Group-commit path: the outbox append above is write-ahead as always,
+      // but the sync and the flood are deferred to the end of the current
+      // scheduler dispatch so a submit burst shares one commit and its
+      // wires coalesce into batch packets (flush_flood).
+      staged_floods_.push_back(w.origin_seq);
+      if (!flush_scheduled_) {
+        flush_scheduled_ = true;
+        net_.scheduler().defer([this] { flush_flood(); });
+      }
+      return w.origin_seq;
+    }
+    // Immediate path: this broadcast is its own commit group.
+    ++stats_.outbox_commits;
+    ++stats_.outbox_records_synced;
+    // The intention record is now stable (outbox append + sync above); a
+    // crash injected here leaves the update durable-but-unsent, the boundary
+    // the write-ahead intention log must survive.
     if (mid_crash_hook_ && mid_crash_hook_(w.origin_seq)) {
       ++stats_.mid_broadcast_crashes;
       return w.origin_seq;
@@ -246,6 +271,10 @@ class ReliableBroadcast {
   /// state into the network so both layers agree.
   void set_down(bool down) {
     down_ = down;
+    // Staged-but-unflushed floods are volatile; their intention records are
+    // durable in the outbox, so after a restart they reach peers through
+    // outbox replay announcements and anti-entropy, never a stale flood.
+    if (down) staged_floods_.clear();
     net_.set_node_down(self_, down);
   }
   bool down() const { return down_; }
@@ -336,7 +365,7 @@ class ReliableBroadcast {
   }
 
  private:
-  enum class PacketType { kWire, kDigest, kRepair, kAnnounce };
+  enum class PacketType { kWire, kDigest, kRepair, kAnnounce, kWireBatch };
   struct Packet {
     PacketType type = PacketType::kWire;
     Wire wire;                 // kWire
@@ -346,6 +375,7 @@ class ReliableBroadcast {
     std::uint64_t announce_clock = 0;   // kAnnounce: promise logical
     sim::NodeId announce_node = 0;      // kAnnounce: promise tiebreak
     std::uint64_t announce_issued = 0;  // kAnnounce
+    std::vector<Wire> batch;            // kWireBatch: coalesced flood wires
   };
 
   static std::any make_packet(Wire w) {
@@ -353,6 +383,76 @@ class ReliableBroadcast {
     p.type = PacketType::kWire;
     p.wire = std::move(w);
     return std::any(std::move(p));
+  }
+
+  /// End-of-dispatch flush of the staged broadcast burst (max_batch > 0).
+  /// One group commit covers every staged record — each was appended to the
+  /// stable outbox inside its broadcast(), write-ahead of any flood — and
+  /// the sync lands here, before the first flood send, so the intention-log
+  /// boundary guarantee holds per batch exactly as it held per record.
+  void flush_flood() {
+    flush_scheduled_ = false;
+    std::vector<std::uint64_t> staged = std::move(staged_floods_);
+    staged_floods_.clear();
+    if (staged.empty() || down_) return;
+    ++stats_.outbox_commits;
+    stats_.outbox_records_synced += staged.size();
+    std::vector<Wire> chunk;
+    for (std::size_t i = 0; i < staged.size(); ++i) {
+      // The batch is durable; a crash injected at any wire's boundary
+      // suppresses the rest of the flood (those records reach peers only
+      // through post-restart anti-entropy — the guarantee under test).
+      if (mid_crash_hook_ && mid_crash_hook_(staged[i])) {
+        ++stats_.mid_broadcast_crashes;
+        return;
+      }
+      if (!options_.flood) continue;
+      chunk.push_back(store_[self_][staged[i] - 1 - store_base_[self_]]);
+      if (chunk.size() == options_.max_batch || i + 1 == staged.size()) {
+        send_flood_chunk(std::move(chunk));
+        chunk.clear();
+      }
+    }
+  }
+
+  /// Flood one coalesced chunk to all peers. A single-wire chunk takes the
+  /// legacy kWire packet and trace shape — so a batched config whose bursts
+  /// never coalesce is byte-identical (packets, RNG draws, trace stream) to
+  /// max_batch == 0.
+  void send_flood_chunk(std::vector<Wire> chunk) {
+    const sim::Time now = net_.scheduler().now();
+    if (chunk.size() == 1) {
+      const std::uint64_t seq = chunk.front().origin_seq;
+      const std::size_t peers =
+          net_.send_to_all(self_, make_packet(std::move(chunk.front())));
+      if (tracer_) {
+        tracer_->record(obs::EventType::kBroadcastSend, now, self_, 0, 0, seq,
+                        peers);
+      }
+      return;
+    }
+    ++stats_.flood_batches;
+    stats_.flood_batched_wires += chunk.size();
+    Packet p;
+    p.type = PacketType::kWireBatch;
+    p.batch = std::move(chunk);
+    const std::size_t wires = p.batch.size();
+    std::vector<std::uint64_t> seqs;
+    if (tracer_) {
+      seqs.reserve(wires);
+      for (const Wire& w : p.batch) seqs.push_back(w.origin_seq);
+    }
+    const std::size_t peers = net_.send_to_all(self_, std::any(std::move(p)));
+    if (tracer_) {
+      // Per-wire send events keep the causal/lifecycle derivations working
+      // unchanged; the batch event on top carries the coalescing itself.
+      for (const std::uint64_t seq : seqs) {
+        tracer_->record(obs::EventType::kBroadcastSend, now, self_, 0, 0, seq,
+                        peers);
+      }
+      tracer_->record(obs::EventType::kBroadcastBatchSend, now, self_, 0, 0,
+                      wires, peers);
+    }
   }
 
   void on_message(const sim::Message& m) {
@@ -365,6 +465,9 @@ class ReliableBroadcast {
     switch (p.type) {
       case PacketType::kWire:
         ingest_wire(p.wire);
+        break;
+      case PacketType::kWireBatch:
+        for (const Wire& w : p.batch) ingest_wire(w);
         break;
       case PacketType::kDigest:
         answer_digest(m.src, p.digest);
@@ -669,6 +772,11 @@ class ReliableBroadcast {
   bool down_ = false;  ///< crashed: no gossip, no sends (see set_down)
 
   std::uint64_t own_seq_ = 0;
+  /// Group-commit staging (options_.max_batch > 0): origin seqs broadcast
+  /// during the current scheduler dispatch, awaiting the end-of-dispatch
+  /// flush. Volatile — a crash drops it (the records are in the outbox).
+  std::vector<std::uint64_t> staged_floods_;
+  bool flush_scheduled_ = false;
   /// Delivered-to-application counts per origin (vector clock).
   std::vector<std::uint64_t> delivered_count_;
   /// Contiguous received prefix per origin (>= delivered in causal mode

@@ -32,6 +32,12 @@ std::string BroadcastStats::summary() const {
        << " byz_duplicated=" << byz_duplicated
        << " byz_reordered=" << byz_reordered;
   }
+  if (flood_batches > 0 || outbox_commits > 0) {
+    os << " flood_batches=" << flood_batches
+       << " flood_batched_wires=" << flood_batched_wires
+       << " outbox_commits=" << outbox_commits
+       << " outbox_records_synced=" << outbox_records_synced;
+  }
   return os.str();
 }
 
@@ -55,6 +61,10 @@ void BroadcastStats::export_to(obs::MetricsRegistry& reg,
   reg.add_counter(prefix + ".byz_corrupt_noops", byz_corrupt_noops);
   reg.add_counter(prefix + ".byz_duplicated", byz_duplicated);
   reg.add_counter(prefix + ".byz_reordered", byz_reordered);
+  reg.add_counter(prefix + ".flood_batches", flood_batches);
+  reg.add_counter(prefix + ".flood_batched_wires", flood_batched_wires);
+  reg.add_counter(prefix + ".outbox_commits", outbox_commits);
+  reg.add_counter(prefix + ".outbox_records_synced", outbox_records_synced);
 }
 
 }  // namespace net

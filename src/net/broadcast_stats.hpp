@@ -42,6 +42,14 @@ struct BroadcastStats {
                                            ///< masked — nothing changed).
   std::uint64_t byz_duplicated = 0;        ///< Wires re-injected into accept.
   std::uint64_t byz_reordered = 0;         ///< Wires held back one packet.
+  std::uint64_t flood_batches = 0;         ///< Coalesced flood packets sent
+                                           ///< (>= 2 wires each).
+  std::uint64_t flood_batched_wires = 0;   ///< Wires carried by those packets.
+  std::uint64_t outbox_commits = 0;        ///< Stable-outbox sync operations
+                                           ///< (group commit amortizes these
+                                           ///< across a submit burst).
+  std::uint64_t outbox_records_synced = 0; ///< Intention records covered by
+                                           ///< those syncs (== originated).
 
   std::string summary() const;
 

@@ -65,11 +65,16 @@ enum class EventType : std::uint8_t {
   kByzantineCorrupt,     ///< Update field substituted before accept.
   kByzantineDuplicate,   ///< Wire re-injected into accept (dedup target).
   kByzantineReorder,     ///< Wire held back until the next packet.
+  // net/broadcast batched floods (appended: existing raw values are part of
+  // serialized traces). Recorded once per COALESCED flush — a flush of one
+  // wire takes the legacy kBroadcastSend path only, so unbatched-shaped
+  // traffic under a batched config stays byte-identical to the legacy mode.
+  kBroadcastBatchSend,   ///< a = wires coalesced, b = peers sent to.
 };
 
 /// Total number of event types (array-sizing helper for per-type counts).
 inline constexpr std::size_t kNumEventTypes =
-    static_cast<std::size_t>(EventType::kByzantineReorder) + 1;
+    static_cast<std::size_t>(EventType::kBroadcastBatchSend) + 1;
 
 /// Stable machine-readable name, e.g. "merge.mid_insert". Used by both
 /// exporters and the determinism regression (byte-identical streams).

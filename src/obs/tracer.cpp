@@ -40,11 +40,12 @@ constexpr std::array<std::string_view, kNumEventTypes> kEventTypeNames = {
     "byzantine.corrupt",     // kByzantineCorrupt
     "byzantine.duplicate",   // kByzantineDuplicate
     "byzantine.reorder",     // kByzantineReorder
+    "broadcast.batch_send",  // kBroadcastBatchSend
 };
 static_assert(kEventTypeNames.size() == kNumEventTypes,
               "event name table out of sync with EventType — add the new "
               "type's name at its declaration position");
-static_assert(static_cast<std::size_t>(EventType::kByzantineReorder) ==
+static_assert(static_cast<std::size_t>(EventType::kBroadcastBatchSend) ==
                   kNumEventTypes - 1,
               "kNumEventTypes must be derived from the LAST EventType "
               "enumerator — update it when appending types");

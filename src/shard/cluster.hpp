@@ -32,41 +32,46 @@
 
 namespace shard {
 
-template <core::Application App>
+/// Cluster configuration. Deliberately App- and layout-independent (a plain
+/// struct, not a nested template member): one config value constructs a
+/// Cluster of any application and either log layout, so the differential
+/// and ablation harnesses (SoA vs AoS) drive byte-identical setups.
+struct ClusterConfig {
+  std::size_t num_nodes = 3;
+  sim::Network::Config network;
+  net::BroadcastOptions broadcast;
+  std::size_t checkpoint_interval = 32;
+  /// Bound on state snapshots per node: above it, UpdateLog thins
+  /// checkpoints geometrically (dense near the tail, sparse near the
+  /// base) so memory is O(log n) snapshots. 0 keeps every snapshot.
+  std::size_t max_checkpoints = 0;
+  /// Discard obsolete information ([SL]): fold cluster-stable log
+  /// prefixes into the base state.
+  bool compaction = false;
+  /// Fault injection, expressed as one composable plan (sim/fault_plan.hpp):
+  /// crash/restart windows (durable, amnesia, or stale-disk recovery),
+  /// partition cuts (folded into the network schedule at construction),
+  /// correlated rack power losses, rolling restarts, and mid-broadcast
+  /// crashes at the write-ahead intention-log boundary. The network
+  /// refuses delivery to down nodes; submissions reaching them are
+  /// rejected and counted, never silently executed.
+  sim::FaultPlan faults;
+  /// Structured event tracing (obs/). Off by default: every component
+  /// keeps a null tracer pointer and pays one branch per would-be event.
+  /// On: events flow into the tracer ring + sinks, and a LifecycleTracker
+  /// derives replication-latency/undo-churn/divergence metrics. Tracing
+  /// never perturbs the protocol (no RNG draws; the extra partition
+  /// open/heal marker events are scheduler no-ops).
+  obs::TraceOptions trace;
+  std::uint64_t seed = 1;
+};
+
+template <core::Application App, LogLayout Layout = LogLayout::kSoA>
 class Cluster {
  public:
-  using NodeT = Node<App>;
+  using NodeT = Node<App, Layout>;
   using Request = typename App::Request;
-
-  struct Config {
-    std::size_t num_nodes = 3;
-    sim::Network::Config network;
-    net::BroadcastOptions broadcast;
-    std::size_t checkpoint_interval = 32;
-    /// Bound on state snapshots per node: above it, UpdateLog thins
-    /// checkpoints geometrically (dense near the tail, sparse near the
-    /// base) so memory is O(log n) snapshots. 0 keeps every snapshot.
-    std::size_t max_checkpoints = 0;
-    /// Discard obsolete information ([SL]): fold cluster-stable log
-    /// prefixes into the base state.
-    bool compaction = false;
-    /// Fault injection, expressed as one composable plan (sim/fault_plan.hpp):
-    /// crash/restart windows (durable, amnesia, or stale-disk recovery),
-    /// partition cuts (folded into the network schedule at construction),
-    /// correlated rack power losses, rolling restarts, and mid-broadcast
-    /// crashes at the write-ahead intention-log boundary. The network
-    /// refuses delivery to down nodes; submissions reaching them are
-    /// rejected and counted, never silently executed.
-    sim::FaultPlan faults;
-    /// Structured event tracing (obs/). Off by default: every component
-    /// keeps a null tracer pointer and pays one branch per would-be event.
-    /// On: events flow into the tracer ring + sinks, and a LifecycleTracker
-    /// derives replication-latency/undo-churn/divergence metrics. Tracing
-    /// never perturbs the protocol (no RNG draws; the extra partition
-    /// open/heal marker events are scheduler no-ops).
-    obs::TraceOptions trace;
-    std::uint64_t seed = 1;
-  };
+  using Config = ClusterConfig;
 
   explicit Cluster(Config config)
       : config_(std::move(config)), master_rng_(config_.seed) {

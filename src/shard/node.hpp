@@ -40,7 +40,32 @@ namespace shard {
 template <core::Application App>
 class StreamObserver;
 
+/// Everything the origin records about a transaction it initiated; the
+/// cluster assembles the formal Execution from these. Hoisted out of Node
+/// so the record type is identical across log layouts (Node<App, kSoA> and
+/// Node<App, kAoS> produce interchangeable records — the differential
+/// harnesses compare them directly).
 template <core::Application App>
+struct TxRecord {
+  core::Timestamp ts;
+  core::NodeId origin = 0;
+  sim::Time real_time = 0.0;
+  typename App::Request request;
+  /// The prefix subsequence (paper section 3.1): every transaction merged
+  /// here at decision time, interned as per-origin delivered counts
+  /// (core/prefix.hpp) — O(#nodes) per record instead of O(history).
+  /// Expand via Cluster::prefix_resolver() to recover the explicit
+  /// timestamp set.
+  core::PrefixRef prefix;
+  typename App::Update update;
+  std::vector<core::ExternalAction> external_actions;
+  /// Mixed-mode: true if this ran with the serializable (complete-prefix)
+  /// protocol; decided_time - real_time is then the waiting latency.
+  bool serializable = false;
+  sim::Time decided_time = 0.0;
+};
+
+template <core::Application App, LogLayout Layout = LogLayout::kSoA>
 class Node {
  public:
   using State = typename App::State;
@@ -53,26 +78,7 @@ class Node {
     Update update;
   };
 
-  /// Everything the origin records about a transaction it initiated; the
-  /// cluster assembles the formal Execution from these.
-  struct Record {
-    core::Timestamp ts;
-    core::NodeId origin = 0;
-    sim::Time real_time = 0.0;
-    Request request;
-    /// The prefix subsequence (paper section 3.1): every transaction merged
-    /// here at decision time, interned as per-origin delivered counts
-    /// (core/prefix.hpp) — O(#nodes) per record instead of O(history).
-    /// Expand via Cluster::prefix_resolver() to recover the explicit
-    /// timestamp set.
-    core::PrefixRef prefix;
-    Update update;
-    std::vector<core::ExternalAction> external_actions;
-    /// Mixed-mode: true if this ran with the serializable (complete-prefix)
-    /// protocol; decided_time - real_time is then the waiting latency.
-    bool serializable = false;
-    sim::Time decided_time = 0.0;
-  };
+  using Record = TxRecord<App>;
 
   Node(core::NodeId id, sim::Network& network, std::size_t cluster_size,
        net::BroadcastOptions broadcast_options, std::size_t checkpoint_interval,
@@ -285,7 +291,7 @@ class Node {
           keep_fraction * static_cast<double>(log_.size()));
       std::vector<std::uint64_t> keep = broadcast_.delivered_vector();
       for (std::size_t i = keep_n; i < log_.size(); ++i) {
-        --keep[log_.entry(i).ts.node];
+        --keep[log_.ts_at(i).node];
       }
       log_.truncate_suffix(keep_n);
       // Same ordering constraint as amnesia: shadow rewind precedes the
@@ -320,7 +326,7 @@ class Node {
   void set_stream_observer(StreamObserver<App>* obs) { stream_obs_ = obs; }
 
   const State& state() const { return log_.state(); }
-  const UpdateLog<App>& log() const { return log_; }
+  const UpdateLog<App, Layout>& log() const { return log_; }
   core::NodeId id() const { return id_; }
   const std::vector<Record>& originated() const { return originated_; }
   const EngineStats& engine_stats() const { return log_.stats(); }
@@ -506,7 +512,7 @@ class Node {
 
   core::NodeId id_;
   core::LamportClock clock_;
-  UpdateLog<App> log_;
+  UpdateLog<App, Layout> log_;
   std::vector<Record> originated_;
   std::vector<Announcement> peer_announcements_;
   std::deque<PendingSerial> pending_;
@@ -537,8 +543,8 @@ class StreamObserver {
   /// observer knows the true record before any — possibly Byzantine —
   /// delivery of it, including the origin's own). `origin_seq` is the
   /// 1-based broadcast sequence number the envelope will carry.
-  virtual void on_originate(const typename Node<App>::Record& rec,
-                            std::uint64_t origin_seq, sim::Time now) = 0;
+  virtual void on_originate(const TxRecord<App>& rec, std::uint64_t origin_seq,
+                            sim::Time now) = 0;
 
   /// An update merged at node `at`, AFTER the log insert. `origin`/
   /// `origin_seq` identify the originating record; `ts` is the envelope's

@@ -38,6 +38,16 @@ bool Scheduler::is_cancelled(EventId id) {
   return true;
 }
 
+void Scheduler::defer(Action action) {
+  if (!dispatching_) {
+    // Not inside a dispatch (component driven directly by test code):
+    // there is no "end of the current event" to wait for — run now.
+    action();
+    return;
+  }
+  deferred_.push_back(std::move(action));
+}
+
 bool Scheduler::step() {
   while (!queue_.empty()) {
     Event ev = queue_.top();
@@ -47,7 +57,16 @@ bool Scheduler::step() {
     now_ = ev.t;
     ++executed_;
     if (observer_) observer_(ev.t, ev.id);
+    dispatching_ = true;
     ev.action();
+    // Drain end-of-dispatch work (batch flushes). Index loop: a deferred
+    // action may defer more; everything runs before the next queued event.
+    for (std::size_t i = 0; i < deferred_.size(); ++i) {
+      Action a = std::move(deferred_[i]);
+      a();
+    }
+    deferred_.clear();
+    dispatching_ = false;
     return true;
   }
   return false;

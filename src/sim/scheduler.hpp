@@ -53,6 +53,17 @@ class Scheduler {
   /// previously cancelled.
   bool cancel(EventId id);
 
+  /// Run `action` synchronously after the CURRENT event's action finishes —
+  /// at the same simulated time, before any queued event, and without
+  /// creating a scheduler event (no new id, no dispatch observation, no
+  /// perturbation of the (time, seq) order). This is the hook batching
+  /// layers use to coalesce work accumulated within one dispatch: stage
+  /// during the action, flush at its end. Deferred actions may defer
+  /// further actions (drained FIFO until empty). Called while no event is
+  /// dispatching (e.g. from test code driving components directly),
+  /// `action` runs immediately.
+  void defer(Action action);
+
   /// Execute the next pending event. Returns false when the queue is empty.
   bool step();
 
@@ -95,6 +106,10 @@ class Scheduler {
   // to pay O(log cancelled) per pop re-sorting a vector.
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
   std::unordered_set<EventId> cancelled_;
+  // End-of-dispatch work staged by defer(); drained inside step() after the
+  // current action returns. Index-based drain: deferred actions may append.
+  std::vector<Action> deferred_;
+  bool dispatching_ = false;
   std::uint64_t next_seq_ = 0;
   EventId next_id_ = 1;
   Time now_ = 0.0;

@@ -73,7 +73,8 @@ TEST(UpdateLog, ContainsAndEntryAccessors) {
   EXPECT_TRUE(log.contains(Timestamp{5, 1}));
   EXPECT_FALSE(log.contains(Timestamp{5, 0}));
   EXPECT_FALSE(log.contains(Timestamp{4, 1}));
-  EXPECT_EQ(log.entry(0).update, req(9));
+  EXPECT_EQ(log.update_at(0), req(9));
+  EXPECT_EQ(log.ts_at(0), (Timestamp{5, 1}));
   EXPECT_EQ(log.known_timestamps(),
             (std::vector<Timestamp>{Timestamp{5, 1}}));
 }
@@ -208,6 +209,117 @@ TEST(UpdateLog, ThinningComposesWithCompaction) {
   log.insert({Timestamp{80, 1}, cancel(2)});
   EXPECT_EQ(log.state(), log.recompute_naive());
   EXPECT_LE(log.checkpoints_retained(), 10u);
+}
+
+using AosLog = shard::UpdateLog<SmallAirline, shard::LogLayout::kAoS>;
+
+/// Differential property: the SoA/arena layout is observationally identical
+/// to the AoS layout — state, entry order, undo/redo/checkpoint counters —
+/// over random interleavings with interleaved compaction.
+class SoAVersusAoS : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SoAVersusAoS, LayoutsAgreeUnderRandomArrivalsAndCompaction) {
+  sim::Rng rng(GetParam());
+  const std::size_t n = 300;
+  std::vector<Log::Entry> arrival;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto p = static_cast<apps::airline::Person>(rng.uniform_int(1, 12));
+    Update u;
+    switch (rng.uniform_int(0, 3)) {
+      case 0: u = req(p); break;
+      case 1: u = cancel(p); break;
+      case 2: u = up(p); break;
+      default: u = down(p); break;
+    }
+    arrival.push_back({Timestamp{i + 1, 0}, u});
+  }
+  for (std::size_t i = arrival.size(); i > 1; --i) {
+    const auto j = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(i) - 1));
+    std::swap(arrival[i - 1], arrival[j]);
+  }
+  Log soa(8, 4);
+  AosLog aos(8, 4);
+  std::uint64_t max_arrived = 0;
+  for (std::size_t i = 0; i < arrival.size(); ++i) {
+    // Compaction cuts must sit below everything that can still arrive;
+    // since arrival order is a shuffle, only an already-complete prefix of
+    // the timestamp line is safe. Track it and occasionally fold.
+    soa.insert(arrival[i]);
+    aos.insert(arrival[i]);
+    max_arrived = std::max(max_arrived, arrival[i].ts.logical);
+    ASSERT_EQ(soa.state(), aos.state());
+    ASSERT_EQ(soa.size(), aos.size());
+    if (i % 64 == 63 && soa.total_merged() == max_arrived) {
+      const Timestamp cut{max_arrived / 2, 0};
+      ASSERT_EQ(soa.compact_before(cut), aos.compact_before(cut));
+      ASSERT_EQ(soa.state(), soa.recompute_naive());
+    }
+  }
+  EXPECT_EQ(soa.state(), aos.state());
+  EXPECT_EQ(soa.known_timestamps(), aos.known_timestamps());
+  EXPECT_EQ(soa.stats().tail_appends, aos.stats().tail_appends);
+  EXPECT_EQ(soa.stats().mid_inserts, aos.stats().mid_inserts);
+  EXPECT_EQ(soa.stats().undone_updates, aos.stats().undone_updates);
+  EXPECT_EQ(soa.stats().redone_updates, aos.stats().redone_updates);
+  EXPECT_EQ(soa.stats().checkpoints_taken, aos.stats().checkpoints_taken);
+  EXPECT_EQ(soa.stats().entries_folded, aos.stats().entries_folded);
+  EXPECT_EQ(soa.checkpoints_retained(), aos.checkpoints_retained());
+  for (std::size_t i = 0; i < soa.size(); ++i) {
+    ASSERT_EQ(soa.ts_at(i), aos.ts_at(i));
+    ASSERT_EQ(soa.update_at(i), aos.update_at(i));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SoAVersusAoS,
+                         ::testing::Values(11u, 12u, 13u, 14u, 15u));
+
+TEST(UpdateLog, CompactionRecyclesArenaSlots) {
+  Log log(4);
+  for (std::size_t i = 0; i < 64; ++i) {
+    log.insert({Timestamp{i + 1, 0},
+                req(static_cast<apps::airline::Person>(i % 7 + 1))});
+  }
+  EXPECT_EQ(log.arena_slots(), 64u);
+  EXPECT_EQ(log.arena_free_slots(), 0u);
+  EXPECT_EQ(log.compact_before(Timestamp{33, 0}), 32u);
+  // Folding frees the prefix's slots for reuse...
+  EXPECT_EQ(log.arena_free_slots(), 32u);
+  for (std::size_t i = 64; i < 96; ++i) {
+    log.insert({Timestamp{i + 1, 0},
+                req(static_cast<apps::airline::Person>(i % 7 + 1))});
+  }
+  // ...so a steady-state window never grows the arena: 32 new entries fit
+  // exactly in the 32 recycled slots.
+  EXPECT_EQ(log.arena_slots(), 64u);
+  EXPECT_EQ(log.arena_free_slots(), 0u);
+  EXPECT_EQ(log.state(), log.recompute_naive());
+}
+
+TEST(UpdateLog, TruncateSuffixAgainstArenaLayout) {
+  // The stale-disk path over the SoA store: truncation frees the suffix's
+  // slots, keeps a consistent prefix, and re-merging the lost tail (plus
+  // deeper mid-inserts) reuses them while matching the naive oracle.
+  Log log(4);
+  std::vector<Log::Entry> all;
+  for (std::size_t i = 0; i < 40; ++i) {
+    all.push_back({Timestamp{i + 1, 0},
+                   req(static_cast<apps::airline::Person>(i % 9 + 1))});
+  }
+  for (const auto& e : all) log.insert(e);
+  EXPECT_EQ(log.truncate_suffix(25), 15u);
+  EXPECT_EQ(log.size(), 25u);
+  EXPECT_EQ(log.arena_free_slots(), 15u);
+  EXPECT_EQ(log.state(), log.recompute_naive());
+  // Replay the lost tail out of order, as anti-entropy repair would.
+  for (std::size_t i = all.size(); i > 25; --i) log.insert(all[i - 1]);
+  EXPECT_EQ(log.size(), 40u);
+  EXPECT_EQ(log.arena_slots(), 40u);
+  EXPECT_EQ(log.arena_free_slots(), 0u);
+  EXPECT_EQ(log.state(), log.recompute_naive());
+  SmallAirline::State expect = SmallAirline::initial();
+  for (const auto& e : all) SmallAirline::apply(e.update, expect);
+  EXPECT_EQ(log.state(), expect);
 }
 
 TEST(UpdateLog, StatsCountCheckpoints) {
