@@ -8,6 +8,7 @@ Usage:
     compare_bench.py e23 bench/baselines/BENCH_e23.json BENCH_e23.json
     compare_bench.py e24 bench/baselines/BENCH_e24.json BENCH_e24.json
     compare_bench.py e25 bench/baselines/BENCH_e25.json BENCH_e25.json
+    compare_bench.py e26 bench/baselines/BENCH_e26.json BENCH_e26.json
     compare_bench.py --selftest
 
 The gate is designed to be machine-independent:
@@ -55,6 +56,15 @@ The gate is designed to be machine-independent:
   merged epoch.* counters are deterministic and gated within the
   tolerance; flame-build wall time is machine noise, kept out of the JSON
   entirely (the harness prints it to stderr).
+
+* e26 (incident-forensics harness): the boolean gates are exact — every
+  seed's incident bundle must be byte-deterministic across two independent
+  runs ("bundle_deterministic"), every in-stream incident's admitted epoch
+  must contain its originate event ("attribution_ok"), and a flame profile
+  diffed against itself must be empty ("self_diff_clean"). The per-seed
+  forensic census (incidents, epochs, series samples, bundle sizes) and
+  the merged checker.*/epoch.* counters are deterministic and gated within
+  the tolerance; bundle-build wall time goes to stderr and is never gated.
 
 A baseline JSON may carry a top-level "tolerance_overrides" object mapping
 gate keys (exact, or a prefix/suffix of the composed "mode=... name" key)
@@ -514,6 +524,93 @@ def compare_e25(base, cur, tol):
     return rc
 
 
+# Per-seed census fields of an e26 row: each is a deterministic function of
+# (seed, config), gated within the tolerance so intentional workload or
+# adversary tweaks don't need a baseline dance.
+E26_ROW_KEYS = [
+    "events",
+    "epochs",
+    "incidents",
+    "in_stream",
+    "contributors",
+    "series_samples",
+    "bundle_json_bytes",
+    "folded_bytes",
+]
+
+E26_COUNTERS = [
+    "checker.violations",
+    "checker.divergence_events",
+    "checker.incident_seeds",
+    "checker.pinned_windows",
+    "broadcast.byz_corrupted",
+    "epoch.count",
+    "epoch.transitions",
+]
+
+
+def compare_e26(base, cur, tol):
+    rc = 0
+    base_rows = {r["seed"]: r for r in base["rows"]}
+    for row in cur["rows"]:
+        seed = row["seed"]
+        # Forensic gates are exact: bundles must be byte-deterministic,
+        # admission attribution must hold for every in-stream incident, and
+        # the flame self-diff must be empty.
+        for flag in ("bundle_deterministic", "attribution_ok",
+                     "self_diff_clean"):
+            if not row[flag]:
+                rc |= fail(f"seed={seed} {flag} is false",
+                           key=f"seed={seed} {flag}", current=False,
+                           baseline=True, allowed="exact")
+        br = base_rows.get(seed)
+        if br is None:
+            print(f"note: seed={seed} has no baseline row; skipping")
+            continue
+        for name in E26_ROW_KEYS:
+            c, b = row.get(name, 0), br.get(name, 0)
+            ktol = key_tolerance(base, f"seed={seed} {name}", tol)
+            if not within(c, b, ktol):
+                rc |= fail(f"seed={seed} {name}: {c} vs baseline {b} "
+                           f"(tol {ktol:.0%})",
+                           key=f"seed={seed} {name}", current=c, baseline=b,
+                           allowed=f"±{ktol:.0%}")
+            else:
+                print(f"ok: seed={seed} {name}: {c} (baseline {b})")
+    counters = cur["metrics"]["counters"]
+    bcounters = base["metrics"]["counters"]
+    for name in E26_COUNTERS:
+        c, b = counters.get(name, 0), bcounters.get(name, 0)
+        ktol = key_tolerance(base, name, tol)
+        if not within(c, b, ktol):
+            rc |= fail(f"{name}: {c} vs baseline {b} (tol {ktol:.0%})",
+                       key=name, current=c, baseline=b,
+                       allowed=f"±{ktol:.0%}")
+        else:
+            print(f"ok: {name}: {c} (baseline {b})")
+    missing = set(base_rows) - {r["seed"] for r in cur["rows"]}
+    if missing:
+        rc |= fail(f"seeds missing from current run: {sorted(missing)}",
+                   key="seeds", current="missing " + str(sorted(missing)))
+    return rc
+
+
+def _selftest_e26_doc():
+    """Minimal e26 document that passes its own gates."""
+    def row(seed):
+        return {"seed": seed, "events": 9000, "epochs": 7, "incidents": 20,
+                "in_stream": 20, "contributors": 60, "series_samples": 7,
+                "bundle_json_bytes": 40000, "folded_bytes": 900,
+                "bundle_deterministic": True, "attribution_ok": True,
+                "self_diff_clean": True}
+    return {"rows": [row(1), row(2)],
+            "metrics": {"counters": {"checker.violations": 40,
+                                     "checker.incident_seeds": 40,
+                                     "broadcast.byz_corrupted": 30,
+                                     "epoch.count": 14},
+                        "gauges": {}}}
+
+
 def _selftest_e25_doc():
     """Minimal e25 document that passes its own gates."""
     def row(mode, batch, rate):
@@ -570,6 +667,25 @@ def selftest():
     loose["tolerance_overrides"] = {"net.sent": 10.0}
     check("e25 honors override", compare_e25(loose, bad, 0.15) == 0)
 
+    # compare_e26 end to end: identity passes; a nondeterministic bundle or
+    # census drift each fail; an override forgives the drift.
+    doc = _selftest_e26_doc()
+    check("e26 identity passes", compare_e26(doc, copy.deepcopy(doc),
+                                             0.15) == 0)
+    bad = copy.deepcopy(doc)
+    bad["rows"][0]["bundle_deterministic"] = False
+    check("e26 catches nondeterministic bundle",
+          compare_e26(doc, bad, 0.15) != 0)
+    bad = copy.deepcopy(doc)
+    bad["rows"][1]["attribution_ok"] = False
+    check("e26 catches broken attribution", compare_e26(doc, bad, 0.15) != 0)
+    bad = copy.deepcopy(doc)
+    bad["rows"][0]["incidents"] = 200
+    check("e26 catches census drift", compare_e26(doc, bad, 0.15) != 0)
+    loose = copy.deepcopy(doc)
+    loose["tolerance_overrides"] = {"incidents": 20.0}
+    check("e26 honors override", compare_e26(loose, bad, 0.15) == 0)
+
     FAILURES.clear()  # Probe-induced failures are expected, not reportable.
     print("SELFTEST " + ("PASS" if rc == 0 else "FAIL"))
     return rc
@@ -605,8 +721,11 @@ def main(argv):
         rc = compare_e24(base, cur, tol)
     elif kind == "e25":
         rc = compare_e25(base, cur, tol)
+    elif kind == "e26":
+        rc = compare_e26(base, cur, tol)
     else:
-        print(f"unknown kind {kind!r} (want e10, e20, e22, e23, e24 or e25)")
+        print(f"unknown kind {kind!r} (want e10, e20, e22, e23, e24, e25 "
+              f"or e26)")
         return 2
     if rc != 0 and FAILURES:
         print_failure_summary()

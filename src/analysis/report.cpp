@@ -6,7 +6,10 @@
 namespace analysis {
 
 std::vector<std::size_t> CheckReport::violating_txs() const {
-  std::vector<std::size_t> txs = violating_txs_;
+  std::vector<std::size_t> txs;
+  for (const std::size_t tx : tx_of_) {
+    if (tx != kNoTx) txs.push_back(tx);
+  }
   std::sort(txs.begin(), txs.end());
   txs.erase(std::unique(txs.begin(), txs.end()), txs.end());
   return txs;
@@ -17,8 +20,7 @@ void CheckReport::absorb(const CheckReport& other) {
     violations_.push_back(other.title().empty() ? v
                                                 : other.title() + ": " + v);
   }
-  violating_txs_.insert(violating_txs_.end(), other.violating_txs_.begin(),
-                        other.violating_txs_.end());
+  tx_of_.insert(tx_of_.end(), other.tx_of_.begin(), other.tx_of_.end());
 }
 
 std::string CheckReport::to_string() const {

@@ -60,6 +60,8 @@
 #include "analysis/report.hpp"
 #include "core/model.hpp"
 #include "core/timestamp.hpp"
+#include "obs/incident.hpp"
+#include "obs/metric_names.hpp"
 #include "obs/metrics.hpp"
 #include "obs/tracer.hpp"
 #include "shard/node.hpp"
@@ -109,6 +111,12 @@ class StreamingChecker : public shard::StreamObserver<App> {
     std::size_t max_pinned_windows = 32;
     /// Divergence messages retained (events beyond it are only counted).
     std::size_t max_divergence_messages = 16;
+    /// Incident seeds retained (obs::IncidentSeed rows recorded at
+    /// detection time, one per violation message — what
+    /// analysis::build_incident_report assembles into forensic bundles).
+    /// Seeds past the cap are only counted (checker.incident_seeds keeps
+    /// the true total).
+    std::size_t max_incident_seeds = 32;
   };
 
   explicit StreamingChecker(std::size_t num_nodes, Options opts = {})
@@ -220,14 +228,15 @@ class StreamingChecker : public shard::StreamObserver<App> {
     // bug — shows up here, at the delivery that introduced it.
     if (!(state == shadow.state())) {
       ++divergence_events_;
+      std::ostringstream os;
+      os << "node " << at
+         << " state diverges from clean replay after merging ts "
+         << ts.logical << ":" << ts.node;
       if (divergence_report_.violations().size() <
           opts_.max_divergence_messages) {
-        std::ostringstream os;
-        os << "node " << at
-           << " state diverges from clean replay after merging ts "
-           << ts.logical << ":" << ts.node;
         divergence_report_.add_violation(os.str());
       }
+      note_incident(os.str(), CheckReport::kNoTx, ts, now);
       pin_window(ts);
     }
     if (opts_.bounded_memory && !rewound_) compact(at);
@@ -264,19 +273,21 @@ class StreamingChecker : public shard::StreamObserver<App> {
   }
 
   void export_metrics(obs::MetricsRegistry& reg) const override {
-    reg.add_counter("checker.txs_ingested", txs_ingested_);
-    reg.add_counter("checker.txs_finalized", txs_finalized_);
-    reg.add_counter("checker.deliveries", deliveries_);
-    reg.add_counter("checker.violations", violation_count());
-    reg.add_counter("checker.divergence_events", divergence_events_);
-    reg.add_counter("checker.order_violations", order_violations_);
-    reg.add_counter("checker.pinned_windows", pinned_.size());
-    reg.add_counter("checker.pending_now", pending_.size());
-    reg.add_counter("checker.peak_pending", peak_pending_);
-    reg.add_counter("checker.peak_ledger_entries", peak_ledger_);
-    reg.add_counter("checker.peak_shadow_entries", peak_shadow_);
-    reg.histogram("checker.finalize_lag").merge_from(finalize_lag_);
-    reg.histogram("checker.detection_latency").merge_from(detection_latency_);
+    namespace mn = obs::metric_names;
+    reg.add_counter(mn::kCheckerTxsIngested, txs_ingested_);
+    reg.add_counter(mn::kCheckerTxsFinalized, txs_finalized_);
+    reg.add_counter(mn::kCheckerDeliveries, deliveries_);
+    reg.add_counter(mn::kCheckerViolations, violation_count());
+    reg.add_counter(mn::kCheckerDivergenceEvents, divergence_events_);
+    reg.add_counter(mn::kCheckerOrderViolations, order_violations_);
+    reg.add_counter(mn::kCheckerPinnedWindows, pinned_.size());
+    reg.add_counter(mn::kCheckerIncidentSeeds, incident_seeds_total_);
+    reg.add_counter(mn::kCheckerPendingNow, pending_.size());
+    reg.add_counter(mn::kCheckerPeakPending, peak_pending_);
+    reg.add_counter(mn::kCheckerPeakLedgerEntries, peak_ledger_);
+    reg.add_counter(mn::kCheckerPeakShadowEntries, peak_shadow_);
+    reg.histogram(mn::kCheckerFinalizeLag).merge_from(finalize_lag_);
+    reg.histogram(mn::kCheckerDetectionLatency).merge_from(detection_latency_);
   }
 
   // --- results ----------------------------------------------------------
@@ -329,6 +340,16 @@ class StreamingChecker : public shard::StreamObserver<App> {
   const std::vector<obs::PinnedWindow>& pinned_windows() const {
     return pinned_;
   }
+
+  /// Incident seeds recorded at detection time — one per violation message
+  /// (divergence events included), each carrying the offending update's
+  /// timestamp and the simulated detection instant. The raw material
+  /// analysis::build_incident_report turns into epoch-attributed bundles.
+  const std::vector<obs::IncidentSeed>& incident_seeds() const {
+    return seeds_;
+  }
+  /// Seeds recorded over the run's lifetime, including past the cap.
+  std::uint64_t incident_seeds_total() const { return incident_seeds_total_; }
 
   /// Current retained footprint (the E23 O(window) assertion target).
   std::size_t retained_entries() const {
@@ -412,15 +433,21 @@ class StreamingChecker : public shard::StreamObserver<App> {
     const std::size_t i = next_index_++;
     bool violated = false;
     if (p.apparent_ill_formed) {
-      prefix_report_.add_violation(msg::apparent_ill_formed(i), i);
+      std::string m = msg::apparent_ill_formed(i);
+      note_incident(m, i, ts, now);
+      prefix_report_.add_violation(std::move(m), i);
       violated = true;
     }
     if (p.update_mismatch) {
-      prefix_report_.add_violation(msg::update_mismatch(i), i);
+      std::string m = msg::update_mismatch(i);
+      note_incident(m, i, ts, now);
+      prefix_report_.add_violation(std::move(m), i);
       violated = true;
     }
     if (p.actions_mismatch) {
-      prefix_report_.add_violation(msg::actions_mismatch(i), i);
+      std::string m = msg::actions_mismatch(i);
+      note_incident(m, i, ts, now);
+      prefix_report_.add_violation(std::move(m), i);
       violated = true;
     }
     std::size_t k = 0;
@@ -439,7 +466,9 @@ class StreamingChecker : public shard::StreamObserver<App> {
     }
     App::apply(p.update, actual_state_);
     if (!App::well_formed(actual_state_)) {
-      prefix_report_.add_violation(msg::actual_ill_formed(i), i);
+      std::string m = msg::actual_ill_formed(i);
+      note_incident(m, i, ts, now);
+      prefix_report_.add_violation(std::move(m), i);
       violated = true;
     }
     for (std::size_t c = 0; c < opts_.theorem5.size(); ++c) {
@@ -448,22 +477,25 @@ class StreamingChecker : public shard::StreamObserver<App> {
       const double after = App::cost(actual_state_, cfg.constraint);
       const double bound = cfg.f(cfg.constraint, k);
       if (after > t5_before_[c] + 1e-9 && after > bound + 1e-9) {
-        theorem5_reports_[c].add_violation(
-            msg::theorem5_step(i, k, t5_before_[c], after, bound));
+        std::string m = msg::theorem5_step(i, k, t5_before_[c], after, bound);
+        note_incident(m, i, ts, now);
+        theorem5_reports_[c].add_violation(std::move(m));
         violated = true;
       }
     }
     for (std::size_t c = 0; c < opts_.theorem7.size(); ++c) {
       const Theorem7Config& cfg = opts_.theorem7[c];
       if (cfg.unsafe(p.request, cfg.constraint) && k > cfg.k) {
-        theorem7_reports_[c].add_violation(
-            msg::theorem7_hypothesis(i, k, cfg.k));
+        std::string m = msg::theorem7_hypothesis(i, k, cfg.k);
+        note_incident(m, i, ts, now);
+        theorem7_reports_[c].add_violation(std::move(m));
         violated = true;
       }
       const double c_after = App::cost(actual_state_, cfg.constraint);
       if (c_after > t7_bounds_[c] + 1e-9) {
-        theorem7_reports_[c].add_violation(
-            msg::theorem7_state(i + 1, c_after, cfg.k, t7_bounds_[c]));
+        std::string m = msg::theorem7_state(i + 1, c_after, cfg.k, t7_bounds_[c]);
+        note_incident(m, i, ts, now);
+        theorem7_reports_[c].add_violation(std::move(m));
         violated = true;
       }
     }
@@ -473,6 +505,24 @@ class StreamingChecker : public shard::StreamObserver<App> {
       detection_latency_.add(now - p.originated_at);
       pin_window(ts);
     }
+  }
+
+  /// One violation message -> one incident seed, stamped with the update's
+  /// timestamp and the detection instant (the epoch-of-detection half of
+  /// the attribution story; the admission half is derived later from the
+  /// trace). `tx` is CheckReport::kNoTx for divergence events, whose
+  /// global index is not a finalized transaction index.
+  void note_incident(const std::string& message, std::size_t tx,
+                     const core::Timestamp& ts, sim::Time now) {
+    ++incident_seeds_total_;
+    if (seeds_.size() >= opts_.max_incident_seeds) return;
+    obs::IncidentSeed s;
+    s.message = message;
+    s.tx_index = tx;
+    s.ts_logical = ts.logical;
+    s.ts_node = ts.node;
+    s.detected_at = now;
+    seeds_.push_back(std::move(s));
   }
 
   void pin_window(const core::Timestamp& ts) {
@@ -550,6 +600,8 @@ class StreamingChecker : public shard::StreamObserver<App> {
   std::vector<double> t7_bounds_;
   CheckReport divergence_report_;
   std::vector<obs::PinnedWindow> pinned_;
+  std::vector<obs::IncidentSeed> seeds_;
+  std::uint64_t incident_seeds_total_ = 0;
   std::vector<double> t5_before_;
 
   std::uint64_t txs_ingested_ = 0;

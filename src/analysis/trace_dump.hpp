@@ -20,10 +20,21 @@
 #include "analysis/report.hpp"
 #include "core/execution.hpp"
 #include "obs/causal.hpp"
+#include "obs/incident.hpp"
 #include "obs/lifecycle.hpp"
 #include "obs/tracer.hpp"
 
 namespace analysis {
+
+/// Render an assembled incident bundle (analysis/incident.hpp) — the
+/// epoch-attributed successor of the per-tx overloads below: instead of
+/// re-deriving chain and window per violating transaction, it prints the
+/// bundle's admission/detection epochs, critical-path decomposition and
+/// contributing updates next to them. Empty bundle => empty string.
+inline std::string trace_dump(const obs::IncidentReport& incidents) {
+  if (incidents.empty()) return {};
+  return incidents.render();
+}
 
 /// Render the trace context for every transaction a report's violations
 /// attribute (CheckReport::violating_txs). Empty string when the report is

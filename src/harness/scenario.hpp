@@ -40,6 +40,8 @@ struct Scenario {
   /// Structured event tracing (obs/); disabled by default so existing
   /// scenarios run with the null-tracer fast path.
   obs::TraceOptions trace;
+  /// Per-fault-boundary metrics snapshots (shard::Cluster::metrics_series).
+  bool metrics_series = false;
 
   /// Materialize as a cluster config with the given seed.
   template <class App>
@@ -58,6 +60,7 @@ struct Scenario {
     cfg.max_checkpoints = max_checkpoints;
     cfg.compaction = compaction;
     cfg.trace = trace;
+    cfg.metrics_series = metrics_series;
     cfg.seed = seed;
     return cfg;
   }

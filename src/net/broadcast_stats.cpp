@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "obs/metric_names.hpp"
 #include "obs/metrics.hpp"
 
 namespace net {
@@ -41,30 +42,30 @@ std::string BroadcastStats::summary() const {
   return os.str();
 }
 
-void BroadcastStats::export_to(obs::MetricsRegistry& reg,
-                               const std::string& prefix) const {
-  reg.add_counter(prefix + ".originated", originated);
-  reg.add_counter(prefix + ".delivered", delivered);
-  reg.add_counter(prefix + ".duplicates_dropped", duplicates_dropped);
-  reg.add_counter(prefix + ".causally_buffered", causally_buffered);
-  reg.add_counter(prefix + ".anti_entropy_rounds", anti_entropy_rounds);
-  reg.add_counter(prefix + ".anti_entropy_repairs", anti_entropy_repairs);
-  reg.add_counter(prefix + ".repairs_truncated", repairs_truncated);
-  reg.add_counter(prefix + ".continuation_digests", continuation_digests);
-  reg.add_counter(prefix + ".store_pruned", store_pruned);
-  reg.add_counter(prefix + ".rounds_skipped_down", rounds_skipped_down);
-  reg.add_counter(prefix + ".amnesia_resets", amnesia_resets);
-  reg.add_counter(prefix + ".outbox_replays", outbox_replays);
-  reg.add_counter(prefix + ".stale_resets", stale_resets);
-  reg.add_counter(prefix + ".mid_broadcast_crashes", mid_broadcast_crashes);
-  reg.add_counter(prefix + ".byz_corrupted", byz_corrupted);
-  reg.add_counter(prefix + ".byz_corrupt_noops", byz_corrupt_noops);
-  reg.add_counter(prefix + ".byz_duplicated", byz_duplicated);
-  reg.add_counter(prefix + ".byz_reordered", byz_reordered);
-  reg.add_counter(prefix + ".flood_batches", flood_batches);
-  reg.add_counter(prefix + ".flood_batched_wires", flood_batched_wires);
-  reg.add_counter(prefix + ".outbox_commits", outbox_commits);
-  reg.add_counter(prefix + ".outbox_records_synced", outbox_records_synced);
+void BroadcastStats::export_to(obs::MetricsRegistry& reg) const {
+  namespace mn = obs::metric_names;
+  reg.add_counter(mn::kBroadcastOriginated, originated);
+  reg.add_counter(mn::kBroadcastDelivered, delivered);
+  reg.add_counter(mn::kBroadcastDuplicatesDropped, duplicates_dropped);
+  reg.add_counter(mn::kBroadcastCausallyBuffered, causally_buffered);
+  reg.add_counter(mn::kBroadcastAntiEntropyRounds, anti_entropy_rounds);
+  reg.add_counter(mn::kBroadcastAntiEntropyRepairs, anti_entropy_repairs);
+  reg.add_counter(mn::kBroadcastRepairsTruncated, repairs_truncated);
+  reg.add_counter(mn::kBroadcastContinuationDigests, continuation_digests);
+  reg.add_counter(mn::kBroadcastStorePruned, store_pruned);
+  reg.add_counter(mn::kBroadcastRoundsSkippedDown, rounds_skipped_down);
+  reg.add_counter(mn::kBroadcastAmnesiaResets, amnesia_resets);
+  reg.add_counter(mn::kBroadcastOutboxReplays, outbox_replays);
+  reg.add_counter(mn::kBroadcastStaleResets, stale_resets);
+  reg.add_counter(mn::kBroadcastMidBroadcastCrashes, mid_broadcast_crashes);
+  reg.add_counter(mn::kBroadcastByzCorrupted, byz_corrupted);
+  reg.add_counter(mn::kBroadcastByzCorruptNoops, byz_corrupt_noops);
+  reg.add_counter(mn::kBroadcastByzDuplicated, byz_duplicated);
+  reg.add_counter(mn::kBroadcastByzReordered, byz_reordered);
+  reg.add_counter(mn::kBroadcastFloodBatches, flood_batches);
+  reg.add_counter(mn::kBroadcastFloodBatchedWires, flood_batched_wires);
+  reg.add_counter(mn::kBroadcastOutboxCommits, outbox_commits);
+  reg.add_counter(mn::kBroadcastOutboxRecordsSynced, outbox_records_synced);
 }
 
 }  // namespace net

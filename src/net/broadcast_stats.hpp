@@ -53,10 +53,10 @@ struct BroadcastStats {
 
   std::string summary() const;
 
-  /// Fold every counter into `reg` under "<prefix>.<field>" (adds, so
-  /// calling once per node aggregates cluster-wide).
-  void export_to(obs::MetricsRegistry& reg,
-                 const std::string& prefix = "broadcast") const;
+  /// Fold every counter into `reg` under the canonical broadcast.* names
+  /// (obs/metric_names.hpp); adds, so calling once per node aggregates
+  /// cluster-wide.
+  void export_to(obs::MetricsRegistry& reg) const;
 };
 
 }  // namespace net

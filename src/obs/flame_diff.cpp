@@ -1,0 +1,150 @@
+#include "obs/flame_diff.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+namespace obs {
+
+namespace {
+
+struct Leaf {
+  std::int64_t us = 0;
+  std::uint64_t samples = 0;
+};
+
+void collect(const FlameNode& n, const std::string& path,
+             std::map<std::string, Leaf>& out) {
+  if (n.children.empty()) {
+    if (!path.empty()) {
+      out[path].us += n.self_us;
+      out[path].samples += n.samples;
+    }
+    return;
+  }
+  for (const auto& [name, child] : n.children) {
+    collect(child, path.empty() ? name : path + ';' + name, out);
+  }
+}
+
+void put_escaped(std::ostream& os, const std::string& s) {
+  for (const char c : s) {
+    if (c == '"' || c == '\\') os << '\\';
+    os << c;
+  }
+}
+
+}  // namespace
+
+FlameDiff FlameDiff::build(const FlameProfile& a, const FlameProfile& b) {
+  FlameDiff d;
+  d.epochs_a_ = a.epochs().size();
+  d.epochs_b_ = b.epochs().size();
+  if (d.epochs_a_ != d.epochs_b_) {
+    d.notes_.push_back("epoch count changed: " + std::to_string(d.epochs_a_) +
+                       " -> " + std::to_string(d.epochs_b_));
+  }
+  const std::size_t n = std::max(d.epochs_a_, d.epochs_b_);
+  for (std::size_t i = 0; i < n; ++i) {
+    const EpochProfile* ea = i < d.epochs_a_ ? &a.epochs()[i] : nullptr;
+    const EpochProfile* eb = i < d.epochs_b_ ? &b.epochs()[i] : nullptr;
+    if (ea != nullptr && eb != nullptr && ea->label != eb->label) {
+      d.notes_.push_back("epoch " + std::to_string(i) + " regime changed: [" +
+                         ea->label + "] -> [" + eb->label + "]");
+    }
+    std::map<std::string, Leaf> la, lb;
+    if (ea != nullptr) collect(ea->root, "", la);
+    if (eb != nullptr) collect(eb->root, "", lb);
+    // Union of stages, std::map order; only changed rows become deltas.
+    std::map<std::string, std::pair<Leaf, Leaf>> merged;
+    for (const auto& [stage, leaf] : la) merged[stage].first = leaf;
+    for (const auto& [stage, leaf] : lb) merged[stage].second = leaf;
+    for (const auto& [stage, pair] : merged) {
+      const Leaf& va = pair.first;
+      const Leaf& vb = pair.second;
+      if (va.us == vb.us && va.samples == vb.samples) continue;
+      StageDelta sd;
+      sd.epoch = i;
+      sd.label_a = ea != nullptr ? ea->label : "";
+      sd.label_b = eb != nullptr ? eb->label : "";
+      sd.stage = stage;
+      sd.us_a = va.us;
+      sd.us_b = vb.us;
+      sd.delta_us = vb.us - va.us;
+      sd.samples_a = va.samples;
+      sd.samples_b = vb.samples;
+      d.deltas_.push_back(std::move(sd));
+    }
+  }
+  std::stable_sort(d.deltas_.begin(), d.deltas_.end(),
+                   [](const StageDelta& x, const StageDelta& y) {
+                     const std::int64_t ax = x.delta_us < 0 ? -x.delta_us
+                                                           : x.delta_us;
+                     const std::int64_t ay = y.delta_us < 0 ? -y.delta_us
+                                                            : y.delta_us;
+                     if (ax != ay) return ax > ay;
+                     if (x.epoch != y.epoch) return x.epoch < y.epoch;
+                     return x.stage < y.stage;
+                   });
+  return d;
+}
+
+std::string FlameDiff::to_json() const {
+  std::ostringstream os;
+  os << "{\"differs\":" << (differs() ? "true" : "false")
+     << ",\"epochs_a\":" << epochs_a_ << ",\"epochs_b\":" << epochs_b_
+     << ",\"notes\":[";
+  for (std::size_t i = 0; i < notes_.size(); ++i) {
+    if (i) os << ',';
+    os << '"';
+    put_escaped(os, notes_[i]);
+    os << '"';
+  }
+  os << "],\"deltas\":[";
+  for (std::size_t i = 0; i < deltas_.size(); ++i) {
+    const StageDelta& d = deltas_[i];
+    if (i) os << ',';
+    os << "{\"epoch\":" << d.epoch << ",\"label_a\":\"";
+    put_escaped(os, d.label_a);
+    os << "\",\"label_b\":\"";
+    put_escaped(os, d.label_b);
+    os << "\",\"stage\":\"";
+    put_escaped(os, d.stage);
+    os << "\",\"us_a\":" << d.us_a << ",\"us_b\":" << d.us_b
+       << ",\"delta_us\":" << d.delta_us << ",\"samples_a\":" << d.samples_a
+       << ",\"samples_b\":" << d.samples_b << '}';
+  }
+  os << "]}\n";
+  return os.str();
+}
+
+std::string FlameDiff::markdown(std::size_t top) const {
+  std::ostringstream os;
+  if (!differs()) {
+    os << "flame diff: no stage-weight changes across " << epochs_a_
+       << " epoch(s)\n";
+    return os.str();
+  }
+  for (const std::string& note : notes_) os << "> note: " << note << '\n';
+  if (deltas_.empty()) return os.str();
+  os << "| rank | epoch | regime | stage | baseline_us | candidate_us | "
+        "delta_us | samples |\n";
+  os << "|---:|---:|---|---|---:|---:|---:|---:|\n";
+  const std::size_t limit =
+      top == 0 ? deltas_.size() : std::min(top, deltas_.size());
+  for (std::size_t i = 0; i < limit; ++i) {
+    const StageDelta& d = deltas_[i];
+    os << "| " << (i + 1) << " | " << d.epoch << " | "
+       << (d.label_a == d.label_b ? d.label_a
+                                  : d.label_a + " -> " + d.label_b)
+       << " | " << d.stage << " | " << d.us_a << " | " << d.us_b << " | "
+       << (d.delta_us > 0 ? "+" : "") << d.delta_us << " | " << d.samples_a
+       << " -> " << d.samples_b << " |\n";
+  }
+  if (limit < deltas_.size()) {
+    os << "(" << (deltas_.size() - limit) << " smaller delta(s) omitted)\n";
+  }
+  return os.str();
+}
+
+}  // namespace obs

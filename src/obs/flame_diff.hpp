@@ -1,0 +1,73 @@
+// Epoch-by-epoch regression triage between two flame profiles.
+//
+// flame_report answers "where does stabilization time go in THIS run";
+// this layer answers the follow-up a perf regression poses: "which stage,
+// in which failure regime, moved between baseline and candidate". Both
+// profiles are folded to their leaf stages per epoch (the same leaves
+// folded() emits), matched by epoch index and stage path, and every
+// changed weight becomes one StageDelta — ranked by absolute shift so the
+// top row of the triage table is the prime suspect.
+//
+// Inherits the flame layer's determinism contract: weights are integer
+// microseconds, orderings are total (|delta| desc, then epoch, then stage
+// name), so two identical-seed runs diff to an empty delta list and the
+// tools/flame_diff self-check can assert emptiness byte-for-byte.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/flame.hpp"
+
+namespace obs {
+
+/// One leaf stage whose weight differs between the two runs. Absent-in-one
+/// stages appear with the missing side's weight/samples at zero.
+struct StageDelta {
+  std::size_t epoch = 0;    ///< Epoch index (matched positionally).
+  std::string label_a;      ///< Epoch regime label in run A ("" if absent).
+  std::string label_b;      ///< ... in run B.
+  std::string stage;        ///< Leaf path, e.g. "deliver;last".
+  std::int64_t us_a = 0;    ///< Stage weight in run A, microseconds.
+  std::int64_t us_b = 0;    ///< ... in run B.
+  std::int64_t delta_us = 0;  ///< us_b - us_a.
+  std::uint64_t samples_a = 0;
+  std::uint64_t samples_b = 0;
+};
+
+/// The comparison: changed stages ranked most-suspect-first plus structural
+/// notes (epoch count or regime-label mismatches, which make positional
+/// stage matching itself suspect).
+class FlameDiff {
+ public:
+  /// Diff candidate `b` against baseline `a`.
+  static FlameDiff build(const FlameProfile& a, const FlameProfile& b);
+
+  /// Anything moved at all (stage weights, sample counts, epoch structure).
+  bool differs() const { return !deltas_.empty() || !notes_.empty(); }
+
+  std::size_t epochs_a() const { return epochs_a_; }
+  std::size_t epochs_b() const { return epochs_b_; }
+  /// Ranked by |delta_us| descending, ties by (epoch, stage).
+  const std::vector<StageDelta>& deltas() const { return deltas_; }
+  /// Structural mismatches, human-readable, deterministic order.
+  const std::vector<std::string>& notes() const { return notes_; }
+
+  /// Deterministic JSON document: counts, notes, ranked deltas (integers
+  /// only). Identical profiles => identical bytes with "differs": false.
+  std::string to_json() const;
+
+  /// Markdown triage table of the top `top` deltas (all when 0), preceded
+  /// by the structural notes. Empty diff renders a one-line all-clear.
+  std::string markdown(std::size_t top = 10) const;
+
+ private:
+  std::size_t epochs_a_ = 0;
+  std::size_t epochs_b_ = 0;
+  std::vector<StageDelta> deltas_;
+  std::vector<std::string> notes_;
+};
+
+}  // namespace obs

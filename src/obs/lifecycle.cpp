@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <sstream>
 
+#include "obs/metric_names.hpp"
+
 namespace obs {
 
 std::string ProvenanceTimeline::render() const {
@@ -178,23 +180,24 @@ std::uint64_t LifecycleTracker::divergence() const {
 }
 
 void LifecycleTracker::export_to(MetricsRegistry& reg) const {
-  reg.set_counter("lifecycle.updates_originated", originated());
-  reg.set_counter("lifecycle.updates_fully_replicated", fully_replicated_);
-  reg.set_counter("lifecycle.undo_churn_total", total_churn_);
-  reg.set_gauge("lifecycle.divergence_max_missing",
+  namespace mn = metric_names;
+  reg.set_counter(mn::kLifecycleUpdatesOriginated, originated());
+  reg.set_counter(mn::kLifecycleUpdatesFullyReplicated, fully_replicated_);
+  reg.set_counter(mn::kLifecycleUndoChurnTotal, total_churn_);
+  reg.set_gauge(mn::kLifecycleDivergenceMaxMissing,
                 static_cast<double>(divergence()));
-  reg.histogram("lifecycle.replication_latency", Histogram::latency()) =
+  reg.histogram(mn::kLifecycleReplicationLatency, Histogram::latency()) =
       latency_;
-  reg.histogram("lifecycle.undo_churn", Histogram::counts()) = churn_;
-  reg.histogram("causal.deliver_latency", Histogram::latency()) =
+  reg.histogram(mn::kLifecycleUndoChurn, Histogram::counts()) = churn_;
+  reg.histogram(mn::kCausalDeliverLatency, Histogram::latency()) =
       deliver_latency_;
-  reg.histogram("causal.first_deliver_latency", Histogram::latency()) =
+  reg.histogram(mn::kCausalFirstDeliverLatency, Histogram::latency()) =
       first_deliver_;
-  reg.histogram("causal.last_deliver_latency", Histogram::latency()) =
+  reg.histogram(mn::kCausalLastDeliverLatency, Histogram::latency()) =
       last_deliver_;
-  reg.histogram("causal.mid_insert_latency", Histogram::latency()) =
+  reg.histogram(mn::kCausalMidInsertLatency, Histogram::latency()) =
       mid_insert_latency_;
-  reg.histogram("causal.fanout_degree", Histogram::counts()) = fanout_degree_;
+  reg.histogram(mn::kCausalFanoutDegree, Histogram::counts()) = fanout_degree_;
 }
 
 }  // namespace obs

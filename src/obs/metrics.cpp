@@ -151,6 +151,36 @@ void MetricsRegistry::merge_from(const MetricsRegistry& other) {
   }
 }
 
+MetricsRegistry MetricsRegistry::delta_from(const MetricsRegistry& earlier) const {
+  MetricsRegistry out;
+  for (const auto& [name, v] : counters_) {
+    const auto it = earlier.counters_.find(name);
+    const std::uint64_t before = it == earlier.counters_.end() ? 0 : it->second;
+    out.counters_[name] = v >= before ? v - before : 0;
+  }
+  for (const auto& [name, v] : gauges_) out.gauges_[name] = v;
+  for (const auto& [name, h] : histograms_) {
+    const auto it = earlier.histograms_.find(name);
+    if (it == earlier.histograms_.end() || it->second.bounds_ != h.bounds_) {
+      out.histograms_.emplace(name, h);
+      continue;
+    }
+    const Histogram& before = it->second;
+    Histogram d(h.bounds_);
+    d.count_ = h.count_ >= before.count_ ? h.count_ - before.count_ : 0;
+    d.sum_ = h.sum_ - before.sum_;
+    d.min_ = h.min_;
+    d.max_ = h.max_;
+    for (std::size_t i = 0; i < d.counts_.size(); ++i) {
+      d.counts_[i] = h.counts_[i] >= before.counts_[i]
+                         ? h.counts_[i] - before.counts_[i]
+                         : 0;
+    }
+    out.histograms_.emplace(name, std::move(d));
+  }
+  return out;
+}
+
 std::string MetricsRegistry::to_json() const {
   std::ostringstream os;
   os << "{\n  \"counters\": {";

@@ -85,6 +85,17 @@ class MetricsRegistry {
   /// bucket-wise. The multi-seed aggregation every sweep bench uses.
   void merge_from(const MetricsRegistry& other);
 
+  /// Snapshot difference: what accrued AFTER `earlier` was taken, given
+  /// both are cumulative snapshots of the same run (the per-epoch deltas
+  /// Cluster::metrics_series yields). Counters subtract (missing-in-
+  /// earlier reads as 0; saturating at 0 so a derived counter that shrank
+  /// never wraps). Gauges keep this snapshot's point-in-time value.
+  /// Histograms subtract bucket-wise when bounds match — min/max keep this
+  /// snapshot's values, since interval extremes are not recoverable from
+  /// two cumulative summaries — and copy this snapshot's histogram whole
+  /// on a bounds mismatch.
+  MetricsRegistry delta_from(const MetricsRegistry& earlier) const;
+
   const std::map<std::string, std::uint64_t>& counters() const {
     return counters_;
   }

@@ -22,6 +22,7 @@
 #include "obs/epoch.hpp"
 #include "obs/flame.hpp"
 #include "obs/lifecycle.hpp"
+#include "obs/metric_names.hpp"
 #include "obs/metrics.hpp"
 #include "obs/sharded_tracer.hpp"
 #include "obs/tracer.hpp"
@@ -63,7 +64,21 @@ struct ClusterConfig {
   /// never perturbs the protocol (no RNG draws; the extra partition
   /// open/heal marker events are scheduler no-ops).
   obs::TraceOptions trace;
+  /// Per-epoch metrics time-series: snapshot the registry at every fault
+  /// boundary (cut open/heal, crash/restart — exactly the control events
+  /// EpochIndex segments the run by), so metrics_series() can report what
+  /// accrued WITHIN each failure regime instead of one end-of-run total.
+  /// Off by default: each boundary snapshot walks every exporter.
+  bool metrics_series = false;
   std::uint64_t seed = 1;
+};
+
+/// One point of the metrics time-series (Cluster::metrics_series): the
+/// registry delta that accrued over the interval ENDING at `time`, i.e.
+/// since the previous sample (or since construction for the first).
+struct MetricsSample {
+  double time = 0.0;
+  obs::MetricsRegistry metrics;
 };
 
 template <core::Application App, LogLayout Layout = LogLayout::kSoA>
@@ -161,6 +176,13 @@ class Cluster {
       });
     }
     arm_mid_broadcast_crashes();
+    // Last in the constructor so a boundary snapshot scheduled at time T
+    // runs after every same-time fault action (crash, restart, cut marker)
+    // already scheduled above: the sample closes the interval the boundary
+    // ends, with the boundary's own effects on the next interval's side
+    // only when they were armed dynamically (mid-broadcast crashes record
+    // their own samples from the hook).
+    if (config_.metrics_series) arm_metrics_series();
   }
 
   /// Schedule a request to be submitted at `node` at simulated time `t`.
@@ -356,10 +378,91 @@ class Cluster {
   /// the derived lifecycle histograms. Serializable via
   /// MetricsRegistry::to_json and comparable across runs.
   obs::MetricsRegistry metrics() const {
+    obs::MetricsRegistry reg = base_metrics();
+    if (const obs::TraceSource* ts = tracer()) {
+      namespace mn = obs::metric_names;
+      // Epoch-aware latency attribution over the retained stream: segment
+      // by failure regime, fold every causal chain into stage timings.
+      // Derivation only — same inputs, same numbers. Deliberately not part
+      // of base_metrics(): the boundary snapshots of the metrics series
+      // would otherwise rebuild graph+flame mid-run at every fault event.
+      const std::vector<obs::Event> ring = ts->ring();
+      const obs::EpochIndex epochs = obs::EpochIndex::build(ring);
+      const obs::CausalGraph graph = obs::CausalGraph::build(ring);
+      const obs::FlameProfile flame =
+          obs::FlameProfile::build(ring, graph, epochs);
+      reg.add_counter(mn::kEpochCount, epochs.size());
+      reg.add_counter(mn::kEpochTransitions, epochs.transitions());
+      reg.add_counter(mn::kEpochCoalesced, epochs.coalesced());
+      std::uint64_t updates = 0, incomplete = 0;
+      std::int64_t crit_total = 0, crit_max = 0;
+      double quiet_s = 0.0, degraded_s = 0.0;
+      std::map<std::string, std::uint64_t> dominant;
+      for (const obs::EpochProfile& ep : flame.epochs()) {
+        updates += ep.updates;
+        incomplete += ep.incomplete;
+        crit_total += ep.critical_total_us;
+        crit_max = std::max(crit_max, ep.critical_max_us);
+        (epochs.epoch(ep.epoch).quiet() ? quiet_s : degraded_s) +=
+            ep.end - ep.start;
+        for (const auto& [stage, n] : ep.dominant_counts) dominant[stage] += n;
+      }
+      reg.add_counter(mn::kEpochUpdatesProfiled, updates);
+      reg.add_counter(mn::kEpochUpdatesIncomplete, incomplete);
+      reg.add_counter(mn::kEpochCriticalPathUsTotal,
+                      static_cast<std::uint64_t>(crit_total));
+      reg.add_counter(mn::kEpochCriticalPathUsMax,
+                      static_cast<std::uint64_t>(crit_max));
+      for (const auto& [stage, n] : dominant) {
+        reg.add_counter(mn::kEpochDominantPrefix + stage, n);
+      }
+      reg.set_gauge(mn::kEpochQuietSeconds, quiet_s);
+      reg.set_gauge(mn::kEpochDegradedSeconds, degraded_s);
+      obs::Histogram& crit = reg.histogram(mn::kEpochCriticalPathSeconds);
+      for (const obs::UpdateTiming& ut : flame.timings()) {
+        if (ut.complete) crit.add(static_cast<double>(ut.critical_us()) / 1e6);
+      }
+    }
+    return reg;
+  }
+
+  /// The metrics time-series (requires Config::metrics_series): one sample
+  /// per fault-plan boundary that fired before now, each holding the
+  /// registry DELTA accrued since the previous sample, plus a final sample
+  /// at the current simulated time covering the tail. Gauges are
+  /// point-in-time values, not deltas (MetricsRegistry::delta_from).
+  /// Samples cover base_metrics() — the epoch/flame derivation only makes
+  /// sense over the whole retained stream and stays in metrics().
+  std::vector<MetricsSample> metrics_series() const {
+    std::vector<MetricsSample> out;
+    const obs::MetricsRegistry* prev = nullptr;
+    for (const auto& s : series_) {
+      MetricsSample d;
+      d.time = s.time;
+      d.metrics = prev ? s.metrics.delta_from(*prev)
+                       : s.metrics.delta_from(obs::MetricsRegistry{});
+      prev = &s.metrics;
+      out.push_back(std::move(d));
+    }
+    if (series_.empty() || series_.back().time < scheduler_.now()) {
+      MetricsSample tail;
+      tail.time = scheduler_.now();
+      const obs::MetricsRegistry cum = base_metrics();
+      tail.metrics =
+          prev ? cum.delta_from(*prev) : cum.delta_from(obs::MetricsRegistry{});
+      out.push_back(std::move(tail));
+    }
+    return out;
+  }
+
+ private:
+  /// Everything in metrics() except the epoch/flame derivation: cheap
+  /// enough to snapshot at every fault boundary for the metrics series.
+  obs::MetricsRegistry base_metrics() const {
     obs::MetricsRegistry reg;
     aggregate_engine_stats().export_to(reg, "engine");
     for (const auto& n : nodes_) {
-      n->broadcast_stats().export_to(reg, "broadcast");
+      n->broadcast_stats().export_to(reg);
     }
     const sim::NetworkStats& ns = network_->stats();
     reg.add_counter("net.sent", ns.sent);
@@ -388,52 +491,47 @@ class Cluster {
     if (const obs::TraceSource* ts = tracer()) {
       reg.add_counter("trace.events_recorded", ts->recorded());
       reg.add_counter("trace.events_evicted", ts->evicted());
-      // Epoch-aware latency attribution over the retained stream: segment
-      // by failure regime, fold every causal chain into stage timings.
-      // Derivation only — same inputs, same numbers.
-      const std::vector<obs::Event> ring = ts->ring();
-      const obs::EpochIndex epochs = obs::EpochIndex::build(ring);
-      const obs::CausalGraph graph = obs::CausalGraph::build(ring);
-      const obs::FlameProfile flame =
-          obs::FlameProfile::build(ring, graph, epochs);
-      reg.add_counter("epoch.count", epochs.size());
-      reg.add_counter("epoch.transitions", epochs.transitions());
-      reg.add_counter("epoch.coalesced", epochs.coalesced());
-      std::uint64_t updates = 0, incomplete = 0;
-      std::int64_t crit_total = 0, crit_max = 0;
-      double quiet_s = 0.0, degraded_s = 0.0;
-      std::map<std::string, std::uint64_t> dominant;
-      for (const obs::EpochProfile& ep : flame.epochs()) {
-        updates += ep.updates;
-        incomplete += ep.incomplete;
-        crit_total += ep.critical_total_us;
-        crit_max = std::max(crit_max, ep.critical_max_us);
-        (epochs.epoch(ep.epoch).quiet() ? quiet_s : degraded_s) +=
-            ep.end - ep.start;
-        for (const auto& [stage, n] : ep.dominant_counts) dominant[stage] += n;
-      }
-      reg.add_counter("epoch.updates_profiled", updates);
-      reg.add_counter("epoch.updates_incomplete", incomplete);
-      reg.add_counter("epoch.critical_path_us_total",
-                      static_cast<std::uint64_t>(crit_total));
-      reg.add_counter("epoch.critical_path_us_max",
-                      static_cast<std::uint64_t>(crit_max));
-      for (const auto& [stage, n] : dominant) {
-        reg.add_counter("epoch.dominant." + stage, n);
-      }
-      reg.set_gauge("epoch.quiet_seconds", quiet_s);
-      reg.set_gauge("epoch.degraded_seconds", degraded_s);
-      obs::Histogram& crit = reg.histogram("epoch.critical_path_seconds");
-      for (const obs::UpdateTiming& ut : flame.timings()) {
-        if (ut.complete) crit.add(static_cast<double>(ut.critical_us()) / 1e6);
-      }
     }
     if (lifecycle_) lifecycle_->export_to(reg);
     if (stream_obs_) stream_obs_->export_metrics(reg);
     return reg;
   }
 
- private:
+  /// Schedule one cumulative-snapshot sample per distinct fault-plan
+  /// boundary time: cut opens/heals and crash starts/restarts — the static
+  /// schedule EpochIndex derives its epochs from. Mid-broadcast crashes
+  /// are dynamic and record their samples from the hook instead.
+  void arm_metrics_series() {
+    std::vector<sim::Time> at;
+    for (const sim::PartitionEvent& ev :
+         config_.network.partitions.events()) {
+      at.push_back(ev.start);
+      at.push_back(ev.end);
+    }
+    for (const sim::CrashEvent& ev : config_.faults.crashes().events()) {
+      at.push_back(ev.start);
+      at.push_back(ev.end);
+    }
+    std::sort(at.begin(), at.end());
+    at.erase(std::unique(at.begin(), at.end()), at.end());
+    for (const sim::Time t : at) {
+      scheduler_.schedule_at(t, [this] { record_metrics_sample(); });
+    }
+  }
+
+  /// Append one cumulative snapshot at the current simulated time (at most
+  /// one per instant — a dynamic boundary can coincide with a static one).
+  void record_metrics_sample() {
+    if (!series_.empty() && series_.back().time == scheduler_.now()) {
+      series_.back().metrics = base_metrics();
+      return;
+    }
+    MetricsSample s;
+    s.time = scheduler_.now();
+    s.metrics = base_metrics();
+    series_.push_back(std::move(s));
+  }
+
   /// The concrete tracer a component at `node` records into: its own shard
   /// in sharded mode, the global ring in legacy mode, nullptr when off.
   obs::Tracer* node_tracer(sim::NodeId node) {
@@ -501,9 +599,11 @@ class Cluster {
             const sim::MidBroadcastCrash mb = it->second;
             const sim::Time now = scheduler_.now();
             nodes_[n]->crash(now);
+            if (config_.metrics_series) record_metrics_sample();
             scheduler_.schedule_at(now + mb.down_for, [this, n, mb] {
               nodes_[n]->restart(mb.mode, scheduler_.now(),
                                  total_originated(), mb.keep_fraction);
+              if (config_.metrics_series) record_metrics_sample();
             });
             return true;
           });
@@ -539,6 +639,9 @@ class Cluster {
   std::vector<std::unique_ptr<NodeT>> nodes_;
   StreamObserver<App>* stream_obs_ = nullptr;
   std::uint64_t scheduled_submissions_ = 0;
+  /// Cumulative boundary snapshots (Config::metrics_series); converted to
+  /// per-interval deltas by metrics_series().
+  std::vector<MetricsSample> series_;
 };
 
 }  // namespace shard

@@ -5,6 +5,8 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstdlib>
+#include <fstream>
 #include <numeric>
 #include <sstream>
 #include <string>
@@ -13,6 +15,7 @@
 #include "analysis/cost_bounds.hpp"
 #include "analysis/execution_checker.hpp"
 #include "analysis/fairness.hpp"
+#include "analysis/incident.hpp"
 #include "analysis/streaming.hpp"
 #include "apps/airline/airline.hpp"
 #include "core/scripted.hpp"
@@ -402,6 +405,83 @@ TEST(ByzantineSensitivity, DormantWindowLeavesRunUntouched) {
     return execution_bytes(cluster.execution());
   };
   EXPECT_EQ(run(false), run(true));
+}
+
+/// Every seeded corruption the streaming checker catches must yield a
+/// forensic bundle whose ATTRIBUTED epoch contains the faulty admission:
+/// the violating update's originate event falls inside the span of the
+/// epoch the bundle blames. A partition window overlaps the run so the
+/// admission/detection distinction is live — damage admitted while the
+/// cut is open is frequently detected only after the heal.
+///
+/// When INCIDENT_ARTIFACT_DIR is set (the CI sensitivity job sets it),
+/// every bundle is also written as JSON — uploaded as the debugging
+/// artifact when the job fails.
+TEST(ByzantineSensitivity, IncidentBundlesAttributeAdmissionEpochs) {
+  std::size_t bundles = 0, attributed = 0;
+  const char* artifact_dir = std::getenv("INCIDENT_ARTIFACT_DIR");
+  for (std::uint64_t seed = 60; seed < 72; ++seed) {
+    auto sc = harness::wan(3);
+    sc.faults.byzantine_payload(/*corrupt=*/0.2, 0.0, 0.0, 0.0, 1e18);
+    sc.faults.split_halves(3, 1, 4.0, 8.0);
+    sc.trace.enabled = true;
+    sc.trace.ring_capacity = 1 << 15;
+    shard::Cluster<Air> cluster(sc.cluster_config<Air>(seed));
+    obs::VectorSink capture;
+    cluster.tracer()->add_sink(&capture);
+    analysis::StreamingChecker<Air> ck(3);
+    cluster.set_stream_observer(&ck);
+    harness::AirlineWorkload w;
+    w.duration = 12.0;
+    w.request_rate = 3.0;
+    w.mover_rate = 3.0;
+    harness::drive_airline(cluster, w, seed ^ 0xf);
+    cluster.run_until(w.duration);
+    cluster.run_until(w.duration + 8.0);
+    ck.finish(cluster.scheduler().now());
+    if (ck.incident_seeds().empty()) continue;
+
+    const obs::MetricsRegistry reg = cluster.metrics();
+    const obs::IncidentReport bundle =
+        analysis::build_incident_report(ck, capture.events(), &reg);
+    ASSERT_FALSE(bundle.empty()) << "seed " << seed;
+    ++bundles;
+    if (artifact_dir != nullptr) {
+      std::ofstream out(std::string(artifact_dir) + "/incident_seed" +
+                        std::to_string(seed) + ".json");
+      out << bundle.to_json();
+    }
+    for (const obs::Incident& inc : bundle.incidents()) {
+      if (!inc.in_stream) continue;
+      // The admission anchor: the chain's originate event, else (ring
+      // truncation) its earliest retained event — same rule the builder
+      // applies.
+      const obs::Event* anchor = &inc.chain.front();
+      for (const obs::Event& e : inc.chain) {
+        if (e.type == obs::EventType::kBroadcastOriginate) {
+          anchor = &e;
+          break;
+        }
+      }
+      const obs::Epoch& adm = bundle.epochs().epoch(inc.admitted_epoch);
+      EXPECT_GE(anchor->time, adm.start) << "seed " << seed;
+      if (inc.admitted_epoch + 1 < bundle.epochs().size()) {
+        EXPECT_LE(anchor->time, adm.end) << "seed " << seed;
+      }
+      // Detection never precedes admission.
+      EXPECT_GE(inc.detected_epoch, inc.admitted_epoch) << "seed " << seed;
+      ++attributed;
+    }
+    // The checker's own counter rode along in the bundle and carries the
+    // TRUE total — at least the retained (possibly capped) seed rows.
+    EXPECT_EQ(bundle.metrics().counters().at("checker.incident_seeds"),
+              ck.incident_seeds_total())
+        << "seed " << seed;
+    EXPECT_GE(ck.incident_seeds_total(), ck.incident_seeds().size());
+  }
+  // The sweep is only meaningful if violations fired and were attributed.
+  EXPECT_GT(bundles, 0u);
+  EXPECT_GT(attributed, 0u);
 }
 
 TEST(CheckerSensitivity, AtomicityCheckerRejectsInterlopers) {

@@ -149,6 +149,33 @@ TEST(EpochIndex, CrashRestartLifecycle) {
   EXPECT_TRUE(idx.epoch(2).quiet());
 }
 
+TEST(EpochIndex, EpochAtOutsideControlSchedule) {
+  // The edges the incident attribution leans on: a detection instant can
+  // precede the first control event (streaming checker fires before any
+  // fault) or trail the last heal (post-settle finalize) — both must map
+  // to a valid epoch, never out of range.
+  std::vector<obs::Event> events;
+  events.push_back(ev(EventType::kSchedulerDispatch, 1.0, obs::kControlNode));
+  events.push_back(ev(EventType::kPartitionOpen, 2.0, obs::kControlNode, 0));
+  events.push_back(ev(EventType::kPartitionHeal, 5.0, obs::kControlNode, 0));
+  events.push_back(ev(EventType::kCrash, 6.0, 1));
+  events.push_back(ev(EventType::kRestart, 8.0, 1));
+  events.push_back(ev(EventType::kSchedulerDispatch, 9.0, obs::kControlNode));
+
+  const obs::EpochIndex idx = obs::EpochIndex::build(events);
+  ASSERT_EQ(idx.size(), 5u);
+  // Before the first control event — and before the stream starts at all.
+  EXPECT_EQ(idx.epoch_at(-100.0), 0u);
+  EXPECT_EQ(idx.epoch_at(0.0), 0u);
+  EXPECT_EQ(idx.epoch_at(0.999), 0u);
+  // The final restart opens the last quiet epoch; every later instant —
+  // including times far past the recorded stream — belongs to it.
+  EXPECT_EQ(idx.epoch_at(8.0), idx.size() - 1);
+  EXPECT_TRUE(idx.epoch(idx.epoch_at(8.0)).quiet());
+  EXPECT_EQ(idx.epoch_at(9.5), idx.size() - 1);
+  EXPECT_EQ(idx.epoch_at(1e12), idx.size() - 1);
+}
+
 // ---------------------------------------------------------------------------
 // FlameProfile unit tests
 // ---------------------------------------------------------------------------

@@ -1,0 +1,102 @@
+// flame_diff — epoch-by-epoch stage-weight regression triage between two
+// recorded traces.
+//
+// trace_diff bisects WHERE two event streams first part ways; flame_diff
+// answers the coarser perf question: given a baseline run and a candidate
+// run (same scenario, different build/config/seed), which pipeline stage
+// in which failure epoch gained or lost stabilization time. Both traces
+// are folded through the epoch/causal/flame pipeline (exactly what
+// flame_report prints for one run) and diffed leaf-by-leaf; the ranked
+// triage table puts the largest absolute shift first.
+//
+//   flame_diff <baseline> <candidate> [--top K] [--json <out>]
+//              [--markdown <out>]
+//
+// Exit status mirrors trace_diff: 0 when the profiles are identical, 1
+// when any stage weight, sample count, or epoch structure differs, 2 on
+// usage error or unreadable/malformed input — so CI can assert both the
+// "same seed diffs empty" and the "perturbation is ranked" directions.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "obs/causal.hpp"
+#include "obs/epoch.hpp"
+#include "obs/flame.hpp"
+#include "obs/flame_diff.hpp"
+#include "obs/tracer.hpp"
+#include "tool_cli.hpp"
+
+namespace {
+
+constexpr char kUsage[] =
+    "usage: flame_diff <baseline_trace> <candidate_trace> [--top K]\n"
+    "                  [--json <out>] [--markdown <out>]\n"
+    "       flame_diff --help\n"
+    "\n"
+    "Folds both recorded event streams (trace_diff record / obs::serialize\n"
+    "format) into per-epoch flame profiles and reports every leaf stage\n"
+    "whose weight moved, ranked by absolute delta — regression triage for\n"
+    "\"which stage in which failure regime got slower\".\n"
+    "\n"
+    "  --top K          table rows printed (default 10; 0 = all)\n"
+    "  --json <out>     write the full ranked diff as JSON\n"
+    "  --markdown <out> write the triage table as markdown\n"
+    "\n"
+    "exit status: 0 profiles identical, 1 stage weights differ,\n"
+    "             2 usage error or unreadable/malformed input\n";
+
+int usage() { return tool_cli::usage(kUsage); }
+
+obs::FlameProfile profile_of(const std::vector<obs::Event>& events) {
+  const obs::EpochIndex epochs = obs::EpochIndex::build(events);
+  const obs::CausalGraph graph = obs::CausalGraph::build(events);
+  return obs::FlameProfile::build(events, graph, epochs);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (tool_cli::wants_help(argc, argv, kUsage)) return 0;
+  if (argc < 3) return usage();
+  const char* path_a = argv[1];
+  const char* path_b = argv[2];
+  std::size_t top = 10;
+  std::string json_path, markdown_path;
+  for (int i = 3; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--top") == 0 && i + 1 < argc) {
+      top = std::strtoull(argv[++i], nullptr, 0);
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--markdown") == 0 && i + 1 < argc) {
+      markdown_path = argv[++i];
+    } else {
+      return usage();
+    }
+  }
+
+  std::vector<obs::Event> a, b;
+  if (!tool_cli::load_stream("flame_diff", path_a, a) ||
+      !tool_cli::load_stream("flame_diff", path_b, b)) {
+    return 2;
+  }
+  const obs::FlameDiff diff = obs::FlameDiff::build(profile_of(a),
+                                                    profile_of(b));
+  std::printf("%zu vs %zu events, %zu vs %zu epochs, %zu stage delta(s)\n",
+              a.size(), b.size(), diff.epochs_a(), diff.epochs_b(),
+              diff.deltas().size());
+  std::fputs(diff.markdown(top).c_str(), stdout);
+
+  if (!json_path.empty() &&
+      !tool_cli::write_file("flame_diff", json_path, diff.to_json(),
+                            "flame diff JSON")) {
+    return 2;
+  }
+  if (!markdown_path.empty() &&
+      !tool_cli::write_file("flame_diff", markdown_path, diff.markdown(top),
+                            "triage table")) {
+    return 2;
+  }
+  return diff.differs() ? 1 : 0;
+}

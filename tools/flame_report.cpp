@@ -19,8 +19,6 @@
 // input (the malformed line is reported with its 1-based number).
 #include <cstdio>
 #include <cstring>
-#include <fstream>
-#include <sstream>
 #include <string>
 #include <vector>
 
@@ -28,6 +26,7 @@
 #include "obs/epoch.hpp"
 #include "obs/flame.hpp"
 #include "obs/tracer.hpp"
+#include "tool_cli.hpp"
 
 namespace {
 
@@ -47,31 +46,18 @@ constexpr char kUsage[] =
     "\n"
     "exit status: 0 success, 2 usage error or unreadable/malformed input\n";
 
-int usage() {
-  std::fputs(kUsage, stderr);
-  return 2;
-}
+int usage() { return tool_cli::usage(kUsage); }
 
 bool write_file(const std::string& path, const std::string& data,
                 const char* what) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) {
-    std::fprintf(stderr, "flame_report: cannot write %s\n", path.c_str());
-    return false;
-  }
-  out << data;
-  std::printf("wrote %s to %s\n", what, path.c_str());
-  return true;
+  return tool_cli::write_file("flame_report", path, data, what);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (tool_cli::wants_help(argc, argv, kUsage)) return 0;
   if (argc < 2) return usage();
-  if (std::strcmp(argv[1], "--help") == 0 || std::strcmp(argv[1], "-h") == 0) {
-    std::fputs(kUsage, stdout);
-    return 0;
-  }
   const char* trace_path = argv[1];
   std::size_t top_k = 8;
   std::string folded_path, json_path, perfetto_path;
@@ -89,20 +75,8 @@ int main(int argc, char** argv) {
     }
   }
 
-  std::ifstream in(trace_path, std::ios::binary);
-  if (!in) {
-    std::fprintf(stderr, "flame_report: cannot read %s\n", trace_path);
-    return 2;
-  }
-  std::ostringstream buf;
-  buf << in.rdbuf();
   std::vector<obs::Event> events;
-  std::size_t bad_line = 0;
-  if (!obs::deserialize(buf.str(), events, &bad_line)) {
-    std::fprintf(stderr, "flame_report: %s: malformed event at line %zu\n",
-                 trace_path, bad_line + 1);
-    return 2;
-  }
+  if (!tool_cli::load_stream("flame_report", trace_path, events)) return 2;
 
   const obs::EpochIndex epochs = obs::EpochIndex::build(events);
   const obs::CausalGraph graph = obs::CausalGraph::build(events);

@@ -1,0 +1,78 @@
+// Shared CLI plumbing for the operator tools (trace_diff, flame_report,
+// flame_diff): the --help/usage/exit-2 convention, trace-file loading in
+// obs::serialize's line format, and byte-exact output-file writing. Each
+// tool was hand-rolling identical copies of these; one drifting error
+// message or exit code would break the CI self-checks that assert them.
+//
+// Conventions every tool built on this header shares:
+//   * `--help` / `-h` as the first argument prints the usage text to
+//     stdout and exits 0; any malformed invocation prints it to stderr
+//     and exits 2 (so 1 stays reserved for "tool ran, found a difference").
+//   * malformed trace input is reported with its 1-based line number.
+#pragma once
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/tracer.hpp"
+
+namespace tool_cli {
+
+/// Print the usage text to stderr and return the conventional usage exit
+/// status (2). Callers `return tool_cli::usage(kUsage);`.
+inline int usage(const char* usage_text) {
+  std::fputs(usage_text, stderr);
+  return 2;
+}
+
+/// True when the first argument asks for help; prints the usage text to
+/// stdout so `tool --help | less` works. Callers exit 0.
+inline bool wants_help(int argc, char** argv, const char* usage_text) {
+  if (argc < 2) return false;
+  if (std::strcmp(argv[1], "--help") != 0 && std::strcmp(argv[1], "-h") != 0) {
+    return false;
+  }
+  std::fputs(usage_text, stdout);
+  return true;
+}
+
+/// Load a recorded event stream (obs::serialize line format). On failure
+/// prints "<tool>: ..." to stderr — unreadable file or the 1-based line of
+/// the first malformed event — and returns false (callers exit 2).
+inline bool load_stream(const char* tool, const char* path,
+                        std::vector<obs::Event>& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "%s: cannot read %s\n", tool, path);
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  std::size_t bad_line = 0;
+  if (!obs::deserialize(buf.str(), out, &bad_line)) {
+    std::fprintf(stderr, "%s: %s: malformed event at line %zu\n", tool, path,
+                 bad_line + 1);
+    return false;
+  }
+  return true;
+}
+
+/// Write `data` byte-exact to `path`, announcing `what` on stdout. On
+/// failure prints "<tool>: cannot write ..." and returns false (exit 2).
+inline bool write_file(const char* tool, const std::string& path,
+                       const std::string& data, const char* what) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "%s: cannot write %s\n", tool, path.c_str());
+    return false;
+  }
+  out << data;
+  std::printf("wrote %s to %s\n", what, path.c_str());
+  return true;
+}
+
+}  // namespace tool_cli

@@ -22,7 +22,6 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
-#include <sstream>
 #include <string>
 #include <vector>
 
@@ -33,6 +32,7 @@
 #include "obs/tracer.hpp"
 #include "shard/cluster.hpp"
 #include "sim/crash.hpp"
+#include "tool_cli.hpp"
 
 namespace {
 
@@ -53,10 +53,7 @@ constexpr char kUsage[] =
     "exit status: 0 identical / recorded, 1 divergence found,\n"
     "             2 usage error or unreadable/malformed input\n";
 
-int usage() {
-  std::fputs(kUsage, stderr);
-  return 2;
-}
+int usage() { return tool_cli::usage(kUsage); }
 
 int cmd_record(int argc, char** argv) {
   if (argc < 3) return usage();
@@ -122,20 +119,7 @@ int cmd_record(int argc, char** argv) {
 }
 
 bool load_stream(const char* path, std::vector<obs::Event>& out) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
-    std::fprintf(stderr, "trace_diff: cannot read %s\n", path);
-    return false;
-  }
-  std::ostringstream buf;
-  buf << in.rdbuf();
-  std::size_t bad_line = 0;
-  if (!obs::deserialize(buf.str(), out, &bad_line)) {
-    std::fprintf(stderr, "trace_diff: %s: malformed event at line %zu\n",
-                 path, bad_line + 1);
-    return false;
-  }
-  return true;
+  return tool_cli::load_stream("trace_diff", path, out);
 }
 
 int cmd_diff(int argc, char** argv) {
@@ -150,11 +134,8 @@ int cmd_diff(int argc, char** argv) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (tool_cli::wants_help(argc, argv, kUsage)) return 0;
   if (argc < 2) return usage();
-  if (std::strcmp(argv[1], "--help") == 0 || std::strcmp(argv[1], "-h") == 0) {
-    std::fputs(kUsage, stdout);
-    return 0;
-  }
   if (std::strcmp(argv[1], "record") == 0) return cmd_record(argc, argv);
   if (std::strcmp(argv[1], "diff") == 0) return cmd_diff(argc, argv);
   return usage();
