@@ -9,6 +9,7 @@ Usage:
     compare_bench.py e24 bench/baselines/BENCH_e24.json BENCH_e24.json
     compare_bench.py e25 bench/baselines/BENCH_e25.json BENCH_e25.json
     compare_bench.py e26 bench/baselines/BENCH_e26.json BENCH_e26.json
+    compare_bench.py e27 bench/baselines/BENCH_e27.json BENCH_e27.json
     compare_bench.py --selftest
 
 The gate is designed to be machine-independent:
@@ -65,6 +66,14 @@ The gate is designed to be machine-independent:
   forensic census (incidents, epochs, series samples, bundle sizes) and
   the merged checker.*/epoch.* counters are deterministic and gated within
   the tolerance; bundle-build wall time goes to stderr and is never gated.
+
+* e27 (execution-backend harness): the boolean gates are exact — the DES
+  row must stay byte-deterministic and checker-clean, and every threaded
+  row must converge, pass the full oracle stack, and satisfy the
+  send/fate shutdown contract. The DES row's trace census and network /
+  broadcast counters are deterministic per seed and gated within the
+  tolerance; everything wall-clock (and the threaded rows' send counts,
+  which real scheduling jitters) is only reported.
 
 A baseline JSON may carry a top-level "tolerance_overrides" object mapping
 gate keys (exact, or a prefix/suffix of the composed "mode=... name" key)
@@ -595,6 +604,88 @@ def compare_e26(base, cur, tol):
     return rc
 
 
+# DES-side deterministic counters of the e27 document: pure functions of
+# the seed and the workload config.
+E27_COUNTERS = [
+    "cluster.updates_originated",
+    "broadcast.originated",
+    "broadcast.delivered",
+    "net.sent",
+    "net.delivered",
+    "trace.events_recorded",
+]
+
+
+def compare_e27(base, cur, tol):
+    rc = 0
+    des = cur["des"]
+    # The DES row's gates are exact: the port must stay byte-deterministic
+    # and checker-clean.
+    for flag in ("deterministic", "checker_clean"):
+        if not des[flag]:
+            rc |= fail(f"des {flag} is false", key=f"des {flag}",
+                       current=False, baseline=True, allowed="exact")
+    bdes = base["des"]
+    c, b = des["trace_events"], bdes["trace_events"]
+    ktol = key_tolerance(base, "des trace_events", tol)
+    if not within(c, b, ktol):
+        rc |= fail(f"des trace_events: {c} vs baseline {b} (tol {ktol:.0%})",
+                   key="des trace_events", current=c, baseline=b,
+                   allowed=f"±{ktol:.0%}")
+    else:
+        print(f"ok: des trace_events: {c} (baseline {b})")
+    counters = cur["metrics"]["counters"]
+    bcounters = base["metrics"]["counters"]
+    for name in E27_COUNTERS:
+        c, b = counters.get(name, 0), bcounters.get(name, 0)
+        ktol = key_tolerance(base, name, tol)
+        if not within(c, b, ktol):
+            rc |= fail(f"{name}: {c} vs baseline {b} (tol {ktol:.0%})",
+                       key=name, current=c, baseline=b,
+                       allowed=f"±{ktol:.0%}")
+        else:
+            print(f"ok: {name}: {c} (baseline {b})")
+    print(f"info: des updates_per_wall_s {des['updates_per_wall_s']:.1f} "
+          f"(wall clock; not gated)")
+    # Threaded rows: nothing about a real-thread run is deterministic, so
+    # the only gates are the exact booleans; counts and wall are reported.
+    for row in cur["threaded"]:
+        seed = row["seed"]
+        for flag in ("converged", "checker_clean", "fates_ok"):
+            if not row[flag]:
+                rc |= fail(f"threaded seed={seed} {flag} is false",
+                           key=f"threaded seed={seed} {flag}", current=False,
+                           baseline=True, allowed="exact")
+        print(f"info: threaded seed={seed} sends {row['sends']} "
+              f"updates_per_wall_s {row['updates_per_wall_s']:.1f} "
+              f"(nondeterministic; not gated)")
+    missing = ({r["seed"] for r in base["threaded"]} -
+               {r["seed"] for r in cur["threaded"]})
+    if missing:
+        rc |= fail(f"threaded seeds missing from current run: "
+                   f"{sorted(missing)}",
+                   key="threaded seeds",
+                   current="missing " + str(sorted(missing)))
+    return rc
+
+
+def _selftest_e27_doc():
+    """Minimal e27 document that passes its own gates."""
+    def trow(seed):
+        return {"seed": seed, "converged": True, "checker_clean": True,
+                "fates_ok": True, "sends": 800, "resolved": 800,
+                "trace_events": 7800, "wall_seconds": 0.1,
+                "updates_per_wall_s": 4000.0}
+    return {"des": {"seed": 1, "deterministic": True, "checker_clean": True,
+                    "trace_events": 11900, "wall_seconds": 0.004,
+                    "updates_per_wall_s": 100000.0},
+            "threaded": [trow(10), trow(11)],
+            "metrics": {"counters": {"cluster.updates_originated": 400,
+                                     "broadcast.originated": 400,
+                                     "net.sent": 2400},
+                        "gauges": {}}}
+
+
 def _selftest_e26_doc():
     """Minimal e26 document that passes its own gates."""
     def row(seed):
@@ -686,6 +777,31 @@ def selftest():
     loose["tolerance_overrides"] = {"incidents": 20.0}
     check("e26 honors override", compare_e26(loose, bad, 0.15) == 0)
 
+    # compare_e27 end to end: identity passes; a nondeterministic DES run,
+    # an unconverged threaded row, or DES counter drift each fail; an
+    # override forgives the drift and wall-clock drift never fails.
+    doc = _selftest_e27_doc()
+    check("e27 identity passes", compare_e27(doc, copy.deepcopy(doc),
+                                             0.15) == 0)
+    bad = copy.deepcopy(doc)
+    bad["des"]["deterministic"] = False
+    check("e27 catches nondeterministic DES", compare_e27(doc, bad, 0.15) != 0)
+    bad = copy.deepcopy(doc)
+    bad["threaded"][1]["converged"] = False
+    check("e27 catches unconverged threaded row",
+          compare_e27(doc, bad, 0.15) != 0)
+    bad = copy.deepcopy(doc)
+    bad["metrics"]["counters"]["net.sent"] = 24000
+    check("e27 catches counter drift", compare_e27(doc, bad, 0.15) != 0)
+    loose = copy.deepcopy(doc)
+    loose["tolerance_overrides"] = {"net.sent": 20.0}
+    check("e27 honors override", compare_e27(loose, bad, 0.15) == 0)
+    noisy = copy.deepcopy(doc)
+    noisy["threaded"][0]["sends"] = 5000
+    noisy["threaded"][0]["updates_per_wall_s"] = 123.0
+    noisy["des"]["wall_seconds"] = 9.9
+    check("e27 ignores wall/send noise", compare_e27(doc, noisy, 0.15) == 0)
+
     FAILURES.clear()  # Probe-induced failures are expected, not reportable.
     print("SELFTEST " + ("PASS" if rc == 0 else "FAIL"))
     return rc
@@ -723,9 +839,11 @@ def main(argv):
         rc = compare_e25(base, cur, tol)
     elif kind == "e26":
         rc = compare_e26(base, cur, tol)
+    elif kind == "e27":
+        rc = compare_e27(base, cur, tol)
     else:
-        print(f"unknown kind {kind!r} (want e10, e20, e22, e23, e24, e25 "
-              f"or e26)")
+        print(f"unknown kind {kind!r} (want e10, e20, e22, e23, e24, e25, "
+              f"e26 or e27)")
         return 2
     if rc != 0 and FAILURES:
         print_failure_summary()

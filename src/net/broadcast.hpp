@@ -28,6 +28,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <unordered_set>
 #include <utility>
 #include <vector>
@@ -37,6 +38,8 @@
 #include "core/prefix.hpp"
 #include "net/broadcast_stats.hpp"
 #include "obs/tracer.hpp"
+#include "runtime/api.hpp"
+#include "runtime/sim_backend.hpp"
 #include "sim/fault_plan.hpp"
 #include "sim/network.hpp"
 
@@ -131,10 +134,15 @@ class ReliableBroadcast {
   /// those draws count as provably masked (byz_corrupt_noops).
   using CorruptFn = std::function<bool(Payload& target, const Payload& donor)>;
 
-  ReliableBroadcast(sim::Network& network, sim::NodeId self,
-                    std::size_t cluster_size, BroadcastOptions options,
-                    std::uint64_t seed, DeliverFn deliver)
-      : net_(network),
+  /// The endpoint runs against the redesigned execution API: an Executor
+  /// for time/timers/deferred flushes and a Transport for datagrams — any
+  /// backend (deterministic simulator or the threaded runtime) works.
+  ReliableBroadcast(runtime::Executor& executor, runtime::Transport& transport,
+                    sim::NodeId self, std::size_t cluster_size,
+                    BroadcastOptions options, std::uint64_t seed,
+                    DeliverFn deliver)
+      : exec_(&executor),
+        net_(&transport),
         self_(self),
         options_(options),
         rng_(seed),
@@ -142,7 +150,34 @@ class ReliableBroadcast {
         delivered_count_(cluster_size, 0),
         store_(cluster_size),
         seen_extra_(cluster_size) {
-    net_.register_node(self_, [this](const sim::Message& m) { on_message(m); });
+    net_->register_node(self_,
+                        [this](const sim::Message& m) { on_message(m); });
+  }
+
+  /// One-release adapter for the pre-runtime constructor: wraps the
+  /// concrete simulator objects in owned SimBackend adapters. Behaviorally
+  /// identical to constructing against network.scheduler()/network through
+  /// the runtime API (the adapters forward 1:1).
+  [[deprecated(
+      "construct with (runtime::Executor&, runtime::Transport&) — the "
+      "sim::Network& form is a one-release adapter")]]
+  ReliableBroadcast(sim::Network& network, sim::NodeId self,
+                    std::size_t cluster_size, BroadcastOptions options,
+                    std::uint64_t seed, DeliverFn deliver)
+      : owned_exec_(std::make_unique<runtime::SimExecutor>(
+            network.scheduler())),
+        owned_net_(std::make_unique<runtime::SimTransport>(network)),
+        exec_(owned_exec_.get()),
+        net_(owned_net_.get()),
+        self_(self),
+        options_(options),
+        rng_(seed),
+        deliver_(std::move(deliver)),
+        delivered_count_(cluster_size, 0),
+        store_(cluster_size),
+        seen_extra_(cluster_size) {
+    net_->register_node(self_,
+                        [this](const sim::Message& m) { on_message(m); });
   }
 
   ReliableBroadcast(const ReliableBroadcast&) = delete;
@@ -173,7 +208,7 @@ class ReliableBroadcast {
       staged_floods_.push_back(w.origin_seq);
       if (!flush_scheduled_) {
         flush_scheduled_ = true;
-        net_.scheduler().defer([this] { flush_flood(); });
+        exec_->defer([this] { flush_flood(); });
       }
       return w.origin_seq;
     }
@@ -188,10 +223,10 @@ class ReliableBroadcast {
       return w.origin_seq;
     }
     if (options_.flood) {
-      const std::size_t peers = net_.send_to_all(self_, make_packet(w));
+      const std::size_t peers = net_->send_to_all(self_, make_packet(w));
       if (tracer_) {
         tracer_->record(obs::EventType::kBroadcastSend,
-                        net_.scheduler().now(), self_, 0, 0, w.origin_seq,
+                        exec_->now(), self_, 0, 0, w.origin_seq,
                         peers);
       }
     }
@@ -275,7 +310,7 @@ class ReliableBroadcast {
     // durable in the outbox, so after a restart they reach peers through
     // outbox replay announcements and anti-entropy, never a stale flood.
     if (down) staged_floods_.clear();
-    net_.set_node_down(self_, down);
+    net_->set_node_down(self_, down);
   }
   bool down() const { return down_; }
 
@@ -420,11 +455,11 @@ class ReliableBroadcast {
   /// never coalesce is byte-identical (packets, RNG draws, trace stream) to
   /// max_batch == 0.
   void send_flood_chunk(std::vector<Wire> chunk) {
-    const sim::Time now = net_.scheduler().now();
+    const sim::Time now = exec_->now();
     if (chunk.size() == 1) {
       const std::uint64_t seq = chunk.front().origin_seq;
       const std::size_t peers =
-          net_.send_to_all(self_, make_packet(std::move(chunk.front())));
+          net_->send_to_all(self_, make_packet(std::move(chunk.front())));
       if (tracer_) {
         tracer_->record(obs::EventType::kBroadcastSend, now, self_, 0, 0, seq,
                         peers);
@@ -442,7 +477,7 @@ class ReliableBroadcast {
       seqs.reserve(wires);
       for (const Wire& w : p.batch) seqs.push_back(w.origin_seq);
     }
-    const std::size_t peers = net_.send_to_all(self_, std::any(std::move(p)));
+    const std::size_t peers = net_->send_to_all(self_, std::any(std::move(p)));
     if (tracer_) {
       // Per-wire send events keep the causal/lifecycle derivations working
       // unchanged; the batch event on top carries the coalescing itself.
@@ -509,7 +544,7 @@ class ReliableBroadcast {
     // The donor stash fills whenever the adversary exists (even outside its
     // window), so corruption at window entry has authentic donors.
     stash_payload(wire.payload);
-    const sim::Time now = net_.scheduler().now();
+    const sim::Time now = exec_->now();
     if (now < byz.start || now >= byz.end) {
       accept(wire);
       return;
@@ -572,7 +607,7 @@ class ReliableBroadcast {
       ++stats_.duplicates_dropped;
       if (tracer_) {
         tracer_->record(obs::EventType::kBroadcastDuplicate,
-                        net_.scheduler().now(), self_, 0, 0, w.origin,
+                        exec_->now(), self_, 0, 0, w.origin,
                         w.origin_seq);
       }
       return;
@@ -616,7 +651,7 @@ class ReliableBroadcast {
     ++stats_.delivered;
     if (tracer_) {
       tracer_->record(obs::EventType::kBroadcastDeliver,
-                      net_.scheduler().now(), self_, 0, 0, w.origin,
+                      exec_->now(), self_, 0, 0, w.origin,
                       w.origin_seq);
     }
     deliver_(w);
@@ -652,7 +687,7 @@ class ReliableBroadcast {
   void schedule_anti_entropy() {
     const sim::Time dt = options_.anti_entropy_interval +
                          rng_.uniform(0.0, options_.anti_entropy_jitter);
-    net_.scheduler().schedule_after(dt, [this] {
+    exec_->schedule_after(dt, [this] {
       run_anti_entropy_round();
       schedule_anti_entropy();
     });
@@ -666,7 +701,7 @@ class ReliableBroadcast {
       ++stats_.rounds_skipped_down;
       return;
     }
-    const std::size_t n = net_.node_count();
+    const std::size_t n = net_->node_count();
     if (n < 2) return;
     if (promise_fn_) {
       Packet a;
@@ -675,7 +710,7 @@ class ReliableBroadcast {
       a.announce_clock = logical;
       a.announce_node = node;
       a.announce_issued = own_seq_;
-      net_.send_to_all(self_, std::any(std::move(a)));
+      net_->send_to_all(self_, std::any(std::move(a)));
     }
     // Random peer each round; randomness is seeded, so runs stay
     // reproducible.
@@ -713,10 +748,10 @@ class ReliableBroadcast {
     stats_.anti_entropy_repairs += reply.repairs.size();
     if (tracer_) {
       tracer_->record(obs::EventType::kAntiEntropyRepair,
-                      net_.scheduler().now(), self_, 0, 0, requester,
+                      exec_->now(), self_, 0, 0, requester,
                       reply.repairs.size());
     }
-    net_.send(self_, requester, std::any(std::move(reply)));
+    net_->send(self_, requester, std::any(std::move(reply)));
   }
 
   /// One digest to one peer (periodic rounds and repair continuations).
@@ -726,9 +761,9 @@ class ReliableBroadcast {
     p.digest = contiguous_have_;
     if (tracer_) {
       tracer_->record(obs::EventType::kAntiEntropyDigest,
-                      net_.scheduler().now(), self_, 0, 0, peer);
+                      exec_->now(), self_, 0, 0, peer);
     }
-    net_.send(self_, peer, std::any(std::move(p)));
+    net_->send(self_, peer, std::any(std::move(p)));
   }
 
   /// Pruning bookkeeping: fold a received digest into the per-peer floor
@@ -760,7 +795,12 @@ class ReliableBroadcast {
     }
   }
 
-  sim::Network& net_;
+  /// Owned backend adapters for the deprecated sim::Network& constructor;
+  /// null when the caller supplied the runtime interfaces directly.
+  std::unique_ptr<runtime::SimExecutor> owned_exec_;
+  std::unique_ptr<runtime::SimTransport> owned_net_;
+  runtime::Executor* exec_;
+  runtime::Transport* net_;
   sim::NodeId self_;
   BroadcastOptions options_;
   sim::Rng rng_;

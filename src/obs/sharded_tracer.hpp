@@ -25,6 +25,7 @@
 // determinism captures rely on this).
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <memory>
 #include <vector>
@@ -59,7 +60,9 @@ class ShardedTracer : public TraceSource {
   /// num_nodes + 1 (the control shard).
   std::size_t num_shards() const { return shards_.size(); }
   /// The next global sequence stamp (== events recorded so far).
-  std::uint64_t next_seq() const { return seq_; }
+  std::uint64_t next_seq() const {
+    return seq_.load(std::memory_order_relaxed);
+  }
 
   // --- TraceSource ------------------------------------------------------
 
@@ -78,7 +81,10 @@ class ShardedTracer : public TraceSource {
                                   std::size_t context = 6) const override;
 
  private:
-  std::uint64_t seq_ = 0;  ///< shared by all shards via set_sequencer
+  /// Shared by all shards via set_sequencer. Atomic so the threaded
+  /// runtime's per-node shards can stamp concurrently (each shard still has
+  /// exactly one writer; only the merge key is shared).
+  std::atomic<std::uint64_t> seq_{0};
   std::vector<std::unique_ptr<Tracer>> shards_;
 };
 

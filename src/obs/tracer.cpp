@@ -64,7 +64,7 @@ Tracer::Tracer(std::size_t ring_capacity)
   buf_.reserve(capacity_);
 }
 
-void Tracer::set_sequencer(std::uint64_t* sequencer) {
+void Tracer::set_sequencer(std::atomic<std::uint64_t>* sequencer) {
   sequencer_ = sequencer;
   if (sequencer_ != nullptr) seq_buf_.reserve(capacity_);
 }
@@ -72,7 +72,10 @@ void Tracer::set_sequencer(std::uint64_t* sequencer) {
 void Tracer::record(const Event& e) {
   ++recorded_;
   ++type_counts_[static_cast<std::size_t>(e.type)];
-  const std::uint64_t seq = sequencer_ != nullptr ? (*sequencer_)++ : 0;
+  const std::uint64_t seq =
+      sequencer_ != nullptr
+          ? sequencer_->fetch_add(1, std::memory_order_relaxed)
+          : 0;
   if (buf_.size() < capacity_) {
     buf_.push_back(e);
     if (sequencer_ != nullptr) seq_buf_.push_back(seq);

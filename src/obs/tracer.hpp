@@ -19,6 +19,7 @@
 // the stream (trace dumps, exporters, pinning) go through the interface.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <string>
 #include <vector>
@@ -151,11 +152,15 @@ class Tracer : public TraceSource {
                                   sim::NodeId ts_node,
                                   std::size_t context = 6) const override;
 
-  /// Arm sharded operation: every record also stamps `(*sequencer)++` into
-  /// a ring parallel to the event ring. The counter is shared by all
+  /// Arm sharded operation: every record also stamps `sequencer->fetch_add`
+  /// into a ring parallel to the event ring. The counter is shared by all
   /// shards of one ShardedTracer, so the stamp is the event's position in
-  /// the GLOBAL record order — what the deterministic merge sorts by.
-  void set_sequencer(std::uint64_t* sequencer);
+  /// the GLOBAL record order — what the deterministic merge sorts by. The
+  /// counter is atomic (relaxed) so the threaded runtime's per-node shards
+  /// can stamp concurrently — one writer per shard, one shared monotone
+  /// counter; under the single-threaded simulator the values are exactly
+  /// the sequence a plain increment produced.
+  void set_sequencer(std::atomic<std::uint64_t>* sequencer);
 
   /// Global-order stamps parallel to ring(); empty when no sequencer set.
   std::vector<std::uint64_t> ring_seqs() const;
@@ -169,7 +174,7 @@ class Tracer : public TraceSource {
   std::uint64_t recorded_ = 0;
   std::vector<std::uint64_t> type_counts_;
   std::vector<Sink*> sinks_;
-  std::uint64_t* sequencer_ = nullptr;
+  std::atomic<std::uint64_t>* sequencer_ = nullptr;
 };
 
 /// Canonical line-oriented serialization of an event stream: one event per

@@ -1,0 +1,51 @@
+// Unified observation hooks for an execution backend.
+//
+// Before the runtime API, three ad-hoc observer surfaces grew side by side:
+// the scheduler's dispatch observer, the network's message-fate observer,
+// and the node-level shard::StreamObserver. Each had its own registration
+// call and its own lifetime rules, and a driver wiring tracing had to know
+// all three. runtime::Hooks folds them into one registration object handed
+// to Backend::set_hooks() (and, for the typed stream observer, consumed by
+// the cluster driver): both backends emit the same hook sequence for the
+// same logical events, so a consumer written against Hooks works unchanged
+// on the simulator and on the threaded runtime.
+//
+// Threading contract (threaded backend): on_dispatch fires on the worker
+// that executed the task, on_message_fate fires on the worker that owns the
+// event's program-order side (send-side fates on the source's worker,
+// delivery-side fates on the destination's) — so a consumer that routes by
+// node id into per-node shards has exactly one writer per shard. On the
+// simulator everything fires on the driving thread, in the exact order the
+// legacy observers fired.
+#pragma once
+
+#include <any>
+#include <cstdint>
+#include <functional>
+
+#include "runtime/api.hpp"
+
+namespace runtime {
+
+struct Hooks {
+  /// One call per executed dispatch (scheduler event / worker task), after
+  /// the clock advanced to its time, before its action runs. `worker` is
+  /// the executing worker's node id, or kNoWorker on the single-threaded
+  /// simulator.
+  using DispatchFn =
+      std::function<void(NodeId worker, Time t, std::uint64_t id)>;
+  /// One call per message outcome (a sent message that is later delivered
+  /// reports twice: kSent, then kDelivered). `id` is 0 for send-time drops.
+  using MessageFateFn = std::function<void(NodeId src, NodeId dst,
+                                           std::uint64_t id, MessageFate fate)>;
+
+  DispatchFn on_dispatch;
+  MessageFateFn on_message_fate;
+  /// The node-level stream observer (a shard::StreamObserver<App>*), type-
+  /// erased because App is the driver's business: backends ignore it; the
+  /// cluster driver casts it back and attaches it to every node. Empty =
+  /// none.
+  std::any stream_observer;
+};
+
+}  // namespace runtime

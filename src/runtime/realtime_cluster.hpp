@@ -1,0 +1,301 @@
+// A SHARD cluster on the threaded backend: real threads, real clocks, and
+// post-hoc checking.
+//
+// shard::Cluster is the deterministic driver (simulated time, byte-stable
+// traces, checkers running against a reproducible run). RealtimeCluster is
+// its wall-clock counterpart: the SAME Node/broadcast code, constructed
+// against runtime::ThreadedBackend, one worker thread per node. Nothing
+// here is deterministic, so the methodology inverts — instead of pinning
+// traces, every run is validated after the fact:
+//
+//   * each node records into its own obs::ShardedTracer shard (exactly one
+//     writer per shard: the node's worker); shutdown() merges the shards
+//     by the shared atomic sequence stamp;
+//   * the full oracle stack (convergence, prefix-subsequence condition,
+//     transitivity, state == replay) runs over the assembled execution;
+//   * runtime::validate_message_fates asserts the shutdown contract on the
+//     merged trace — every traced send has its terminal fate.
+//
+// Interaction model: the driver thread posts work (submit) and polls for
+// convergence with cross-thread snapshots (run_on round-trips); per-node
+// state is only touched on that node's worker until shutdown() joins the
+// workers, after which everything is plainly readable.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <map>
+#include <memory>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/execution.hpp"
+#include "net/broadcast.hpp"
+#include "obs/event.hpp"
+#include "obs/sharded_tracer.hpp"
+#include "runtime/hooks.hpp"
+#include "runtime/threaded_backend.hpp"
+#include "runtime/validate.hpp"
+#include "shard/node.hpp"
+#include "sim/rng.hpp"
+
+namespace runtime {
+
+struct RealtimeConfig {
+  std::size_t num_nodes = 3;
+  std::uint64_t seed = 1;
+  /// Broadcast options in REAL seconds — anti-entropy intervals that suit
+  /// the simulator (0.5 s against ~1 ms delays) are far too lazy here;
+  /// pick intervals a few times the bus delay.
+  net::BroadcastOptions broadcast;
+  ThreadedConfig bus;
+  std::size_t checkpoint_interval = 32;
+  /// Per-node trace ring capacity. The fate validator needs the complete
+  /// stream, so size this above the expected event count.
+  std::size_t ring_capacity = 1 << 16;
+  /// Trace dispatch events too (noisy; fates and protocol events usually
+  /// suffice for the validator and the checkers).
+  bool trace_dispatch = false;
+};
+
+template <core::Application App,
+          shard::LogLayout Layout = shard::LogLayout::kSoA>
+class RealtimeCluster {
+ public:
+  using NodeT = shard::Node<App, Layout>;
+  using Request = typename App::Request;
+
+  explicit RealtimeCluster(RealtimeConfig config)
+      : config_(std::move(config)),
+        backend_([&] {
+          ThreadedConfig bus = config_.bus;
+          bus.num_nodes = config_.num_nodes;
+          bus.seed = config_.seed;
+          return bus;
+        }()),
+        tracer_(config_.num_nodes, config_.ring_capacity) {
+    Hooks hooks;
+    // One writer per shard: dispatch fires on the executing worker and
+    // lands in that worker's shard; fates fire on the event's program-
+    // order side (send-side at the source, delivery-side at the
+    // destination) — the Hooks threading contract.
+    if (config_.trace_dispatch) {
+      hooks.on_dispatch = [this](NodeId worker, Time t, std::uint64_t id) {
+        tracer_.shard(worker).record(obs::EventType::kSchedulerDispatch, t,
+                                     worker, 0, 0, id);
+      };
+    }
+    hooks.on_message_fate = [this](NodeId src, NodeId dst, std::uint64_t id,
+                                   MessageFate fate) {
+      const obs::EventType type = fate_event_type(fate);
+      const bool at_dst = type == obs::EventType::kNetDeliver ||
+                          (type == obs::EventType::kNetDropCrashed && id != 0);
+      tracer_.shard(at_dst ? dst : src)
+          .record(type, backend_.now(), at_dst ? dst : src, 0, 0,
+                  at_dst ? src : dst, id);
+    };
+    backend_.set_hooks(std::move(hooks));
+    sim::Rng master(config_.seed);
+    master.fork_seed();  // parity with Cluster: first fork is the network's
+    for (std::size_t i = 0; i < config_.num_nodes; ++i) {
+      nodes_.push_back(std::make_unique<NodeT>(
+          static_cast<core::NodeId>(i), backend_.executor(i),
+          backend_.transport(), config_.num_nodes, config_.broadcast,
+          config_.checkpoint_interval, master.fork_seed(),
+          /*enable_compaction=*/false, &tracer_.shard(i)));
+    }
+    backend_.start();
+    for (std::size_t i = 0; i < config_.num_nodes; ++i) {
+      backend_.post(static_cast<NodeId>(i),
+                    [n = nodes_[i].get()] { n->start(); });
+    }
+  }
+
+  ~RealtimeCluster() { shutdown(); }
+
+  /// Submit a request at `node` (asynchronously, on its worker). Rejected
+  /// (the node is down) or executed; either way counted at the node.
+  void submit(core::NodeId node, Request request) {
+    backend_.post(node, [n = nodes_.at(node).get(), this,
+                         request = std::move(request)] {
+      n->try_submit(request, backend_.now());
+    });
+  }
+
+  /// Crash / restart a node (posted to its worker, like every mutation).
+  void crash(core::NodeId node) {
+    backend_.post(node,
+                  [n = nodes_.at(node).get(), this] { n->crash(backend_.now()); });
+  }
+  void restart(core::NodeId node) {
+    // Snapshot the catch-up target on the DRIVER thread: a worker must
+    // never block on a round-trip to itself. The target is recovery-window
+    // instrumentation; a slightly stale total is harmless.
+    const std::uint64_t target = snapshot_total_originated();
+    backend_.post(node, [this, node, target] {
+      nodes_[node]->restart(sim::RecoveryMode::kDurable, backend_.now(),
+                            target, 1.0);
+    });
+  }
+
+  /// Poll until every node knows every originated update, all states
+  /// agree, and (if nonzero) the total matches `expect_originated`.
+  /// Returns false on timeout.
+  bool await_convergence(double timeout_s = 30.0,
+                         std::uint64_t expect_originated = 0) {
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::duration<double>(timeout_s);
+    while (std::chrono::steady_clock::now() < deadline) {
+      if (converged_snapshot(expect_originated)) return true;
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    return converged_snapshot(expect_originated);
+  }
+
+  /// Drain the bus, join the workers. After this, all state is plainly
+  /// readable from the calling thread. Idempotent.
+  void shutdown() { backend_.drain_and_stop(); }
+
+  // --- post-shutdown (or snapshot) inspection -----------------------------
+
+  NodeT& node(core::NodeId i) { return *nodes_.at(i); }
+  const NodeT& node(core::NodeId i) const { return *nodes_.at(i); }
+  std::size_t num_nodes() const { return nodes_.size(); }
+  ThreadedBackend& backend() { return backend_; }
+  obs::ShardedTracer& tracer() { return tracer_; }
+
+  std::uint64_t total_originated() const {
+    std::uint64_t total = 0;
+    for (const auto& n : nodes_) total += n->originated().size();
+    return total;
+  }
+
+  bool converged() const {
+    const std::uint64_t total = total_originated();
+    for (const auto& n : nodes_) {
+      if (n->updates_known() != total) return false;
+    }
+    for (std::size_t i = 1; i < nodes_.size(); ++i) {
+      if (!(nodes_[i]->state() == nodes_[0]->state())) return false;
+    }
+    return true;
+  }
+
+  core::PrefixRef::Resolver prefix_resolver() const {
+    return [this](core::NodeId origin, std::uint64_t origin_seq) {
+      return nodes_.at(origin)->originated().at(origin_seq - 1).ts;
+    };
+  }
+
+  /// Assemble the formal execution — identical shape to
+  /// shard::Cluster::execution(), so the whole analysis stack applies.
+  core::Execution<App> execution() const {
+    std::map<core::Timestamp, const typename NodeT::Record*> by_ts;
+    for (const auto& n : nodes_) {
+      for (const auto& rec : n->originated()) by_ts.emplace(rec.ts, &rec);
+    }
+    std::map<core::Timestamp, std::size_t> index_of;
+    std::size_t next = 0;
+    for (const auto& [ts, rec] : by_ts) index_of.emplace(ts, next++);
+    const core::PrefixRef::Resolver resolve = prefix_resolver();
+    core::Execution<App> exec;
+    for (const auto& [ts, rec] : by_ts) {
+      core::TxInstance<App> tx;
+      tx.ts = rec->ts;
+      tx.origin = rec->origin;
+      tx.real_time = rec->real_time;
+      tx.request = rec->request;
+      tx.update = rec->update;
+      tx.external_actions = rec->external_actions;
+      const std::vector<core::Timestamp> pts = rec->prefix.expand(resolve);
+      tx.prefix.reserve(pts.size());
+      for (const core::Timestamp& p : pts) tx.prefix.push_back(index_of.at(p));
+      exec.append(std::move(tx));
+    }
+    return exec;
+  }
+
+  /// The merged trace (per-node shards interleaved by the shared stamp).
+  std::vector<obs::Event> trace() const { return tracer_.ring(); }
+
+  /// The shutdown-contract check over the merged trace.
+  FateValidation validate_fates() const {
+    return validate_message_fates(trace());
+  }
+
+ private:
+  /// Cross-thread snapshot helper: run `fn` on node i's worker and wait
+  /// for the result. After shutdown the workers are gone and everything
+  /// is quiescent, so call inline.
+  template <class F>
+  auto run_on(core::NodeId i, F fn) {
+    if (backend_.stopped()) return fn();
+    std::promise<decltype(fn())> done;
+    auto fut = done.get_future();
+    backend_.post(i, [&done, &fn] { done.set_value(fn()); });
+    return fut.get();
+  }
+
+  std::uint64_t snapshot_total_originated() {
+    std::uint64_t total = 0;
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+      total += run_on(static_cast<core::NodeId>(i), [this, i] {
+        return static_cast<std::uint64_t>(nodes_[i]->originated().size());
+      });
+    }
+    return total;
+  }
+
+  bool converged_snapshot(std::uint64_t expect_originated) {
+    using State = typename App::State;
+    const std::size_t n = nodes_.size();
+    std::vector<std::uint64_t> originated(n), known(n);
+    std::vector<State> states;
+    states.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      auto snap = run_on(static_cast<core::NodeId>(i), [this, i] {
+        return std::make_tuple(
+            static_cast<std::uint64_t>(nodes_[i]->originated().size()),
+            nodes_[i]->updates_known(), State(nodes_[i]->state()));
+      });
+      originated[i] = std::get<0>(snap);
+      known[i] = std::get<1>(snap);
+      states.push_back(std::move(std::get<2>(snap)));
+    }
+    std::uint64_t total = 0;
+    for (const std::uint64_t o : originated) total += o;
+    if (expect_originated != 0 && total != expect_originated) return false;
+    for (const std::uint64_t k : known) {
+      if (k != total) return false;
+    }
+    for (std::size_t i = 1; i < n; ++i) {
+      if (!(states[i] == states[0])) return false;
+    }
+    return true;
+  }
+
+  static obs::EventType fate_event_type(MessageFate fate) {
+    switch (fate) {
+      case MessageFate::kSent:
+        return obs::EventType::kNetSend;
+      case MessageFate::kDelivered:
+        return obs::EventType::kNetDeliver;
+      case MessageFate::kDroppedPartition:
+        return obs::EventType::kNetDropPartition;
+      case MessageFate::kDroppedRandom:
+        return obs::EventType::kNetDropRandom;
+      case MessageFate::kDroppedCrashed:
+        return obs::EventType::kNetDropCrashed;
+    }
+    return obs::EventType::kNetSend;  // unreachable
+  }
+
+  RealtimeConfig config_;
+  ThreadedBackend backend_;
+  obs::ShardedTracer tracer_;
+  std::vector<std::unique_ptr<NodeT>> nodes_;
+};
+
+}  // namespace runtime

@@ -1,0 +1,38 @@
+#include "runtime/validate.hpp"
+
+#include <unordered_set>
+
+namespace runtime {
+
+FateValidation validate_message_fates(const std::vector<obs::Event>& events) {
+  FateValidation v;
+  // kNetSend records at the source with b = message id (a = destination);
+  // kNetDeliver / delivery-time kNetDropCrashed record at the destination
+  // with b = the same id. Ids are unique per accepted send, so set
+  // membership is the whole match.
+  std::unordered_set<std::uint64_t> open;
+  for (const obs::Event& e : events) {
+    switch (e.type) {
+      case obs::EventType::kNetSend:
+        if (e.b == 0) break;  // send-time drop shape; not an accepted send
+        ++v.sends;
+        open.insert(e.b);
+        break;
+      case obs::EventType::kNetDeliver:
+        ++v.resolved;
+        if (open.erase(e.b) == 0) v.unmatched.push_back(e.b);
+        break;
+      case obs::EventType::kNetDropCrashed:
+        if (e.b == 0) break;  // dropped at send time: terminal already
+        ++v.resolved;
+        if (open.erase(e.b) == 0) v.unmatched.push_back(e.b);
+        break;
+      default:
+        break;
+    }
+  }
+  v.orphaned.assign(open.begin(), open.end());
+  return v;
+}
+
+}  // namespace runtime

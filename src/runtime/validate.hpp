@@ -1,0 +1,39 @@
+// Post-hoc trace validation for backend runs.
+//
+// The shutdown contract of the threaded backend (threaded_backend.hpp) is
+// that no send is ever traced without its terminal fate: a kNetSend either
+// reaches kNetDeliver or kNetDropCrashed at the destination — never limbo.
+// validate_message_fates checks exactly that over a merged trace stream.
+// It holds on the simulator too (the network resolves every accepted send
+// at delivery time), so the differential tests run it on both backends.
+//
+// Precondition: the stream is complete (no ring eviction) — an evicted
+// kNetDeliver would read as a false orphan.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "obs/event.hpp"
+
+namespace runtime {
+
+struct FateValidation {
+  /// Accepted sends observed (kNetSend with a nonzero message id).
+  std::uint64_t sends = 0;
+  /// Terminal fates observed (delivery or delivery-time crash drop).
+  std::uint64_t resolved = 0;
+  /// Message ids with a kNetSend but no terminal fate.
+  std::vector<std::uint64_t> orphaned;
+  /// Message ids with a terminal fate but no preceding kNetSend.
+  std::vector<std::uint64_t> unmatched;
+
+  bool ok() const { return orphaned.empty() && unmatched.empty(); }
+};
+
+/// Scan a merged event stream and match every traced send to its terminal
+/// fate. Send-time drops (id == 0) are terminal at the source and need no
+/// matching; delivery-time crash drops carry the id and count as terminal.
+FateValidation validate_message_fates(const std::vector<obs::Event>& events);
+
+}  // namespace runtime

@@ -26,6 +26,8 @@
 #include "obs/metrics.hpp"
 #include "obs/sharded_tracer.hpp"
 #include "obs/tracer.hpp"
+#include "runtime/hooks.hpp"
+#include "runtime/sim_backend.hpp"
 #include "shard/node.hpp"
 #include "sim/fault_plan.hpp"
 #include "sim/network.hpp"
@@ -115,29 +117,16 @@ class Cluster {
       }
       lifecycle_ = std::make_unique<obs::LifecycleTracker>(config_.num_nodes);
       trace_source()->add_sink(lifecycle_.get());
-      scheduler_.set_observer([this](sim::Time t, std::uint64_t id) {
-        control_tracer()->record(obs::EventType::kSchedulerDispatch, t,
-                                 obs::kControlNode, 0, 0, id);
-      });
     }
     network_ = std::make_unique<sim::Network>(
         scheduler_, config_.network, master_rng_.fork_seed());
+    backend_ =
+        std::make_unique<runtime::SimBackend>(scheduler_, *network_);
+    // All observation flows through the unified runtime::Hooks surface —
+    // the backend fans the one registration out to the legacy scheduler
+    // and network observers.
+    install_hooks();
     if (config_.trace.enabled) {
-      network_->set_observer([this](sim::NodeId src, sim::NodeId dst,
-                                    std::uint64_t id,
-                                    sim::Network::MessageFate fate) {
-        // Send-side fates belong to the source's program order; delivery
-        // and delivery-time crash drops (id != 0: the message travelled)
-        // belong to the destination's — so the causal graph threads each
-        // node's track through the deliveries it actually observed.
-        const obs::EventType type = fate_event_type(fate);
-        const bool at_dst =
-            type == obs::EventType::kNetDeliver ||
-            (type == obs::EventType::kNetDropCrashed && id != 0);
-        node_tracer(at_dst ? dst : src)
-            ->record(type, scheduler_.now(), at_dst ? dst : src, 0, 0,
-                     at_dst ? src : dst, id);
-      });
       // Partition lifecycle markers: cuts are config, not messages, so no
       // component sees them open/heal — mark the boundaries explicitly.
       const auto& cuts = config_.network.partitions.events();
@@ -156,10 +145,11 @@ class Cluster {
     }
     for (std::size_t i = 0; i < config_.num_nodes; ++i) {
       nodes_.push_back(std::make_unique<NodeT>(
-          static_cast<core::NodeId>(i), *network_, config_.num_nodes,
-          config_.broadcast, config_.checkpoint_interval,
-          master_rng_.fork_seed(), config_.compaction,
-          node_tracer(static_cast<sim::NodeId>(i)),
+          static_cast<core::NodeId>(i),
+          backend_->executor(static_cast<runtime::NodeId>(i)),
+          backend_->transport(), config_.num_nodes, config_.broadcast,
+          config_.checkpoint_interval, master_rng_.fork_seed(),
+          config_.compaction, node_tracer(static_cast<sim::NodeId>(i)),
           config_.max_checkpoints));
     }
     for (auto& n : nodes_) n->start();
@@ -315,6 +305,9 @@ class Cluster {
 
   sim::Scheduler& scheduler() { return scheduler_; }
   sim::Network& network() { return *network_; }
+  /// The runtime backend the nodes run against (the deterministic one; the
+  /// threaded counterpart lives in runtime::RealtimeCluster).
+  runtime::SimBackend& backend() { return *backend_; }
   NodeT& node(core::NodeId i) { return *nodes_.at(i); }
   const NodeT& node(core::NodeId i) const { return *nodes_.at(i); }
   std::size_t num_nodes() const { return nodes_.size(); }
@@ -353,6 +346,10 @@ class Cluster {
   /// must outlive the cluster or be detached first.
   void set_stream_observer(StreamObserver<App>* obs) {
     stream_obs_ = obs;
+    // The typed observer rides the unified hook object (type-erased); the
+    // cluster is the consumer that casts it back and attaches it per node.
+    hooks_.stream_observer = obs;
+    backend_->set_hooks(hooks_);
     for (auto& n : nodes_) n->set_stream_observer(obs);
   }
 
@@ -532,6 +529,40 @@ class Cluster {
     series_.push_back(std::move(s));
   }
 
+  /// Build the unified hook set and hand it to the backend. Dispatch events
+  /// from the simulator arrive attributed to kNoWorker and are routed to
+  /// the control shard exactly as the legacy scheduler observer did; a
+  /// per-node worker id (threaded backend) would route to that node's
+  /// shard. Fates split send-side/delivery-side between src and dst tracks.
+  void install_hooks() {
+    if (config_.trace.enabled) {
+      hooks_.on_dispatch = [this](runtime::NodeId worker, sim::Time t,
+                                  std::uint64_t id) {
+        const bool control = worker == runtime::kNoWorker;
+        (control ? control_tracer() : node_tracer(worker))
+            ->record(obs::EventType::kSchedulerDispatch, t,
+                     control ? obs::kControlNode : worker, 0, 0, id);
+      };
+      hooks_.on_message_fate = [this](sim::NodeId src, sim::NodeId dst,
+                                      std::uint64_t id,
+                                      runtime::MessageFate fate) {
+        // Send-side fates belong to the source's program order; delivery
+        // and delivery-time crash drops (id != 0: the message travelled)
+        // belong to the destination's — so the causal graph threads each
+        // node's track through the deliveries it actually observed.
+        const obs::EventType type = fate_event_type(fate);
+        const bool at_dst =
+            type == obs::EventType::kNetDeliver ||
+            (type == obs::EventType::kNetDropCrashed && id != 0);
+        node_tracer(at_dst ? dst : src)
+            ->record(type, scheduler_.now(), at_dst ? dst : src, 0, 0,
+                     at_dst ? src : dst, id);
+      };
+    }
+    hooks_.stream_observer = stream_obs_;
+    backend_->set_hooks(hooks_);
+  }
+
   /// The concrete tracer a component at `node` records into: its own shard
   /// in sharded mode, the global ring in legacy mode, nullptr when off.
   obs::Tracer* node_tracer(sim::NodeId node) {
@@ -636,6 +667,10 @@ class Cluster {
   std::unique_ptr<obs::ShardedTracer> sharded_;
   std::unique_ptr<obs::LifecycleTracker> lifecycle_;
   std::unique_ptr<sim::Network> network_;
+  std::unique_ptr<runtime::SimBackend> backend_;
+  /// The one registration object for all observation (dispatch, message
+  /// fates, typed stream observer) — re-installed whenever it changes.
+  runtime::Hooks hooks_;
   std::vector<std::unique_ptr<NodeT>> nodes_;
   StreamObserver<App>* stream_obs_ = nullptr;
   std::uint64_t scheduled_submissions_ = 0;

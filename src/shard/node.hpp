@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <optional>
 #include <stdexcept>
 #include <utility>
@@ -28,6 +29,8 @@
 #include "core/timestamp.hpp"
 #include "net/broadcast.hpp"
 #include "obs/tracer.hpp"
+#include "runtime/api.hpp"
+#include "runtime/sim_backend.hpp"
 #include "shard/update_log.hpp"
 #include "sim/crash.hpp"
 
@@ -80,6 +83,34 @@ class Node {
 
   using Record = TxRecord<App>;
 
+  /// The node runs against the redesigned execution API — an Executor for
+  /// its clock/timers and a Transport for the broadcast layer's datagrams —
+  /// so the same protocol code drives the deterministic simulator and the
+  /// threaded runtime.
+  Node(core::NodeId id, runtime::Executor& executor,
+       runtime::Transport& transport, std::size_t cluster_size,
+       net::BroadcastOptions broadcast_options, std::size_t checkpoint_interval,
+       std::uint64_t seed, bool enable_compaction = false,
+       obs::Tracer* tracer = nullptr, std::size_t max_checkpoints = 0)
+      : id_(id),
+        clock_(id),
+        log_(checkpoint_interval, max_checkpoints),
+        peer_announcements_(cluster_size),
+        enable_compaction_(enable_compaction),
+        tracer_(tracer),
+        exec_(&executor),
+        broadcast_(executor, transport, id, cluster_size, broadcast_options,
+                   seed,
+                   [this](const typename net::ReliableBroadcast<Envelope>::Wire&
+                              wire) { on_deliver(wire); }) {
+    init_hooks(broadcast_options);
+  }
+
+  /// One-release adapter for callers still wired to the concrete simulator;
+  /// behaves exactly like constructing against backend.executor()/transport()
+  /// of a runtime::SimBackend over the same scheduler/network.
+  [[deprecated("construct with (runtime::Executor&, runtime::Transport&) — "
+               "the sim::Network& form is a one-release adapter")]]
   Node(core::NodeId id, sim::Network& network, std::size_t cluster_size,
        net::BroadcastOptions broadcast_options, std::size_t checkpoint_interval,
        std::uint64_t seed, bool enable_compaction = false,
@@ -90,11 +121,20 @@ class Node {
         peer_announcements_(cluster_size),
         enable_compaction_(enable_compaction),
         tracer_(tracer),
-        sched_(&network.scheduler()),
-        broadcast_(network, id, cluster_size, broadcast_options, seed,
+        owned_exec_(std::make_unique<runtime::SimExecutor>(
+            network.scheduler())),
+        owned_net_(std::make_unique<runtime::SimTransport>(network)),
+        exec_(owned_exec_.get()),
+        broadcast_(*owned_exec_, *owned_net_, id, cluster_size,
+                   broadcast_options, seed,
                    [this](const typename net::ReliableBroadcast<Envelope>::Wire&
                               wire) { on_deliver(wire); }) {
-    log_.set_tracer(tracer_, id_, [this] { return sched_->now(); });
+    init_hooks(broadcast_options);
+  }
+
+ private:
+  void init_hooks(const net::BroadcastOptions& broadcast_options) {
+    log_.set_tracer(tracer_, id_, [this] { return exec_->now(); });
     broadcast_.set_tracer(tracer_);
     if (broadcast_options.byzantine.enabled) {
       // Timestamp-preserving corruption: substitute only the update field,
@@ -117,6 +157,7 @@ class Node {
         });
   }
 
+ public:
   /// Arm protocol timers.
   void start() { broadcast_.start(); }
 
@@ -376,13 +417,13 @@ class Node {
     // and compares our post-merge state against its clean shadow.
     if (stream_obs_) {
       stream_obs_->on_deliver(id_, wire.origin, wire.origin_seq,
-                              wire.payload.ts, log_.state(), sched_->now());
+                              wire.payload.ts, log_.state(), exec_->now());
     }
     if (catching_up_) {
       ++log_.mutable_stats().catch_up_updates;
-      check_caught_up(sched_->now());
+      check_caught_up(exec_->now());
     }
-    try_run_pending(sched_->now());
+    try_run_pending(exec_->now());
   }
 
   /// Recovery-window bookkeeping: the window closes once this node again
@@ -422,7 +463,7 @@ class Node {
     // keeps our next tick possibly equal to L, which the node tiebreak
     // disambiguates.)
     clock_.observe(core::Timestamp{promise_ts.logical - 1, src});
-    try_run_pending(sched_->now());
+    try_run_pending(exec_->now());
     if (enable_compaction_) maybe_compact();
   }
 
@@ -526,7 +567,11 @@ class Node {
   bool enable_compaction_ = false;
   obs::Tracer* tracer_ = nullptr;  ///< optional execution tracing
   StreamObserver<App>* stream_obs_ = nullptr;  ///< optional online checking
-  sim::Scheduler* sched_;
+  /// Owned backend adapters for the deprecated sim::Network& constructor;
+  /// null when the caller supplied the runtime interfaces directly.
+  std::unique_ptr<runtime::SimExecutor> owned_exec_;
+  std::unique_ptr<runtime::SimTransport> owned_net_;
+  runtime::Executor* exec_;
   net::ReliableBroadcast<Envelope> broadcast_;
 };
 

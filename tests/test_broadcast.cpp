@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "net/broadcast.hpp"
+#include "runtime/sim_backend.hpp"
 #include "sim/fault_plan.hpp"
 #include "sim/network.hpp"
 #include "sim/scheduler.hpp"
@@ -21,15 +22,19 @@ using Rb = net::ReliableBroadcast<Payload>;
 struct Harness {
   sim::Scheduler sched;
   std::unique_ptr<sim::Network> net;
+  // Endpoints run against the runtime execution API; the backend is the
+  // deterministic simulator pass-through.
+  std::unique_ptr<runtime::SimBackend> backend;
   std::vector<std::unique_ptr<Rb>> nodes;
   std::vector<std::vector<Payload>> delivered;
 
   Harness(std::size_t n, sim::Network::Config cfg, net::BroadcastOptions opts) {
     net = std::make_unique<sim::Network>(sched, std::move(cfg), 7);
+    backend = std::make_unique<runtime::SimBackend>(sched, *net);
     delivered.resize(n);
     for (sim::NodeId i = 0; i < n; ++i) {
       nodes.push_back(std::make_unique<Rb>(
-          *net, i, n, opts, 100 + i,
+          backend->executor(i), backend->transport(), i, n, opts, 100 + i,
           [this, i](const Rb::Wire& w) { delivered[i].push_back(w.payload); }));
     }
     for (auto& node : nodes) node->start();

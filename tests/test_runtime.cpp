@@ -1,0 +1,460 @@
+// The runtime execution API (src/runtime/): both backends behind
+// runtime::Executor / runtime::Transport.
+//
+// Four claims under test:
+//
+//   * SimBackend differential — the runtime port is trace-invariant: the
+//     same (scenario, seed) yields byte-identical merged trace streams
+//     across repeated runs over the chaos and crash-chaos seed tiers, and
+//     a cluster wired through the [[deprecated]] sim::Network& adapters is
+//     byte-identical to one wired through the runtime interfaces.
+//   * Hooks unification — SimBackend::set_hooks drives the legacy
+//     scheduler-dispatch and network-fate observer surfaces: a consumer
+//     registered through runtime::Hooks sees exactly the sequence the
+//     legacy observers saw.
+//   * ThreadedBackend — real threads, real clocks: seeded runs converge,
+//     the full oracle stack (prefix-subsequence condition, transitivity,
+//     state == replay) holds on the assembled execution, and the merged
+//     per-node trace shards satisfy the send/fate shutdown contract.
+//   * Shutdown drain — drain_and_stop refuses new sends before tracing
+//     them and delivers everything already on the bus, so no kNetSend is
+//     ever orphaned (runtime::validate_message_fates), even when shutdown
+//     races a full-throttle workload or crash/restart churn.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "analysis/execution_checker.hpp"
+#include "apps/airline/airline.hpp"
+#include "apps/dictionary/dictionary.hpp"
+#include "harness/scenario.hpp"
+#include "harness/workload.hpp"
+#include "obs/tracer.hpp"
+#include "runtime/realtime_cluster.hpp"
+#include "runtime/sim_backend.hpp"
+#include "runtime/threaded_backend.hpp"
+#include "runtime/validate.hpp"
+#include "shard/cluster.hpp"
+#include "sim/fault_plan.hpp"
+#include "sim/rng.hpp"
+
+namespace {
+
+namespace al = apps::airline;
+using Air = al::BasicAirline<15, 900, 300>;
+using Dict = apps::dictionary::Dictionary;
+using DictRequest = apps::dictionary::Request;
+
+// ---------------------------------------------------------------------------
+// SimBackend differential tier: the runtime port is trace-invariant
+// ---------------------------------------------------------------------------
+
+harness::Scenario chaos_scenario(std::uint64_t seed, bool with_crashes) {
+  sim::Rng rng(seed);
+  const auto nodes = static_cast<std::size_t>(rng.uniform_int(2, 6));
+  const double horizon = 25.0;
+  harness::Scenario sc;
+  sc.num_nodes = nodes;
+  sc.delay = sim::Delay::exponential(rng.uniform(0.005, 0.05),
+                                     rng.uniform(0.05, 0.3), 5.0);
+  sc.drop_probability = rng.uniform(0.0, 0.25);
+  sc.faults = sim::FaultPlan(seed ^ 0x9afb);
+  sc.faults.random_partitions(nodes, horizon,
+                              static_cast<int>(rng.uniform_int(0, 3)));
+  if (with_crashes) {
+    sc.faults.random_crashes(nodes, horizon,
+                             static_cast<int>(rng.uniform_int(1, 4)),
+                             /*min_down=*/1.0, /*max_down=*/6.0,
+                             /*amnesia_probability=*/0.5);
+  }
+  sc.anti_entropy_interval = rng.uniform(0.2, 0.8);
+  return sc;
+}
+
+struct ChaosRun {
+  std::string trace;
+  std::vector<Air::State> states;
+  bool checker_clean = false;
+};
+
+ChaosRun run_chaos(harness::Scenario sc, std::uint64_t seed) {
+  sc.trace.enabled = true;
+  shard::Cluster<Air> cluster(sc.cluster_config<Air>(seed));
+  obs::VectorSink capture;
+  cluster.tracer()->add_sink(&capture);
+  harness::AirlineWorkload w;
+  w.duration = 25.0;
+  w.request_rate = 3.0;
+  w.mover_rate = 2.0;
+  w.cancel_fraction = 0.1;
+  w.max_persons = 150;
+  harness::drive_airline(cluster, w, seed ^ 0x5eed);
+  cluster.run_until(25.0);
+  cluster.settle();
+  ChaosRun r;
+  r.trace = obs::serialize(capture.events());
+  for (std::size_t n = 0; n < cluster.num_nodes(); ++n) {
+    r.states.push_back(cluster.node(static_cast<core::NodeId>(n)).state());
+  }
+  const core::Execution<Air> exec = cluster.execution();
+  r.checker_clean = analysis::check_prefix_subsequence_condition(exec).ok() &&
+                    analysis::is_transitive(exec) && cluster.converged();
+  // No fate validation here: a settled simulator run stops at an arbitrary
+  // instant with deliveries still scheduled, so open sends are legitimate.
+  // The every-send-resolves contract belongs to the threaded backend's
+  // drain (tested below).
+  return r;
+}
+
+void expect_trace_invariant(std::uint64_t seed, bool with_crashes) {
+  const harness::Scenario sc = chaos_scenario(seed, with_crashes);
+  const ChaosRun a = run_chaos(sc, seed ^ 0x17a7);
+  const ChaosRun b = run_chaos(sc, seed ^ 0x17a7);
+  ASSERT_EQ(a.trace, b.trace) << "seed " << seed;
+  ASSERT_EQ(a.states.size(), b.states.size());
+  for (std::size_t n = 0; n < a.states.size(); ++n) {
+    EXPECT_EQ(a.states[n], b.states[n]) << "seed " << seed;
+  }
+  EXPECT_TRUE(a.checker_clean) << "seed " << seed;
+}
+
+class RuntimeChaosTier : public ::testing::TestWithParam<std::uint64_t> {};
+class RuntimeCrashChaosTier : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(RuntimeChaosTier, PortIsTraceInvariant) {
+  expect_trace_invariant(GetParam(), /*with_crashes=*/false);
+}
+TEST_P(RuntimeCrashChaosTier, PortIsTraceInvariant) {
+  expect_trace_invariant(GetParam(), /*with_crashes=*/true);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RuntimeChaosTier,
+                         ::testing::Range<std::uint64_t>(1000, 1012));
+INSTANTIATE_TEST_SUITE_P(Seeds, RuntimeCrashChaosTier,
+                         ::testing::Range<std::uint64_t>(3000, 3012));
+
+// ---------------------------------------------------------------------------
+// Deprecated-adapter equivalence
+// ---------------------------------------------------------------------------
+
+/// A hand-wired three-node dictionary cluster, constructed either through
+/// the runtime interfaces or through the one-release sim::Network&
+/// adapters. Everything else — seeds, traffic, tracing — is identical.
+struct MiniRun {
+  std::string trace;
+  Dict::State state;
+};
+
+MiniRun run_mini(bool use_adapter) {
+  sim::Scheduler sched;
+  sim::Network net(sched, {}, /*seed=*/7);
+  runtime::SimBackend backend(sched, net);
+  obs::Tracer tracer(1 << 14);
+  constexpr std::size_t kNodes = 3;
+  net::BroadcastOptions opts;
+  opts.anti_entropy_interval = 0.3;
+  std::vector<std::unique_ptr<shard::Node<Dict>>> nodes;
+  for (std::size_t i = 0; i < kNodes; ++i) {
+    if (use_adapter) {
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+      nodes.push_back(std::make_unique<shard::Node<Dict>>(
+          static_cast<core::NodeId>(i), net, kNodes, opts,
+          /*checkpoint_interval=*/8, /*seed=*/100 + i, false, &tracer));
+#pragma GCC diagnostic pop
+    } else {
+      nodes.push_back(std::make_unique<shard::Node<Dict>>(
+          static_cast<core::NodeId>(i),
+          backend.executor(static_cast<runtime::NodeId>(i)),
+          backend.transport(), kNodes, opts,
+          /*checkpoint_interval=*/8, /*seed=*/100 + i, false, &tracer));
+    }
+  }
+  for (auto& n : nodes) n->start();
+  sim::Rng rng(42);
+  for (int k = 0; k < 30; ++k) {
+    const auto who = static_cast<std::size_t>(rng.uniform_int(0, kNodes - 1));
+    const double at = rng.uniform(0.0, 5.0);
+    sched.schedule_at(at, [&, who, k] {
+      nodes[who]->submit(
+          DictRequest::insert(static_cast<apps::dictionary::Key>(k % 7),
+                              "v" + std::to_string(k)),
+          sched.now());
+    });
+  }
+  sched.run_until(20.0);
+  MiniRun r;
+  r.trace = obs::serialize(tracer.ring());
+  r.state = nodes[0]->state();
+  for (std::size_t i = 1; i < kNodes; ++i) {
+    EXPECT_EQ(nodes[i]->state(), r.state) << "node " << i;
+  }
+  return r;
+}
+
+TEST(RuntimeAdapters, DeprecatedNetworkCtorIsByteIdentical) {
+  const MiniRun direct = run_mini(/*use_adapter=*/false);
+  const MiniRun adapted = run_mini(/*use_adapter=*/true);
+  ASSERT_FALSE(direct.trace.empty());
+  EXPECT_EQ(adapted.trace, direct.trace);
+  EXPECT_EQ(adapted.state, direct.state);
+}
+
+TEST(RuntimeAdapters, DeprecatedBroadcastCtorDeliversIdentically) {
+  using Rb = net::ReliableBroadcast<std::string>;
+  const auto drive = [](bool use_adapter) {
+    sim::Scheduler sched;
+    sim::Network net(sched, {}, 7);
+    runtime::SimBackend backend(sched, net);
+    std::vector<std::vector<std::string>> delivered(3);
+    std::vector<std::unique_ptr<Rb>> ends;
+    net::BroadcastOptions opts;
+    opts.anti_entropy_interval = 0.2;
+    for (sim::NodeId i = 0; i < 3; ++i) {
+      const auto cb = [&delivered, i](const Rb::Wire& w) {
+        delivered[i].push_back(w.payload);
+      };
+      if (use_adapter) {
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+        ends.push_back(std::make_unique<Rb>(net, i, 3, opts, 100 + i, cb));
+#pragma GCC diagnostic pop
+      } else {
+        ends.push_back(std::make_unique<Rb>(backend.executor(i),
+                                            backend.transport(), i, 3, opts,
+                                            100 + i, cb));
+      }
+    }
+    for (auto& e : ends) e->start();
+    ends[0]->broadcast("a");
+    ends[1]->broadcast("b");
+    ends[2]->broadcast("c");
+    sched.run_until(5.0);
+    return delivered;
+  };
+  EXPECT_EQ(drive(true), drive(false));
+}
+
+// ---------------------------------------------------------------------------
+// Hooks unification: one registration, both legacy observer surfaces
+// ---------------------------------------------------------------------------
+
+struct HookLog {
+  std::vector<std::tuple<double, std::uint64_t>> dispatches;
+  std::vector<std::tuple<sim::NodeId, sim::NodeId, std::uint64_t, int>> fates;
+};
+
+TEST(RuntimeHooks, UnifiedHooksMatchLegacyObserverSequences) {
+  const auto drive = [](bool use_hooks) {
+    sim::Scheduler sched;
+    sim::Network::Config ncfg;
+    ncfg.drop_probability = 0.2;
+    sim::Network net(sched, ncfg, 7);
+    runtime::SimBackend backend(sched, net);
+    HookLog log;
+    if (use_hooks) {
+      runtime::Hooks hooks;
+      hooks.on_dispatch = [&log](runtime::NodeId worker, sim::Time t,
+                                 std::uint64_t id) {
+        EXPECT_EQ(worker, runtime::kNoWorker);
+        log.dispatches.emplace_back(t, id);
+      };
+      hooks.on_message_fate = [&log](sim::NodeId src, sim::NodeId dst,
+                                     std::uint64_t id,
+                                     runtime::MessageFate fate) {
+        log.fates.emplace_back(src, dst, id, static_cast<int>(fate));
+      };
+      backend.set_hooks(std::move(hooks));
+    } else {
+      sched.set_observer([&log](sim::Time t, std::uint64_t id) {
+        log.dispatches.emplace_back(t, id);
+      });
+      net.set_observer([&log](sim::NodeId src, sim::NodeId dst,
+                              std::uint64_t id,
+                              sim::Network::MessageFate fate) {
+        log.fates.emplace_back(src, dst, id, static_cast<int>(fate));
+      });
+    }
+    using Rb = net::ReliableBroadcast<std::string>;
+    std::vector<std::unique_ptr<Rb>> ends;
+    net::BroadcastOptions opts;
+    opts.anti_entropy_interval = 0.2;
+    for (sim::NodeId i = 0; i < 3; ++i) {
+      ends.push_back(std::make_unique<Rb>(backend.executor(i),
+                                          backend.transport(), i, 3, opts,
+                                          100 + i, [](const Rb::Wire&) {}));
+    }
+    for (auto& e : ends) e->start();
+    ends[0]->broadcast("x");
+    ends[2]->broadcast("y");
+    sched.run_until(3.0);
+    return log;
+  };
+  const HookLog via_hooks = drive(true);
+  const HookLog via_legacy = drive(false);
+  ASSERT_FALSE(via_hooks.dispatches.empty());
+  ASSERT_FALSE(via_hooks.fates.empty());
+  EXPECT_EQ(via_hooks.dispatches, via_legacy.dispatches);
+  EXPECT_EQ(via_hooks.fates, via_legacy.fates);
+}
+
+// ---------------------------------------------------------------------------
+// ThreadedBackend: primitives
+// ---------------------------------------------------------------------------
+
+TEST(ThreadedBackend, TimersFireAndCancelWorks) {
+  runtime::ThreadedConfig tc;
+  tc.num_nodes = 1;
+  runtime::ThreadedBackend backend(tc);
+  backend.start();
+  std::atomic<int> fired{0};
+  runtime::Executor& ex = backend.executor(0);
+  const auto far = ex.schedule_after(60.0, [&] { fired += 1000; });
+  ex.schedule_after(0.005, [&] { fired += 1; });
+  EXPECT_TRUE(ex.cancel(far));
+  EXPECT_FALSE(ex.cancel(far));  // double-cancel reports failure
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  backend.drain_and_stop();
+  EXPECT_EQ(fired.load(), 1);
+}
+
+TEST(ThreadedBackend, DeferRunsAfterCurrentTaskOnOwnWorker) {
+  runtime::ThreadedConfig tc;
+  tc.num_nodes = 1;
+  runtime::ThreadedBackend backend(tc);
+  backend.start();
+  std::vector<int> order;
+  std::atomic<bool> done{false};
+  backend.post(0, [&] {
+    backend.executor(0).defer([&] {
+      order.push_back(2);
+      done = true;
+    });
+    order.push_back(1);
+  });
+  while (!done) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  backend.drain_and_stop();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+// ---------------------------------------------------------------------------
+// ThreadedBackend: convergence + checker-clean property tier
+// ---------------------------------------------------------------------------
+
+class ThreadedSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ThreadedSeeds, ConvergesAndPassesFullOracleStack) {
+  const std::uint64_t seed = GetParam();
+  runtime::RealtimeConfig cfg;
+  cfg.num_nodes = 3;
+  cfg.seed = seed;
+  cfg.broadcast.anti_entropy_interval = 0.02;
+  cfg.broadcast.anti_entropy_jitter = 0.005;
+  cfg.bus.min_delay = 0.0002;
+  cfg.bus.max_delay = 0.002;
+  cfg.bus.drop_probability = 0.05;
+  runtime::RealtimeCluster<Dict> rc(cfg);
+  sim::Rng rng(seed);
+  constexpr std::uint64_t kRequests = 40;
+  for (std::uint64_t k = 0; k < kRequests; ++k) {
+    const auto node = static_cast<core::NodeId>(rng.uniform_int(0, 2));
+    rc.submit(node, DictRequest::insert(
+                        static_cast<apps::dictionary::Key>(k % 11),
+                        "s" + std::to_string(seed) + "-" + std::to_string(k)));
+  }
+  ASSERT_TRUE(rc.await_convergence(/*timeout_s=*/60.0, kRequests))
+      << "seed " << seed;
+  rc.shutdown();
+  // Post hoc, on joined state: the full oracle stack.
+  EXPECT_TRUE(rc.converged()) << "seed " << seed;
+  EXPECT_EQ(rc.total_originated(), kRequests) << "seed " << seed;
+  const core::Execution<Dict> exec = rc.execution();
+  EXPECT_TRUE(analysis::check_prefix_subsequence_condition(exec).ok())
+      << "seed " << seed;
+  EXPECT_TRUE(analysis::is_transitive(exec)) << "seed " << seed;
+  EXPECT_EQ(rc.node(0).state(), exec.final_state()) << "seed " << seed;
+  const runtime::FateValidation fates = rc.validate_fates();
+  EXPECT_TRUE(fates.ok()) << "seed " << seed << ": " << fates.orphaned.size()
+                          << " orphaned, " << fates.unmatched.size()
+                          << " unmatched";
+  EXPECT_GT(fates.sends, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ThreadedSeeds,
+                         ::testing::Range<std::uint64_t>(7000, 7008));
+
+// ---------------------------------------------------------------------------
+// Shutdown drain: the send/fate contract under racing shutdown + crashes
+// ---------------------------------------------------------------------------
+
+TEST(ThreadedRuntime, ImmediateShutdownNeverOrphansASend) {
+  // Fire a burst and shut down while the bus is still busy: drain must
+  // refuse new sends before tracing them and deliver what's in flight.
+  runtime::RealtimeConfig cfg;
+  cfg.num_nodes = 4;
+  cfg.seed = 99;
+  cfg.broadcast.anti_entropy_interval = 0.01;
+  cfg.bus.min_delay = 0.001;
+  cfg.bus.max_delay = 0.005;
+  runtime::RealtimeCluster<Dict> rc(cfg);
+  for (std::uint64_t k = 0; k < 60; ++k) {
+    rc.submit(static_cast<core::NodeId>(k % 4),
+              DictRequest::insert(static_cast<apps::dictionary::Key>(k), "x"));
+  }
+  // Let the burst get airborne (delays are 1–5 ms, so plenty is still in
+  // flight), then shut down mid-traffic.
+  std::this_thread::sleep_for(std::chrono::milliseconds(15));
+  rc.shutdown();
+  const runtime::FateValidation fates = rc.validate_fates();
+  EXPECT_TRUE(fates.ok()) << fates.orphaned.size() << " orphaned, "
+                          << fates.unmatched.size() << " unmatched";
+  EXPECT_GT(fates.sends, 0u);
+  EXPECT_EQ(fates.resolved, fates.sends);
+}
+
+TEST(ThreadedRuntime, CrashRestartChurnStaysCheckerClean) {
+  runtime::RealtimeConfig cfg;
+  cfg.num_nodes = 3;
+  cfg.seed = 1234;
+  cfg.broadcast.anti_entropy_interval = 0.02;
+  cfg.bus.min_delay = 0.0002;
+  cfg.bus.max_delay = 0.002;
+  cfg.bus.drop_probability = 0.1;
+  runtime::RealtimeCluster<Dict> rc(cfg);
+  std::uint64_t submitted = 0;
+  for (std::uint64_t k = 0; k < 20; ++k) {
+    rc.submit(static_cast<core::NodeId>(k % 2),  // node 2 will crash
+              DictRequest::insert(static_cast<apps::dictionary::Key>(k), "a"));
+    ++submitted;
+  }
+  rc.crash(2);
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  for (std::uint64_t k = 0; k < 20; ++k) {
+    rc.submit(static_cast<core::NodeId>(k % 2),
+              DictRequest::insert(static_cast<apps::dictionary::Key>(100 + k),
+                                  "b"));
+    ++submitted;
+  }
+  rc.restart(2);
+  // Node 2 was down for every submission, so all `submitted` landed on
+  // live nodes; after restart, anti-entropy must catch node 2 up.
+  ASSERT_TRUE(rc.await_convergence(/*timeout_s=*/60.0, submitted));
+  rc.shutdown();
+  EXPECT_TRUE(rc.converged());
+  const core::Execution<Dict> exec = rc.execution();
+  EXPECT_TRUE(analysis::check_prefix_subsequence_condition(exec).ok());
+  EXPECT_TRUE(analysis::is_transitive(exec));
+  EXPECT_EQ(rc.node(2).state(), exec.final_state());
+  EXPECT_TRUE(rc.validate_fates().ok());
+  EXPECT_GT(rc.node(2).engine_stats().crashes, 0u);
+}
+
+}  // namespace
